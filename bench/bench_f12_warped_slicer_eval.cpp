@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Reproduces Figure 12 — the paper's headline evaluation on top of
+ * Warped-Slicer: (a) Weighted Speedup, (b) normalized ANTT, (c)
+ * normalized fairness, (d) L1D miss rate, (e) L1D rsfail rate, (f)
+ * LSU stall fraction and (g) computing resource utilization, by
+ * workload class, for Spatial / WS / WS-QBMI / WS-DMIL.
+ *
+ * Paper headline: average WS 1.13 (Spatial), 1.20 (WS), 1.22
+ * (WS-QBMI), 1.49 (WS-DMIL): +1.5% and +24.6% over WS; ANTT improves
+ * 40.5% / 56.1%; fairness improves 17.8% / 32.3%.
+ */
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ckesim;
+
+const NamedScheme kSchemes[] = {NamedScheme::Spatial, NamedScheme::WS,
+                                NamedScheme::WS_QBMI,
+                                NamedScheme::WS_DMIL};
+
+struct Metrics
+{
+    ClassAggregate ws, antt_v, fairness, miss, rsfail, lsu_stall,
+        util;
+};
+
+void
+runFigure12(benchmark::State &state)
+{
+    const GpuConfig cfg = benchConfig();
+    Runner runner(cfg, benchCycles());
+
+    std::map<NamedScheme, Metrics> m;
+    for (const Workload &w : benchPairs()) {
+        for (NamedScheme s : kSchemes) {
+            const ConcurrentResult r = runner.run(w, s);
+            Metrics &mm = m[s];
+            mm.ws.add(w.cls(), r.weighted_speedup);
+            mm.antt_v.add(w.cls(), r.antt_value);
+            mm.fairness.add(w.cls(), r.fairness);
+            KernelStats total;
+            for (const KernelStats &k : r.stats)
+                total += k;
+            mm.miss.add(w.cls(), total.l1dMissRate());
+            mm.rsfail.add(w.cls(),
+                          std::max(total.l1dRsFailRate(), 1e-6));
+            mm.lsu_stall.add(
+                w.cls(),
+                std::max(r.sm_stats.lsuStallFraction(), 1e-6));
+            const double slots =
+                static_cast<double>(cfg.sm.num_schedulers) *
+                r.sm_stats.cycles;
+            mm.util.add(w.cls(),
+                        (r.sm_stats.alu_issue_slots +
+                         r.sm_stats.sfu_issue_slots) /
+                            std::max(slots, 1.0));
+        }
+    }
+
+    auto table = [&](const char *title, auto pick,
+                     bool normalize_to_ws = false) {
+        printHeader(title);
+        std::printf("%-8s", "class");
+        for (NamedScheme s : kSchemes)
+            std::printf(" %10s", schemeName(s).c_str());
+        std::printf("\n");
+        for (WorkloadClass cls : {WorkloadClass::CC, WorkloadClass::CM,
+                                  WorkloadClass::MM}) {
+            std::printf("%-8s", classLabel(cls));
+            const double base =
+                pick(m[NamedScheme::WS]).geomean(cls);
+            for (NamedScheme s : kSchemes) {
+                double v = pick(m[s]).geomean(cls);
+                if (normalize_to_ws && base > 0)
+                    v /= base;
+                std::printf(" %10.3f", v);
+            }
+            std::printf("\n");
+        }
+        std::printf("%-8s", "ALL");
+        const double base_all =
+            pick(m[NamedScheme::WS]).geomeanAll();
+        for (NamedScheme s : kSchemes) {
+            double v = pick(m[s]).geomeanAll();
+            if (normalize_to_ws && base_all > 0)
+                v /= base_all;
+            std::printf(" %10.3f", v);
+        }
+        std::printf("\n");
+    };
+
+    table("Figure 12(a): Weighted Speedup",
+          [](Metrics &x) -> ClassAggregate & { return x.ws; });
+    table("Figure 12(b): ANTT normalized to WS (lower is better)",
+          [](Metrics &x) -> ClassAggregate & { return x.antt_v; },
+          true);
+    table("Figure 12(c): fairness normalized to WS "
+          "(higher is better)",
+          [](Metrics &x) -> ClassAggregate & { return x.fairness; },
+          true);
+    table("Figure 12(d): L1D miss rate",
+          [](Metrics &x) -> ClassAggregate & { return x.miss; });
+    table("Figure 12(e): L1D rsfail rate",
+          [](Metrics &x) -> ClassAggregate & { return x.rsfail; });
+    table("Figure 12(f): LSU stall fraction",
+          [](Metrics &x) -> ClassAggregate & { return x.lsu_stall; });
+    table("Figure 12(g): computing resource utilization",
+          [](Metrics &x) -> ClassAggregate & { return x.util; });
+
+    const double ws = m[NamedScheme::WS].ws.geomeanAll();
+    const double qbmi = m[NamedScheme::WS_QBMI].ws.geomeanAll();
+    const double dmil = m[NamedScheme::WS_DMIL].ws.geomeanAll();
+    std::printf("\nWS improvement over WS: QBMI %+.1f%%, DMIL "
+                "%+.1f%%  (paper: +1.5%%, +24.6%%)\n",
+                100.0 * (qbmi / ws - 1.0),
+                100.0 * (dmil / ws - 1.0));
+    const double antt_ws =
+        m[NamedScheme::WS].antt_v.geomeanAll();
+    std::printf("ANTT improvement over WS: QBMI %+.1f%%, DMIL "
+                "%+.1f%%  (paper: 40.5%%, 56.1%% better)\n",
+                100.0 * (1.0 - m[NamedScheme::WS_QBMI]
+                                   .antt_v.geomeanAll() /
+                                   antt_ws),
+                100.0 * (1.0 - m[NamedScheme::WS_DMIL]
+                                   .antt_v.geomeanAll() /
+                                   antt_ws));
+
+    state.counters["ws"] = ws;
+    state.counters["ws_qbmi"] = qbmi;
+    state.counters["ws_dmil"] = dmil;
+    state.counters["spatial"] =
+        m[NamedScheme::Spatial].ws.geomeanAll();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return ckesim::benchutil::benchMain(argc, argv, [] {
+        ckesim::benchutil::registerExperiment(
+            "figure12/warped_slicer_eval", runFigure12);
+    });
+}

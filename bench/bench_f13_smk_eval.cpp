@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Figure 13: QBMI and DMIL on top of SMK's DRF partition —
+ * Weighted Speedup and normalized ANTT by class for SMK-(P+W),
+ * SMK-(P+QBMI), SMK-(P+DMIL).
+ *
+ * Paper headline: average WS 1.10 / 1.15 / 1.40 — +4.4% and +27.2%
+ * over SMK-(P+W); ANTT improves 49.2% / 64.6%.
+ */
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ckesim;
+
+const NamedScheme kSchemes[] = {NamedScheme::SMK_PW,
+                                NamedScheme::SMK_P_QBMI,
+                                NamedScheme::SMK_P_DMIL};
+
+void
+runFigure13(benchmark::State &state)
+{
+    Runner runner(benchConfig(), benchCycles());
+
+    std::map<NamedScheme, ClassAggregate> ws, antt_v;
+    for (const Workload &w : benchPairs()) {
+        for (NamedScheme s : kSchemes) {
+            const ConcurrentResult r = runner.run(w, s);
+            ws[s].add(w.cls(), r.weighted_speedup);
+            antt_v[s].add(w.cls(), r.antt_value);
+        }
+    }
+
+    printHeader("Figure 13(a): Weighted Speedup on SMK partition");
+    std::printf("%-8s", "class");
+    for (NamedScheme s : kSchemes)
+        std::printf(" %14s", schemeName(s).c_str());
+    std::printf("\n");
+    for (WorkloadClass cls :
+         {WorkloadClass::CC, WorkloadClass::CM, WorkloadClass::MM}) {
+        std::printf("%-8s", classLabel(cls));
+        for (NamedScheme s : kSchemes)
+            std::printf(" %14.3f", ws[s].geomean(cls));
+        std::printf("\n");
+    }
+    std::printf("%-8s", "ALL");
+    for (NamedScheme s : kSchemes)
+        std::printf(" %14.3f", ws[s].geomeanAll());
+    std::printf("\n");
+
+    printHeader("Figure 13(b): ANTT normalized to SMK-(P+W) "
+                "(lower is better)");
+    std::printf("%-8s", "class");
+    for (NamedScheme s : kSchemes)
+        std::printf(" %14s", schemeName(s).c_str());
+    std::printf("\n");
+    for (WorkloadClass cls :
+         {WorkloadClass::CC, WorkloadClass::CM, WorkloadClass::MM}) {
+        std::printf("%-8s", classLabel(cls));
+        const double base =
+            antt_v[NamedScheme::SMK_PW].geomean(cls);
+        for (NamedScheme s : kSchemes)
+            std::printf(" %14.3f",
+                        base > 0 ? antt_v[s].geomean(cls) / base
+                                 : 0.0);
+        std::printf("\n");
+    }
+
+    const double base = ws[NamedScheme::SMK_PW].geomeanAll();
+    const double qbmi = ws[NamedScheme::SMK_P_QBMI].geomeanAll();
+    const double dmil = ws[NamedScheme::SMK_P_DMIL].geomeanAll();
+    std::printf("\nWS improvement over SMK-(P+W): QBMI %+.1f%%, "
+                "DMIL %+.1f%%  (paper: +4.4%%, +27.2%%)\n",
+                100.0 * (qbmi / base - 1.0),
+                100.0 * (dmil / base - 1.0));
+
+    state.counters["smk_pw"] = base;
+    state.counters["smk_qbmi"] = qbmi;
+    state.counters["smk_dmil"] = dmil;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return ckesim::benchutil::benchMain(argc, argv, [] {
+        ckesim::benchutil::registerExperiment("figure13/smk_eval",
+                                              runFigure13);
+    });
+}

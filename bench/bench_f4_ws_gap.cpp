@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Figure 4: theoretical vs achieved Weighted Speedup of
+ * dynamic Warped-Slicer by workload class. The paper's signature:
+ * C+C achieves close to the theoretical WS, while interference makes
+ * C+M and M+M fall well short.
+ */
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ckesim;
+
+void
+runFigure4(benchmark::State &state)
+{
+    Runner runner(benchConfig(), benchCycles());
+
+    ClassAggregate theoretical, achieved;
+    for (const Workload &w : benchPairs()) {
+        const ConcurrentResult res = runner.run(w, NamedScheme::WS);
+        theoretical.add(w.cls(), res.theoretical_ws);
+        achieved.add(w.cls(), res.weighted_speedup);
+    }
+
+    printHeader("Figure 4: dynamic Warped-Slicer, theoretical vs "
+                "achieved Weighted Speedup (geomean)");
+    std::printf("%-6s %12s %10s %8s\n", "class", "theoretical",
+                "achieved", "gap");
+    for (WorkloadClass cls :
+         {WorkloadClass::CC, WorkloadClass::CM, WorkloadClass::MM}) {
+        const double t = theoretical.geomean(cls);
+        const double a = achieved.geomean(cls);
+        std::printf("%-6s %12.3f %10.3f %7.1f%%\n", classLabel(cls),
+                    t, a, t > 0 ? 100.0 * (t - a) / t : 0.0);
+    }
+    const double t_all = theoretical.geomeanAll();
+    const double a_all = achieved.geomeanAll();
+    std::printf("%-6s %12.3f %10.3f %7.1f%%\n", "ALL", t_all, a_all,
+                100.0 * (t_all - a_all) / t_all);
+    std::printf("\npaper: C+C nearly closes the gap; C+M and M+M "
+                "fall far short of theoretical\n");
+
+    state.counters["theoretical_all"] = t_all;
+    state.counters["achieved_all"] = a_all;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return ckesim::benchutil::benchMain(argc, argv, [] {
+        ckesim::benchutil::registerExperiment("figure4/ws_gap",
+                                              runFigure4);
+    });
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reproduces Figure 5: the ineffectiveness of CPU-style L1D cache
+ * partitioning (UCP) for intra-SM sharing — (a) Weighted Speedup by
+ * class and for the six case-study pairs, (b) per-kernel L1D miss
+ * rates and (c) per-kernel rsfail rates under WS vs WS-L1DPartition.
+ */
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ckesim;
+
+const std::vector<std::vector<std::string>> kCasePairs = {
+    {"pf", "bp"}, {"bp", "hs"}, // C+C
+    {"bp", "sv"}, {"bp", "ks"}, // C+M
+    {"sv", "ks"}, {"sv", "ax"}, // M+M
+};
+
+void
+runFigure5(benchmark::State &state)
+{
+    Runner runner(benchConfig(), benchCycles());
+
+    // (a) class geomeans.
+    ClassAggregate ws_agg, ucp_agg;
+    for (const Workload &w : benchPairs()) {
+        ws_agg.add(w.cls(),
+                   runner.run(w, NamedScheme::WS).weighted_speedup);
+        ucp_agg.add(
+            w.cls(),
+            runner.run(w, NamedScheme::WS_UCP).weighted_speedup);
+    }
+
+    printHeader("Figure 5(a): Weighted Speedup, WS vs "
+                "WS-L1DPartition (UCP)");
+    std::printf("%-8s %8s %16s\n", "class", "WS", "WS-L1DPart");
+    for (WorkloadClass cls :
+         {WorkloadClass::CC, WorkloadClass::CM, WorkloadClass::MM}) {
+        std::printf("%-8s %8.3f %16.3f\n", classLabel(cls),
+                    ws_agg.geomean(cls), ucp_agg.geomean(cls));
+    }
+    std::printf("%-8s %8.3f %16.3f\n", "ALL", ws_agg.geomeanAll(),
+                ucp_agg.geomeanAll());
+
+    // Case-study pairs with per-kernel detail.
+    printHeader("Figure 5(b,c): case pairs, per-kernel miss and "
+                "rsfail rates");
+    std::printf("%-8s %-16s %10s %12s %12s %14s %14s\n", "pair",
+                "scheme", "WS", "miss_k0", "miss_k1", "rsfail_k0",
+                "rsfail_k1");
+    for (const auto &names : kCasePairs) {
+        const Workload w = makeWorkload(names);
+        for (NamedScheme s :
+             {NamedScheme::WS, NamedScheme::WS_UCP}) {
+            const ConcurrentResult r = runner.run(w, s);
+            std::printf(
+                "%-8s %-16s %10.3f %12.3f %12.3f %14.3f %14.3f\n",
+                w.name().c_str(), schemeName(s).c_str(),
+                r.weighted_speedup, r.stats[0].l1dMissRate(),
+                r.stats[1].l1dMissRate(), r.stats[0].l1dRsFailRate(),
+                r.stats[1].l1dRsFailRate());
+        }
+    }
+    std::printf("\npaper: UCP fails to improve WS on average — a "
+                "lower miss rate for one kernel comes with higher "
+                "rsfail for the other (shared miss resources)\n");
+
+    state.counters["ws_all"] = ws_agg.geomeanAll();
+    state.counters["ucp_all"] = ucp_agg.geomeanAll();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return ckesim::benchutil::benchMain(argc, argv, [] {
+        ckesim::benchutil::registerExperiment(
+            "figure5/cache_partitioning", runFigure5);
+    });
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Reproduces Figure 6: L1D accesses per 1K-cycle window for bp and sv
+ * (a) each in isolation and (b,c) concurrently under plain
+ * Warped-Slicer. The paper's signature: both kernels sustain healthy
+ * access rates alone, but under concurrent execution sv dominates the
+ * L1D while bp starves.
+ */
+
+#include "bench_util.hpp"
+
+#include "gpu.hpp"
+
+namespace {
+
+using namespace ckesim;
+
+void
+runFigure6(benchmark::State &state)
+{
+    const GpuConfig cfg = benchConfig();
+    const Cycle cycles = benchCycles();
+    const Cycle interval = 1000;
+
+    auto print_series = [&](const char *title,
+                            const std::vector<const TimeSeries *> &ts,
+                            const std::vector<std::string> &names,
+                            Cycle from) {
+        printHeader(title);
+        std::printf("%8s", "cycle(k)");
+        for (const std::string &n : names)
+            std::printf(" %10s", n.c_str());
+        std::printf("\n");
+        const std::size_t bins =
+            static_cast<std::size_t>((from + cycles) / interval);
+        const std::size_t step = std::max<std::size_t>(bins / 20, 1);
+        for (std::size_t b = static_cast<std::size_t>(from / interval);
+             b < bins; b += step) {
+            std::printf("%8zu", b);
+            for (const TimeSeries *t : ts)
+                std::printf(" %10llu",
+                            static_cast<unsigned long long>(
+                                t->binCount(b)));
+            std::printf("\n");
+        }
+    };
+
+    // (a)/(b) isolated runs.
+    TimeSeries bp_iso(interval), sv_iso(interval);
+    {
+        Workload w;
+        w.kernels = {&findProfile("bp")};
+        Gpu gpu(cfg, w,
+                makeScheme(PartitionScheme::Leftover, BmiMode::None,
+                           MilMode::None));
+        gpu.attachSeries(0, nullptr, &bp_iso);
+        gpu.run(cycles);
+    }
+    {
+        Workload w;
+        w.kernels = {&findProfile("sv")};
+        Gpu gpu(cfg, w,
+                makeScheme(PartitionScheme::Leftover, BmiMode::None,
+                           MilMode::None));
+        gpu.attachSeries(0, nullptr, &sv_iso);
+        gpu.run(cycles);
+    }
+    print_series("Figure 6(a,b): L1D accesses / 1K cycles, isolated",
+                 {&bp_iso, &sv_iso}, {"bp", "sv"}, 0);
+
+    // (c) concurrent under WS.
+    TimeSeries bp_cke(interval), sv_cke(interval);
+    {
+        const Workload w = makeWorkload({"bp", "sv"});
+        SchemeSpec spec = makeScheme(PartitionScheme::WarpedSlicer,
+                                     BmiMode::None, MilMode::None);
+        Gpu gpu(cfg, w, spec);
+        gpu.attachSeries(0, nullptr, &bp_cke);
+        gpu.attachSeries(1, nullptr, &sv_cke);
+        gpu.run(spec.ws_profile_window + cycles);
+    }
+    print_series("Figure 6(c): L1D accesses / 1K cycles, bp+sv "
+                 "concurrent (WS)",
+                 {&bp_cke, &sv_cke}, {"bp", "sv"}, 0);
+
+    // Aggregate starvation statistic over the measurement phase.
+    const std::size_t first =
+        static_cast<std::size_t>(20000 / interval) + 1;
+    const std::size_t last_iso =
+        static_cast<std::size_t>(cycles / interval);
+    const double bp_alone = bp_iso.meanOver(1, last_iso);
+    const double sv_alone = sv_iso.meanOver(1, last_iso);
+    const std::size_t last_cke = static_cast<std::size_t>(
+        (20000 + cycles) / interval);
+    const double bp_shared = bp_cke.meanOver(first, last_cke);
+    const double sv_shared = sv_cke.meanOver(first, last_cke);
+
+    std::printf("\nmean L1D accesses per 1K cycles (per GPU):\n");
+    std::printf("  bp: %8.1f alone -> %8.1f shared (%.0f%%)\n",
+                bp_alone, bp_shared, 100.0 * bp_shared / bp_alone);
+    std::printf("  sv: %8.1f alone -> %8.1f shared (%.0f%%)\n",
+                sv_alone, sv_shared, 100.0 * sv_shared / sv_alone);
+    std::printf("paper: sv dominates the shared L1D while bp "
+                "starves (Figure 6(c))\n");
+
+    state.counters["bp_retention"] = bp_shared / bp_alone;
+    state.counters["sv_retention"] = sv_shared / sv_alone;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return ckesim::benchutil::benchMain(argc, argv, [] {
+        ckesim::benchutil::registerExperiment("figure6/l1d_timeline",
+                                              runFigure6);
+    });
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces Figure 8: warp instructions issued per 1K cycles for
+ * bp+sv under WS, WS-RBMI and WS-QBMI, plus the normalized-IPC bars
+ * of Figure 8(d). The paper's signature: balanced memory issuing lets
+ * the compute-intensive kernel issue more instructions (bp's
+ * normalized IPC rises 0.39 -> 0.45 (RBMI) -> 0.48 (QBMI)) while sv
+ * stays roughly stable.
+ */
+
+#include "bench_util.hpp"
+
+#include "gpu.hpp"
+
+namespace {
+
+using namespace ckesim;
+
+void
+runFigure8(benchmark::State &state)
+{
+    Runner runner(benchConfig(), benchCycles());
+    const Workload w = makeWorkload({"bp", "sv"});
+    const Cycle interval = 1000;
+
+    struct SchemeRun
+    {
+        NamedScheme scheme;
+        TimeSeries bp{1000}, sv{1000};
+        ConcurrentResult res;
+    };
+    std::vector<SchemeRun> runs;
+    for (NamedScheme s : {NamedScheme::WS, NamedScheme::WS_RBMI,
+                          NamedScheme::WS_QBMI}) {
+        SchemeRun r;
+        r.scheme = s;
+        SchemeSpec spec = runner.scheme(s, w);
+        Gpu gpu(runner.config(), w, spec);
+        gpu.attachSeries(0, &r.bp, nullptr);
+        gpu.attachSeries(1, &r.sv, nullptr);
+        gpu.run(spec.ws_profile_window + runner.cycles());
+        // Metrics via the runner for isolated-baseline consistency.
+        r.res = runner.run(w, s);
+        runs.push_back(std::move(r));
+    }
+
+    printHeader("Figure 8(a-c): warp instructions issued / 1K "
+                "cycles, bp+sv");
+    std::printf("%8s", "cycle(k)");
+    for (const SchemeRun &r : runs)
+        std::printf(" %9s:bp %9s:sv",
+                    schemeName(r.scheme).c_str(),
+                    schemeName(r.scheme).c_str());
+    std::printf("\n");
+    const std::size_t bins = static_cast<std::size_t>(
+        (20000 + runner.cycles()) / interval);
+    const std::size_t step = std::max<std::size_t>(bins / 16, 1);
+    for (std::size_t b = 0; b < bins; b += step) {
+        std::printf("%8zu", b);
+        for (const SchemeRun &r : runs)
+            std::printf(" %12llu %12llu",
+                        static_cast<unsigned long long>(
+                            r.bp.binCount(b)),
+                        static_cast<unsigned long long>(
+                            r.sv.binCount(b)));
+        std::printf("\n");
+    }
+
+    printHeader("Figure 8(d): normalized IPC");
+    std::printf("%-10s %8s %8s\n", "scheme", "bp", "sv");
+    for (const SchemeRun &r : runs) {
+        std::printf("%-10s %8.3f %8.3f\n",
+                    schemeName(r.scheme).c_str(), r.res.norm_ipc[0],
+                    r.res.norm_ipc[1]);
+    }
+    std::printf("\npaper: bp 0.39 (WS) -> 0.45 (WS-RBMI) -> 0.48 "
+                "(WS-QBMI); sv roughly stable\n");
+
+    state.counters["bp_ws"] = runs[0].res.norm_ipc[0];
+    state.counters["bp_rbmi"] = runs[1].res.norm_ipc[0];
+    state.counters["bp_qbmi"] = runs[2].res.norm_ipc[0];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return ckesim::benchutil::benchMain(argc, argv, [] {
+        ckesim::benchutil::registerExperiment("figure8/bmi_timeline",
+                                              runFigure8);
+    });
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Figure 9: SMIL — Weighted Speedup as a function of the
+ * static in-flight memory instruction limits (Limit_k0, Limit_k1) for
+ * one workload from each class: pf+bp (C+C), bp+ks (C+M), sv+ks
+ * (M+M). The paper's signatures: C+C wants no limiting; C+M improves
+ * when the memory kernel's limit is small; M+M has an interior
+ * optimum (the paper finds (3,1) for sv+ks).
+ */
+
+#include "bench_util.hpp"
+
+#include "core/mil.hpp"
+
+namespace {
+
+using namespace ckesim;
+
+void
+sweepPair(Runner &runner, const Workload &w, benchmark::State &state)
+{
+    const std::vector<int> grid = smilLimitGrid(fullMode());
+
+    auto label = [](int l) {
+        return l == kSmilInf ? std::string("Inf")
+                             : std::to_string(l);
+    };
+
+    printHeader("Figure 9: SMIL sweep for " + w.name() + " (" +
+                workloadClassName(w.cls()) + "), Weighted Speedup");
+    std::printf("%10s", "k0\\k1");
+    for (int l1 : grid)
+        std::printf(" %6s", label(l1).c_str());
+    std::printf("\n");
+
+    double best = 0.0;
+    int best_l0 = kSmilInf, best_l1 = kSmilInf;
+    for (int l0 : grid) {
+        std::printf("%10s", label(l0).c_str());
+        for (int l1 : grid) {
+            SchemeSpec spec =
+                makeScheme(PartitionScheme::WarpedSlicer,
+                           BmiMode::None, MilMode::Static);
+            spec.smil_limits[0] = l0;
+            spec.smil_limits[1] = l1;
+            const ConcurrentResult res = runner.run(w, spec);
+            std::printf(" %6.3f", res.weighted_speedup);
+            if (res.weighted_speedup > best) {
+                best = res.weighted_speedup;
+                best_l0 = l0;
+                best_l1 = l1;
+            }
+        }
+        std::printf("\n");
+    }
+    std::printf("optimum: (%s, %s) with WS %.3f\n",
+                label(best_l0).c_str(), label(best_l1).c_str(),
+                best);
+    const std::string key = "best_ws_" + w.name();
+    state.counters[key] = best;
+}
+
+void
+runFigure9(benchmark::State &state)
+{
+    Runner runner(benchConfig(), benchCycles());
+    sweepPair(runner, makeWorkload({"pf", "bp"}), state);
+    sweepPair(runner, makeWorkload({"bp", "ks"}), state);
+    sweepPair(runner, makeWorkload({"sv", "ks"}), state);
+    std::printf("\npaper: pf+bp monotone in both limits (no "
+                "throttling wanted); bp+ks best with small Limit_k1; "
+                "sv+ks interior optimum near (3,1)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return ckesim::benchutil::benchMain(argc, argv, [] {
+        ckesim::benchutil::registerExperiment("figure9/smil_sweep",
+                                              runFigure9);
+    });
+}

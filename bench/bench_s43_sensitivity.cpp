@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces the Section 4.3 sensitivity studies: QBMI/DMIL gains
+ * over WS with (a) larger L1 D-caches (24KB baseline vs 48KB and
+ * 96KB) and (b) the LRR warp scheduler instead of GTO.
+ *
+ * Paper headline: on 48KB (96KB) L1D, WS-QBMI gains 2.1% (1.5%) and
+ * WS-DMIL 18.5% (3.5%) — gains shrink as capacity removes the
+ * contention; under LRR, QBMI +3.2% and DMIL +25.8% — the schemes do
+ * not depend on GTO.
+ */
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ckesim;
+
+const NamedScheme kSchemes[] = {NamedScheme::WS, NamedScheme::WS_QBMI,
+                                NamedScheme::WS_DMIL};
+
+void
+evalConfig(const std::string &label, const GpuConfig &cfg,
+           benchmark::State &state)
+{
+    Runner runner(cfg, benchCycles());
+    std::map<NamedScheme, ClassAggregate> ws, antt_v;
+    for (const Workload &w : benchPairs()) {
+        for (NamedScheme s : kSchemes) {
+            const ConcurrentResult r = runner.run(w, s);
+            ws[s].add(w.cls(), r.weighted_speedup);
+            antt_v[s].add(w.cls(), r.antt_value);
+        }
+    }
+    const double base = ws[NamedScheme::WS].geomeanAll();
+    const double qbmi = ws[NamedScheme::WS_QBMI].geomeanAll();
+    const double dmil = ws[NamedScheme::WS_DMIL].geomeanAll();
+    const double base_antt =
+        antt_v[NamedScheme::WS].geomeanAll();
+    std::printf("%-14s %8.3f %8.3f (%+5.1f%%) %8.3f (%+5.1f%%)   "
+                "ANTT: %+5.1f%% / %+5.1f%%\n",
+                label.c_str(), base, qbmi,
+                100.0 * (qbmi / base - 1.0), dmil,
+                100.0 * (dmil / base - 1.0),
+                100.0 * (1.0 - antt_v[NamedScheme::WS_QBMI]
+                                   .geomeanAll() /
+                                   base_antt),
+                100.0 * (1.0 - antt_v[NamedScheme::WS_DMIL]
+                                   .geomeanAll() /
+                                   base_antt));
+    state.counters[label + "_ws_gain_dmil"] = dmil / base - 1.0;
+}
+
+void
+runSensitivity(benchmark::State &state)
+{
+    printHeader("Section 4.3: sensitivity — Weighted Speedup "
+                "geomeans (WS / WS-QBMI / WS-DMIL)");
+    std::printf("%-14s %8s %8s %10s %8s %10s\n", "config", "WS",
+                "QBMI", "gain", "DMIL", "gain");
+
+    {
+        GpuConfig cfg = benchConfig();
+        evalConfig("L1D-24KB", cfg, state);
+    }
+    {
+        GpuConfig cfg = benchConfig();
+        cfg.l1d.size_bytes = 48 * 1024;
+        evalConfig("L1D-48KB", cfg, state);
+    }
+    {
+        GpuConfig cfg = benchConfig();
+        cfg.l1d.size_bytes = 96 * 1024;
+        evalConfig("L1D-96KB", cfg, state);
+    }
+    {
+        GpuConfig cfg = benchConfig();
+        cfg.sm.sched_policy = SchedPolicy::LRR;
+        evalConfig("LRR-sched", cfg, state);
+    }
+    std::printf("\npaper: gains persist but shrink with larger L1D "
+                "(DMIL +24.6%% at 24KB -> +18.5%% at 48KB -> +3.5%% "
+                "at 96KB); under LRR, QBMI +3.2%% / DMIL +25.8%%\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return ckesim::benchutil::benchMain(argc, argv, [] {
+        ckesim::benchutil::registerExperiment("s43/sensitivity",
+                                              runSensitivity);
+    });
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reproduces the Section 4.4 hardware-overhead accounting: the
+ * per-SM storage cost of the MILG instances (one per kernel) and the
+ * QBMI counters, and a microbenchmark of the decision logic's
+ * software cost (the paper argues the logic is off the critical
+ * path; here we show it is nanoseconds per event).
+ */
+
+#include "bench_util.hpp"
+
+#include "core/issue_policy.hpp"
+#include "core/milg.hpp"
+#include "core/qbmi.hpp"
+
+namespace {
+
+using namespace ckesim;
+
+void
+printOverheadTable(benchmark::State &state)
+{
+    printHeader("Section 4.4: hardware overhead per SM (2 concurrent "
+                "kernels)");
+    const int milg_bits = Milg::kStorageBits;
+    // QBMI: one more 10-bit memory instruction counter per kernel
+    // plus quota registers (we count 16-bit quota registers).
+    const int qbmi_bits_per_kernel = 10 + 16;
+    const int kernels = 2;
+    std::printf("MILG: %d-bit inflight peak + %d-bit rsfail + "
+                "%d-bit request counter = %d bits x %d kernels = "
+                "%d bits\n",
+                Milg::kInflightBits, Milg::kRsFailBits,
+                Milg::kRequestBits, milg_bits, kernels,
+                milg_bits * kernels);
+    std::printf("QBMI: 10-bit memory instruction counter + 16-bit "
+                "quota = %d bits x %d kernels = %d bits\n",
+                qbmi_bits_per_kernel, kernels,
+                qbmi_bits_per_kernel * kernels);
+    const int total_bits =
+        (milg_bits + qbmi_bits_per_kernel) * kernels;
+    std::printf("total: %d bits (~%d bytes) per SM — negligible "
+                "against a multi-mm^2 SM (paper Section 4.4)\n",
+                total_bits, (total_bits + 7) / 8);
+    state.counters["bits_per_sm"] = total_bits;
+}
+
+void
+milgUpdate(benchmark::State &state)
+{
+    Milg m;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        m.observeInflight(static_cast<int>(i % 128));
+        if (i % 3 == 0)
+            m.onRsFail();
+        m.onRequest();
+        ++i;
+    }
+    benchmark::DoNotOptimize(m.limit());
+    state.counters["limit"] = m.limit();
+}
+
+void
+qbmiQuotaRecompute(benchmark::State &state)
+{
+    const std::vector<double> rates = {2.0, 17.0};
+    for (auto _ : state) {
+        auto q = qbmiQuotas(rates);
+        benchmark::DoNotOptimize(q.data());
+    }
+}
+
+void
+controllerAdmission(benchmark::State &state)
+{
+    IssuePolicyConfig cfg;
+    cfg.bmi = BmiMode::QBMI;
+    cfg.mil = MilMode::Dynamic;
+    IssueController c(cfg, 2);
+    std::array<bool, kMaxKernelsPerSm> demand{};
+    demand[0] = demand[1] = true;
+    c.beginCycle(demand);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const KernelId k = static_cast<KernelId>(i & 1);
+        if (c.admitMemIssue(k)) {
+            c.onMemInstrIssued(k);
+            c.onMemInstrCompleted(k);
+        }
+        c.onRequestServiced(k);
+        ++i;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return ckesim::benchutil::benchMain(argc, argv, [] {
+        ckesim::benchutil::registerExperiment("s44/overhead_table",
+                                              printOverheadTable);
+        benchmark::RegisterBenchmark("s44/milg_update_per_event",
+                                     milgUpdate);
+        benchmark::RegisterBenchmark("s44/qbmi_quota_recompute",
+                                     qbmiQuotaRecompute);
+        benchmark::RegisterBenchmark("s44/controller_admission",
+                                     controllerAdmission);
+    });
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure bench binaries: every bench
+ * prints its paper-style table from inside a google-benchmark case so
+ * `bench_*` runs standalone and also reports wall time + headline
+ * counters through the benchmark framework.
+ */
+
+#ifndef CKESIM_BENCH_BENCH_UTIL_HPP
+#define CKESIM_BENCH_BENCH_UTIL_HPP
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "metrics/experiment.hpp"
+#include "metrics/runner.hpp"
+
+namespace ckesim::benchutil {
+
+/**
+ * Register a one-iteration benchmark that runs @p body. The body
+ * receives the State so it can export counters.
+ */
+inline void
+registerExperiment(const std::string &name,
+                   std::function<void(benchmark::State &)> body)
+{
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [body](benchmark::State &state) {
+            for (auto _ : state)
+                body(state);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+}
+
+/** Standard main body: initialize, register via @p setup, run. */
+inline int
+benchMain(int argc, char **argv, const std::function<void()> &setup)
+{
+    benchmark::Initialize(&argc, argv);
+    setup();
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace ckesim::benchutil
+
+#endif // CKESIM_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Example: co-run pairing advisor.
+ *
+ * Usage: pairing_advisor [kernel] [cycles]
+ *
+ * Given one kernel, evaluates co-running it with every other
+ * benchmark kernel under the best-practice scheme stack
+ * (Warped-Slicer partition + DMIL) and ranks the partners by
+ * Weighted Speedup — the "which kernels should share an SM?"
+ * question that motivates intra-SM CKE (Section 1: kernels with
+ * complementary characteristics gain the most).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "kernels/workload.hpp"
+#include "metrics/runner.hpp"
+
+using namespace ckesim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string base = argc > 1 ? argv[1] : "bp";
+    const Cycle cycles =
+        argc > 2 ? static_cast<Cycle>(std::atol(argv[2])) : 40000;
+
+    GpuConfig cfg; // the paper's Table 1 machine
+    Runner runner(cfg, cycles);
+    const KernelProfile &anchor = findProfile(base);
+
+    struct Entry
+    {
+        std::string partner;
+        std::string cls;
+        ConcurrentResult res;
+    };
+    std::vector<Entry> entries;
+    for (const KernelProfile &p : benchmarkSuite()) {
+        if (p.name == anchor.name)
+            continue;
+        Workload w;
+        w.kernels = {&anchor, &p};
+        Entry e;
+        e.partner = p.name;
+        e.cls = workloadClassName(w.cls());
+        e.res = runner.run(w, NamedScheme::WS_DMIL);
+        entries.push_back(std::move(e));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.res.weighted_speedup >
+                         b.res.weighted_speedup;
+              });
+
+    std::printf("co-run partners for '%s' under WS-DMIL, best "
+                "first (%llu cycles, %d SMs):\n\n",
+                anchor.name.c_str(),
+                static_cast<unsigned long long>(cycles),
+                cfg.num_sms);
+    std::printf("%-8s %-5s %8s %8s %8s   %s\n", "partner", "class",
+                "WS", "ANTT", "fair", "TB partition");
+    for (const Entry &e : entries) {
+        std::printf("%-8s %-5s %8.3f %8.3f %8.3f   (",
+                    e.partner.c_str(), e.cls.c_str(),
+                    e.res.weighted_speedup, e.res.antt_value,
+                    e.res.fairness);
+        for (std::size_t i = 0; i < e.res.partition.size(); ++i)
+            std::printf("%s%d", i ? "," : "", e.res.partition[i]);
+        std::printf(")\n");
+    }
+    std::printf("\nrule of thumb from the paper: complementary "
+                "(C+M) pairings share best once memory pipeline "
+                "stalls are controlled.\n");
+    return 0;
+}

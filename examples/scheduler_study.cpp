@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Example: warp-scheduler and L1D-capacity what-if study.
+ *
+ * Usage: scheduler_study [kernelA] [kernelB] [cycles]
+ *
+ * Replays one CKE workload across the Section 4.3 sensitivity axes —
+ * GTO vs LRR warp scheduling and 24/48/96KB L1 D-caches — reporting
+ * how much of DMIL's benefit survives each change. Demonstrates how
+ * to customize GpuConfig and drive the Runner directly.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "kernels/workload.hpp"
+#include "metrics/runner.hpp"
+
+using namespace ckesim;
+
+namespace {
+
+void
+evaluate(const char *label, const GpuConfig &cfg, const Workload &w,
+         Cycle cycles)
+{
+    Runner runner(cfg, cycles);
+    const ConcurrentResult base = runner.run(w, NamedScheme::WS);
+    const ConcurrentResult dmil =
+        runner.run(w, NamedScheme::WS_DMIL);
+    std::printf("%-22s WS %6.3f -> %6.3f (%+5.1f%%)   ANTT %6.3f "
+                "-> %6.3f   rsfail %5.2f -> %5.2f\n",
+                label, base.weighted_speedup, dmil.weighted_speedup,
+                100.0 * (dmil.weighted_speedup /
+                             base.weighted_speedup -
+                         1.0),
+                base.antt_value, dmil.antt_value,
+                (base.stats[0].l1dRsFailRate() +
+                 base.stats[1].l1dRsFailRate()) /
+                    2,
+                (dmil.stats[0].l1dRsFailRate() +
+                 dmil.stats[1].l1dRsFailRate()) /
+                    2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string ka = argc > 1 ? argv[1] : "bp";
+    const std::string kb = argc > 2 ? argv[2] : "ks";
+    const Cycle cycles =
+        argc > 3 ? static_cast<Cycle>(std::atol(argv[3])) : 40000;
+    const Workload w = makeWorkload({ka, kb});
+
+    std::printf("workload %s: WS vs WS-DMIL across sensitivity "
+                "axes\n\n",
+                w.name().c_str());
+
+    {
+        GpuConfig cfg;
+        evaluate("GTO, 24KB L1D (base)", cfg, w, cycles);
+    }
+    {
+        GpuConfig cfg;
+        cfg.sm.sched_policy = SchedPolicy::LRR;
+        evaluate("LRR, 24KB L1D", cfg, w, cycles);
+    }
+    {
+        GpuConfig cfg;
+        cfg.l1d.size_bytes = 48 * 1024;
+        evaluate("GTO, 48KB L1D", cfg, w, cycles);
+    }
+    {
+        GpuConfig cfg;
+        cfg.l1d.size_bytes = 96 * 1024;
+        evaluate("GTO, 96KB L1D", cfg, w, cycles);
+    }
+    {
+        GpuConfig cfg;
+        cfg.l1d.num_mshrs = 256;
+        evaluate("GTO, 256 MSHRs", cfg, w, cycles);
+    }
+
+    std::printf("\npaper (Section 4.3): the schemes stay effective "
+                "under LRR and with bigger caches/MSHR files, with "
+                "gains shrinking as capacity removes contention.\n");
+    return 0;
+}

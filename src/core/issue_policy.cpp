@@ -1,0 +1,207 @@
+#include "core/issue_policy.hpp"
+
+#include <cassert>
+
+namespace ckesim {
+
+namespace {
+/** Effectively "no limit". */
+constexpr int kUnlimited = 1 << 20;
+/** SMK quota deadlock escape: replenish if nothing issued this long. */
+constexpr int kWarpQuotaStallReset = 256;
+} // namespace
+
+IssueController::IssueController(const IssuePolicyConfig &cfg,
+                                 int num_kernels)
+    : cfg_(cfg), num_kernels_(num_kernels)
+{
+    assert(num_kernels >= 1 && num_kernels <= kMaxKernelsPerSm);
+    replenishQuotas();
+    for (int k = 0; k < num_kernels_; ++k) {
+        warp_quota_left_[static_cast<std::size_t>(k)] =
+            static_cast<std::int64_t>(
+                cfg_.warp_quotas[static_cast<std::size_t>(k)]);
+    }
+}
+
+void
+IssueController::replenishQuotas()
+{
+    std::vector<double> rpm;
+    rpm.reserve(static_cast<std::size_t>(num_kernels_));
+    for (int k = 0; k < num_kernels_; ++k)
+        rpm.push_back(rpm_[static_cast<std::size_t>(k)].value());
+    const std::vector<int> fresh = qbmiQuotas(rpm);
+    // The paper adds the new set to the current values so a kernel at
+    // zero can still issue when no co-runner has a ready memory
+    // instruction.
+    for (int k = 0; k < num_kernels_; ++k)
+        quota_[static_cast<std::size_t>(k)] +=
+            fresh[static_cast<std::size_t>(k)];
+}
+
+void
+IssueController::beginCycle(
+    const std::array<bool, kMaxKernelsPerSm> &mem_demand)
+{
+    mem_demand_ = mem_demand;
+
+    if (cfg_.bmi == BmiMode::QBMI) {
+        bool depleted = false;
+        for (int k = 0; k < num_kernels_; ++k)
+            if (quota_[static_cast<std::size_t>(k)] <= 0)
+                depleted = true;
+        if (depleted)
+            replenishQuotas();
+    }
+
+    if (cfg_.warp_quota_enabled) {
+        bool all_spent = true;
+        for (int k = 0; k < num_kernels_; ++k)
+            if (warp_quota_left_[static_cast<std::size_t>(k)] > 0)
+                all_spent = false;
+        ++quota_stall_cycles_;
+        if (all_spent || quota_stall_cycles_ > kWarpQuotaStallReset) {
+            for (int k = 0; k < num_kernels_; ++k) {
+                warp_quota_left_[static_cast<std::size_t>(k)] =
+                    static_cast<std::int64_t>(
+                        cfg_.warp_quotas[static_cast<std::size_t>(k)]);
+            }
+            quota_stall_cycles_ = 0;
+        }
+    }
+}
+
+bool
+IssueController::admitAnyIssue(KernelId k) const
+{
+    if (!cfg_.warp_quota_enabled)
+        return true;
+    return warp_quota_left_[static_cast<std::size_t>(k)] > 0;
+}
+
+bool
+IssueController::admitMemIssue(KernelId k) const
+{
+    // MIL: cap in-flight memory instructions.
+    if (inflight_[static_cast<std::size_t>(k)] >= milLimit(k))
+        return false;
+
+    switch (cfg_.bmi) {
+      case BmiMode::None:
+        return true;
+      case BmiMode::RBMI: {
+        // Loose round robin: the next issuable demanding kernel at or
+        // after the pointer goes first (MIL-frozen kernels skipped).
+        for (int i = 0; i < num_kernels_; ++i) {
+            const int cand = (rr_next_ + i) % num_kernels_;
+            if (!mem_demand_[static_cast<std::size_t>(cand)])
+                continue;
+            if (cand != k &&
+                inflight_[static_cast<std::size_t>(cand)] >=
+                    milLimit(cand))
+                continue;
+            return cand == k;
+        }
+        return true; // nobody registered demand: don't block
+      }
+      case BmiMode::QBMI: {
+        // Highest current quota among demanding kernels goes first.
+        // Kernels frozen by their MIL limit are not competitors: they
+        // cannot issue this cycle, so they must not block others.
+        const int mine = quota_[static_cast<std::size_t>(k)];
+        for (int other = 0; other < num_kernels_; ++other) {
+            if (other == k ||
+                !mem_demand_[static_cast<std::size_t>(other)])
+                continue;
+            if (inflight_[static_cast<std::size_t>(other)] >=
+                milLimit(other))
+                continue;
+            if (quota_[static_cast<std::size_t>(other)] > mine)
+                return false;
+        }
+        return true;
+      }
+    }
+    return true;
+}
+
+void
+IssueController::onInstrIssued(KernelId k)
+{
+    quota_stall_cycles_ = 0;
+    if (cfg_.warp_quota_enabled)
+        --warp_quota_left_[static_cast<std::size_t>(k)];
+}
+
+void
+IssueController::onMemInstrIssued(KernelId k)
+{
+    const auto i = static_cast<std::size_t>(k);
+    ++inflight_[i];
+    milg_[i].observeInflight(inflight_[i]);
+    if (cfg_.bmi == BmiMode::QBMI) {
+        --quota_[i];
+        rpm_[i].onMemInstr();
+    } else if (cfg_.bmi == BmiMode::RBMI) {
+        rr_next_ = (k + 1) % num_kernels_;
+    }
+}
+
+void
+IssueController::onMemInstrCompleted(KernelId k)
+{
+    const auto i = static_cast<std::size_t>(k);
+    assert(inflight_[i] > 0);
+    --inflight_[i];
+}
+
+void
+IssueController::onRequestServiced(KernelId k)
+{
+    const auto i = static_cast<std::size_t>(k);
+    if (cfg_.bmi == BmiMode::QBMI)
+        rpm_[i].onRequest();
+    if (cfg_.mil == MilMode::Dynamic)
+        milg_[i].onRequest();
+}
+
+void
+IssueController::onRsFail(KernelId k)
+{
+    if (cfg_.mil == MilMode::Dynamic)
+        milg_[static_cast<std::size_t>(k)].onRsFail();
+}
+
+void
+IssueController::setMilBypass(bool bypass)
+{
+    if (mil_bypass_ && !bypass) {
+        for (int k = 0; k < num_kernels_; ++k)
+            milg_[static_cast<std::size_t>(k)].reset();
+    }
+    mil_bypass_ = bypass;
+}
+
+int
+IssueController::milLimit(KernelId k) const
+{
+    const auto i = static_cast<std::size_t>(k);
+    if (mil_bypass_)
+        return kUnlimited;
+    if (cfg_.mil == MilMode::Dynamic && mil_override_[i] > 0)
+        return mil_override_[i];
+    switch (cfg_.mil) {
+      case MilMode::None:
+        return kUnlimited;
+      case MilMode::Static: {
+        const int lim = cfg_.static_limits[i];
+        return lim > 0 ? lim : kUnlimited;
+      }
+      case MilMode::Dynamic:
+        return milg_[i].limit();
+    }
+    return kUnlimited;
+}
+
+} // namespace ckesim

@@ -1,0 +1,18 @@
+#include "core/mil.hpp"
+
+namespace ckesim {
+
+std::vector<int>
+smilLimitGrid(bool dense)
+{
+    if (dense) {
+        std::vector<int> grid;
+        for (int i = 1; i <= 24; ++i)
+            grid.push_back(i);
+        grid.push_back(kSmilInf);
+        return grid;
+    }
+    return {1, 2, 4, 8, 16, kSmilInf};
+}
+
+} // namespace ckesim

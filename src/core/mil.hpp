@@ -1,0 +1,28 @@
+/**
+ * @file
+ * SMIL helpers (Section 3.3.1): the offline sweep over static
+ * in-flight memory instruction limits. The sweep itself is driven by
+ * the benchmark harness; this header provides the canonical grid of
+ * limit values (1..24 and "Inf", as in Figure 9).
+ */
+
+#ifndef CKESIM_CORE_MIL_HPP
+#define CKESIM_CORE_MIL_HPP
+
+#include <vector>
+
+namespace ckesim {
+
+/** "No limit" marker in SMIL grids (maps to unlimited). */
+inline constexpr int kSmilInf = 0;
+
+/**
+ * The limit values Figure 9 sweeps per kernel. @p dense adds every
+ * integer in [1, 24] (the paper's full axis); the default subsamples
+ * geometrically for quick runs.
+ */
+std::vector<int> smilLimitGrid(bool dense = false);
+
+} // namespace ckesim
+
+#endif // CKESIM_CORE_MIL_HPP

@@ -1,0 +1,37 @@
+#include "core/qbmi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ckesim {
+
+std::uint64_t
+lcm64(std::uint64_t a, std::uint64_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return a / std::gcd(a, b) * b;
+}
+
+std::vector<int>
+qbmiQuotas(const std::vector<double> &req_per_minst)
+{
+    std::vector<std::uint64_t> r;
+    r.reserve(req_per_minst.size());
+    for (double v : req_per_minst) {
+        const auto rounded =
+            static_cast<std::uint64_t>(std::llround(std::max(v, 1.0)));
+        r.push_back(std::max<std::uint64_t>(rounded, 1));
+    }
+    std::uint64_t l = 1;
+    for (std::uint64_t v : r)
+        l = lcm64(l, v);
+    std::vector<int> quotas;
+    quotas.reserve(r.size());
+    for (std::uint64_t v : r)
+        quotas.push_back(static_cast<int>(l / v));
+    return quotas;
+}
+
+} // namespace ckesim

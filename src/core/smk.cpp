@@ -1,0 +1,89 @@
+#include "core/smk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/tb_partition.hpp"
+
+namespace ckesim {
+
+namespace {
+
+double
+dominantShareOf(int tbs, const KernelProfile &p, const SmConfig &sm)
+{
+    const double n = tbs;
+    double share = n / sm.max_tbs;
+    share = std::max(share, n * p.regsPerTb() / sm.register_file);
+    share = std::max(share,
+                     n * p.threads_per_tb /
+                         static_cast<double>(sm.max_threads));
+    if (p.smem_per_tb > 0) {
+        share = std::max(share, n * p.smem_per_tb /
+                                    static_cast<double>(sm.smem_bytes));
+    }
+    return share;
+}
+
+} // namespace
+
+std::vector<double>
+dominantShares(const std::vector<int> &tbs,
+               const std::vector<const KernelProfile *> &kernels,
+               const SmConfig &sm)
+{
+    std::vector<double> shares(kernels.size());
+    for (std::size_t i = 0; i < kernels.size(); ++i)
+        shares[i] = dominantShareOf(tbs[i], *kernels[i], sm);
+    return shares;
+}
+
+std::vector<int>
+drfPartition(const std::vector<const KernelProfile *> &kernels,
+             const SmConfig &sm)
+{
+    std::vector<int> tbs(kernels.size(), 0);
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        // Kernel with the smallest dominant share that can still grow.
+        int pick = -1;
+        double pick_share = 0.0;
+        for (std::size_t i = 0; i < kernels.size(); ++i) {
+            std::vector<int> trial = tbs;
+            ++trial[i];
+            if (!partitionFits(trial, kernels, sm))
+                continue;
+            const double share =
+                dominantShareOf(tbs[i], *kernels[i], sm);
+            if (pick < 0 || share < pick_share) {
+                pick = static_cast<int>(i);
+                pick_share = share;
+            }
+        }
+        if (pick >= 0) {
+            ++tbs[static_cast<std::size_t>(pick)];
+            progress = true;
+        }
+    }
+    return tbs;
+}
+
+std::array<std::uint64_t, kMaxKernelsPerSm>
+smkWarpQuotas(const std::vector<double> &isolated_ipc,
+              Cycle epoch_cycles)
+{
+    std::array<std::uint64_t, kMaxKernelsPerSm> quotas{};
+    for (std::size_t i = 0;
+         i < isolated_ipc.size() && i < quotas.size(); ++i) {
+        const double q = std::max(isolated_ipc[i], 0.05) *
+                         static_cast<double>(epoch_cycles);
+        quotas[i] = static_cast<std::uint64_t>(std::llround(q));
+        if (quotas[i] == 0)
+            quotas[i] = 1;
+    }
+    return quotas;
+}
+
+} // namespace ckesim

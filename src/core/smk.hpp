@@ -1,0 +1,50 @@
+/**
+ * @file
+ * SMK (Wang et al., HPCA'16) support: Dominant-Resource-Fairness TB
+ * partitioning (SMK-P) and the periodic warp-instruction quota
+ * allocation of SMK-(P+W), both as described in Sections 1 and 4 of
+ * the reproduced paper.
+ */
+
+#ifndef CKESIM_CORE_SMK_HPP
+#define CKESIM_CORE_SMK_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "kernels/profile.hpp"
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace ckesim {
+
+/**
+ * DRF partition: repeatedly grant one TB to the kernel whose dominant
+ * static-resource share (registers / shared memory / threads / TB
+ * slots) is currently smallest, while it still fits. Every kernel is
+ * guaranteed at least one TB when at all feasible.
+ */
+std::vector<int>
+drfPartition(const std::vector<const KernelProfile *> &kernels,
+             const SmConfig &sm);
+
+/** Dominant share of @p tbs TBs of each kernel (diagnostics/tests). */
+std::vector<double>
+dominantShares(const std::vector<int> &tbs,
+               const std::vector<const KernelProfile *> &kernels,
+               const SmConfig &sm);
+
+/**
+ * SMK-(P+W) warp-instruction quotas for one epoch: proportional to
+ * each kernel's isolated IPC so equal quota consumption implies equal
+ * normalized progress. A kernel that exhausts its quota stops issuing
+ * until every kernel has (Section 4's description).
+ */
+std::array<std::uint64_t, kMaxKernelsPerSm>
+smkWarpQuotas(const std::vector<double> &isolated_ipc,
+              Cycle epoch_cycles);
+
+} // namespace ckesim
+
+#endif // CKESIM_CORE_SMK_HPP

@@ -1,0 +1,87 @@
+#include "core/tb_partition.hpp"
+
+#include <cassert>
+
+namespace ckesim {
+
+bool
+partitionFits(const std::vector<int> &tbs,
+              const std::vector<const KernelProfile *> &kernels,
+              const SmConfig &sm)
+{
+    assert(tbs.size() == kernels.size());
+    long regs = 0, smem = 0, threads = 0, tb_slots = 0, warps = 0;
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const KernelProfile &p = *kernels[i];
+        const long n = tbs[i];
+        regs += n * p.regsPerTb();
+        smem += n * p.smem_per_tb;
+        threads += n * p.threads_per_tb;
+        warps += n * p.warpsPerTb(sm.simd_width);
+        tb_slots += n;
+    }
+    return regs <= sm.register_file && smem <= sm.smem_bytes &&
+           threads <= sm.max_threads && warps <= sm.max_warps &&
+           tb_slots <= sm.max_tbs;
+}
+
+int
+maxFeasibleTbs(std::vector<int> tbs, int kernel_index,
+               const std::vector<const KernelProfile *> &kernels,
+               const SmConfig &sm)
+{
+    int best = 0;
+    const int cap = kernels[static_cast<std::size_t>(kernel_index)]
+                        ->maxTbsPerSm(sm);
+    for (int n = 1; n <= cap; ++n) {
+        tbs[static_cast<std::size_t>(kernel_index)] = n;
+        if (partitionFits(tbs, kernels, sm))
+            best = n;
+        else
+            break;
+    }
+    return best;
+}
+
+std::vector<int>
+leftoverPartition(const std::vector<const KernelProfile *> &kernels,
+                  const SmConfig &sm)
+{
+    std::vector<int> tbs(kernels.size(), 0);
+    for (std::size_t i = 0; i < kernels.size(); ++i)
+        tbs[i] = maxFeasibleTbs(tbs, static_cast<int>(i), kernels, sm);
+    return tbs;
+}
+
+QuotaMatrix
+spatialPartition(const std::vector<const KernelProfile *> &kernels,
+                 const GpuConfig &cfg)
+{
+    QuotaMatrix quotas(static_cast<std::size_t>(cfg.num_sms));
+    for (auto &row : quotas)
+        row.fill(0);
+    const int n = static_cast<int>(kernels.size());
+    const int per = cfg.num_sms / n;
+    for (int s = 0; s < cfg.num_sms; ++s) {
+        int k = per > 0 ? s / per : 0;
+        if (k >= n)
+            k = n - 1; // remainder SMs go to the last kernel
+        quotas[static_cast<std::size_t>(s)][static_cast<std::size_t>(k)] =
+            kernels[static_cast<std::size_t>(k)]->maxTbsPerSm(cfg.sm);
+    }
+    return quotas;
+}
+
+QuotaMatrix
+broadcastPartition(const std::vector<int> &tbs, int num_sms)
+{
+    QuotaMatrix quotas(static_cast<std::size_t>(num_sms));
+    for (auto &row : quotas) {
+        row.fill(0);
+        for (std::size_t k = 0; k < tbs.size(); ++k)
+            row[k] = tbs[k];
+    }
+    return quotas;
+}
+
+} // namespace ckesim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Thread-block partitioning between concurrent kernels: how many TBs
+ * each kernel may keep resident per SM (Section 1's taxonomy —
+ * leftover policy, spatial multitasking, and the intra-SM sharing
+ * schemes Warped-Slicer and SMK refine).
+ */
+
+#ifndef CKESIM_CORE_TB_PARTITION_HPP
+#define CKESIM_CORE_TB_PARTITION_HPP
+
+#include <array>
+#include <vector>
+
+#include "kernels/profile.hpp"
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace ckesim {
+
+/** Per-SM, per-kernel TB quotas. quotas[sm][kernel]. */
+using QuotaMatrix =
+    std::vector<std::array<int, kMaxKernelsPerSm>>;
+
+/** Can (n_i) TBs of each kernel coexist on one SM? */
+bool partitionFits(const std::vector<int> &tbs,
+                   const std::vector<const KernelProfile *> &kernels,
+                   const SmConfig &sm);
+
+/** Largest feasible TB count for @p kernel_index given the others. */
+int maxFeasibleTbs(std::vector<int> tbs, int kernel_index,
+                   const std::vector<const KernelProfile *> &kernels,
+                   const SmConfig &sm);
+
+/**
+ * Left-over policy: kernel 0 takes everything it can; each later
+ * kernel fills what remains.
+ */
+std::vector<int>
+leftoverPartition(const std::vector<const KernelProfile *> &kernels,
+                  const SmConfig &sm);
+
+/**
+ * Spatial multitasking: SMs are split evenly; each SM runs a single
+ * kernel at its isolated max occupancy.
+ */
+QuotaMatrix
+spatialPartition(const std::vector<const KernelProfile *> &kernels,
+                 const GpuConfig &cfg);
+
+/** Broadcast one per-SM partition to every SM. */
+QuotaMatrix broadcastPartition(const std::vector<int> &tbs,
+                               int num_sms);
+
+} // namespace ckesim
+
+#endif // CKESIM_CORE_TB_PARTITION_HPP

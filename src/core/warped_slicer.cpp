@@ -1,0 +1,132 @@
+#include "core/warped_slicer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ckesim {
+
+void
+ScalabilityCurve::addPoint(int tbs, double ipc)
+{
+    assert(tbs >= 1);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), tbs,
+        [](const auto &p, int t) { return p.first < t; });
+    if (it != points_.end() && it->first == tbs)
+        it->second = ipc;
+    else
+        points_.insert(it, {tbs, ipc});
+}
+
+double
+ScalabilityCurve::at(int tbs) const
+{
+    if (points_.empty() || tbs <= 0)
+        return 0.0;
+    // Below the first sample: interpolate through the origin.
+    if (tbs <= points_.front().first) {
+        return points_.front().second * tbs / points_.front().first;
+    }
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (tbs <= points_[i].first) {
+            const auto &[t0, y0] = points_[i - 1];
+            const auto &[t1, y1] = points_[i];
+            const double f =
+                static_cast<double>(tbs - t0) / (t1 - t0);
+            return y0 + f * (y1 - y0);
+        }
+    }
+    return points_.back().second; // flat beyond the last sample
+}
+
+int
+ScalabilityCurve::maxTbs() const
+{
+    return points_.empty() ? 0 : points_.back().first;
+}
+
+SweetPoint
+findSweetPoint(const std::vector<ScalabilityCurve> &curves,
+               const std::vector<const KernelProfile *> &kernels,
+               const SmConfig &sm)
+{
+    const std::size_t n = kernels.size();
+    assert(curves.size() == n && n >= 2 && n <= 3);
+
+    std::vector<double> iso(n);
+    std::vector<int> iso_tbs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        iso_tbs[i] = kernels[i]->maxTbsPerSm(sm);
+        iso[i] = std::max(curves[i].at(iso_tbs[i]), 1e-12);
+    }
+
+    SweetPoint best;
+    double best_min = -1.0;
+    double best_sum = -1.0;
+
+    auto consider = [&](const std::vector<int> &tbs) {
+        if (!partitionFits(tbs, kernels, sm))
+            return;
+        double mn = 1e300;
+        double sum = 0.0;
+        std::vector<double> norm(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            norm[i] = curves[i].at(tbs[i]) / iso[i];
+            mn = std::min(mn, norm[i]);
+            sum += norm[i];
+        }
+        if (mn > best_min + 1e-12 ||
+            (mn > best_min - 1e-12 && sum > best_sum)) {
+            best_min = mn;
+            best_sum = sum;
+            best.tbs = tbs;
+            best.theoretical_ws = sum;
+            best.predicted_norm_ipc = norm;
+        }
+    };
+
+    if (n == 2) {
+        for (int a = 1; a <= iso_tbs[0]; ++a) {
+            std::vector<int> tbs = {a, 0};
+            const int b = maxFeasibleTbs(tbs, 1, kernels, sm);
+            if (b < 1)
+                continue;
+            for (int bb = 1; bb <= b; ++bb)
+                consider({a, bb});
+        }
+    } else {
+        for (int a = 1; a <= iso_tbs[0]; ++a) {
+            for (int b = 1; b <= iso_tbs[1]; ++b) {
+                std::vector<int> tbs = {a, b, 0};
+                const int c = maxFeasibleTbs(tbs, 2, kernels, sm);
+                for (int cc = 1; cc <= c; ++cc)
+                    consider({a, b, cc});
+            }
+        }
+    }
+
+    // Degenerate fallback: one TB each (always representable).
+    if (best.tbs.empty())
+        best.tbs.assign(n, 1);
+    return best;
+}
+
+std::vector<int>
+profilingTbCounts(int max_tbs, int samples)
+{
+    assert(max_tbs >= 1);
+    samples = std::max(1, std::min(samples, max_tbs));
+    std::vector<int> counts;
+    counts.reserve(static_cast<std::size_t>(samples));
+    for (int j = 1; j <= samples; ++j) {
+        const int c = static_cast<int>(
+            static_cast<long>(j) * max_tbs / samples);
+        counts.push_back(std::max(1, c));
+    }
+    // Deduplicate (small max_tbs with many samples).
+    counts.erase(std::unique(counts.begin(), counts.end()),
+                 counts.end());
+    return counts;
+}
+
+} // namespace ckesim

@@ -1,0 +1,283 @@
+#include "gpu.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ckesim {
+
+SchemeSpec
+makeScheme(PartitionScheme partition, BmiMode bmi, MilMode mil)
+{
+    SchemeSpec spec;
+    spec.partition = partition;
+    spec.bmi = bmi;
+    spec.mil = mil;
+    return spec;
+}
+
+Gpu::Gpu(const GpuConfig &cfg, const Workload &workload,
+         const SchemeSpec &spec)
+    : cfg_(cfg), workload_(workload), spec_(spec), mem_(cfg)
+{
+    assert(workload.numKernels() >= 1);
+
+    IssuePolicyConfig policy;
+    policy.bmi = spec.bmi;
+    policy.mil = spec.mil;
+    policy.static_limits = spec.smil_limits;
+    policy.warp_quota_enabled = spec.smk_warp_quota;
+    if (spec.smk_warp_quota) {
+        policy.warp_quotas =
+            smkWarpQuotas(spec.isolated_ipc_per_sm,
+                          spec.smk_epoch_cycles);
+    }
+
+    sms_.reserve(static_cast<std::size_t>(cfg.num_sms));
+    for (int s = 0; s < cfg.num_sms; ++s) {
+        sms_.push_back(std::make_unique<Sm>(cfg, s, mem_,
+                                            workload.kernels, policy));
+    }
+
+    // Section 4.5 ablations.
+    if (spec.mshr_partition) {
+        const int quota =
+            cfg.l1d.num_mshrs /
+            std::max(workload.numKernels(), 1);
+        for (auto &sm : sms_)
+            for (int k = 0; k < workload.numKernels(); ++k)
+                sm->l1d().setMshrQuota(k, quota);
+    }
+    for (int k = 0; k < workload.numKernels(); ++k) {
+        if (spec.bypass_l1d[static_cast<std::size_t>(k)])
+            for (auto &sm : sms_)
+                sm->l1d().setBypass(k, true);
+    }
+
+    if (spec.ucp) {
+        umons_.resize(sms_.size());
+        taps_.resize(sms_.size());
+        for (std::size_t s = 0; s < sms_.size(); ++s) {
+            for (int k = 0; k < numKernels(); ++k) {
+                umons_[s].emplace_back(cfg.l1d.numSets(),
+                                       cfg.l1d.assoc);
+            }
+            taps_[s] = Tap{this, static_cast<int>(s)};
+            sms_[s]->setAccessObserver(&Gpu::accessTap, &taps_[s]);
+        }
+    }
+
+    setupInitialPartition();
+}
+
+Gpu::~Gpu() = default;
+
+void
+Gpu::accessTap(void *opaque, KernelId k, Addr line)
+{
+    Tap *tap = static_cast<Tap *>(opaque);
+    tap->gpu->umons_[static_cast<std::size_t>(tap->sm)]
+        [static_cast<std::size_t>(k)]
+            .access(line);
+}
+
+void
+Gpu::applyQuotas(const QuotaMatrix &quotas)
+{
+    assert(static_cast<int>(quotas.size()) == numSms());
+    for (int s = 0; s < numSms(); ++s)
+        for (int k = 0; k < numKernels(); ++k)
+            sms_[static_cast<std::size_t>(s)]->setTbQuota(
+                k, quotas[static_cast<std::size_t>(s)]
+                         [static_cast<std::size_t>(k)]);
+}
+
+void
+Gpu::setupInitialPartition()
+{
+    const auto &kernels = workload_.kernels;
+    switch (spec_.partition) {
+      case PartitionScheme::Leftover: {
+        partition_ = leftoverPartition(kernels, cfg_.sm);
+        applyQuotas(broadcastPartition(partition_, cfg_.num_sms));
+        break;
+      }
+      case PartitionScheme::Spatial: {
+        applyQuotas(spatialPartition(kernels, cfg_));
+        break;
+      }
+      case PartitionScheme::SmkDrf: {
+        partition_ = drfPartition(kernels, cfg_.sm);
+        applyQuotas(broadcastPartition(partition_, cfg_.num_sms));
+        break;
+      }
+      case PartitionScheme::WarpedSlicer: {
+        if (!spec_.oracle_curves.empty()) {
+            // Static Warped-Slicer: curves supplied, no online window.
+            sweet_ = findSweetPoint(spec_.oracle_curves, kernels,
+                                    cfg_.sm);
+            partition_ = sweet_.tbs;
+            applyQuotas(broadcastPartition(partition_, cfg_.num_sms));
+            break;
+        }
+        // Dynamic profiling: SM s runs one kernel at one TB count.
+        // Scalability curves are measured unthrottled; MIL resumes
+        // (with fresh MILGs) for the measurement phase.
+        profiling_ = true;
+        profile_end_ = spec_.ws_profile_window;
+        for (auto &sm : sms_)
+            sm->controller().setMilBypass(true);
+        profile_assign_.assign(sms_.size(), {-1, 0});
+        const int n = numKernels();
+        const int per = std::max(1, cfg_.num_sms / n);
+        QuotaMatrix quotas(sms_.size());
+        for (auto &row : quotas)
+            row.fill(0);
+        for (int k = 0; k < n; ++k) {
+            const int max_tbs =
+                kernels[static_cast<std::size_t>(k)]->maxTbsPerSm(
+                    cfg_.sm);
+            const std::vector<int> counts =
+                profilingTbCounts(max_tbs, per);
+            for (int j = 0; j < per; ++j) {
+                const int s = k * per + j;
+                if (s >= cfg_.num_sms)
+                    break;
+                const int count =
+                    j < static_cast<int>(counts.size())
+                        ? counts[static_cast<std::size_t>(j)]
+                        : counts.back();
+                quotas[static_cast<std::size_t>(s)]
+                      [static_cast<std::size_t>(k)] = count;
+                profile_assign_[static_cast<std::size_t>(s)] = {k,
+                                                                count};
+            }
+        }
+        // Remainder SMs: run kernel 0 at max (not used for curves).
+        for (int s = n * per; s < cfg_.num_sms; ++s) {
+            quotas[static_cast<std::size_t>(s)][0] =
+                kernels[0]->maxTbsPerSm(cfg_.sm);
+        }
+        applyQuotas(quotas);
+        break;
+      }
+    }
+}
+
+void
+Gpu::finishProfiling()
+{
+    profiling_ = false;
+    const auto &kernels = workload_.kernels;
+    const int n = numKernels();
+
+    std::vector<ScalabilityCurve> curves(
+        static_cast<std::size_t>(n));
+    for (std::size_t s = 0; s < sms_.size(); ++s) {
+        const auto [k, count] = profile_assign_[s];
+        if (k < 0)
+            continue;
+        const double ipc =
+            static_cast<double>(
+                sms_[s]->kernelStats(k).issued_instructions) /
+            static_cast<double>(spec_.ws_profile_window);
+        curves[static_cast<std::size_t>(k)].addPoint(count, ipc);
+    }
+
+    sweet_ = findSweetPoint(curves, kernels, cfg_.sm);
+    partition_ = sweet_.tbs;
+    applyQuotas(broadcastPartition(partition_, cfg_.num_sms));
+
+    for (auto &sm : sms_) {
+        sm->resetStats();
+        sm->controller().setMilBypass(false);
+    }
+    measured_start_ = now_;
+}
+
+void
+Gpu::ucpRepartition()
+{
+    const int assoc = cfg_.l1d.assoc;
+    for (std::size_t s = 0; s < sms_.size(); ++s) {
+        std::vector<const UmonMonitor *> mons;
+        for (int k = 0; k < numKernels(); ++k)
+            mons.push_back(&umons_[s][static_cast<std::size_t>(k)]);
+        const std::vector<int> alloc =
+            ucpLookaheadPartition(mons, assoc);
+        int first = 0;
+        for (int k = 0; k < numKernels(); ++k) {
+            sms_[s]->l1d().restrictKernelWays(
+                k, first, alloc[static_cast<std::size_t>(k)]);
+            first += alloc[static_cast<std::size_t>(k)];
+        }
+        for (auto &m : umons_[s])
+            m.age();
+    }
+}
+
+void
+Gpu::run(Cycle cycles)
+{
+    const Cycle end = now_ + cycles;
+    for (; now_ < end; ++now_) {
+        if (profiling_ && now_ == profile_end_)
+            finishProfiling();
+        if (spec_.ucp && now_ > 0 &&
+            now_ % spec_.ucp_interval == 0)
+            ucpRepartition();
+        if (spec_.global_dmil && spec_.mil == MilMode::Dynamic &&
+            !profiling_ && now_ > 0 &&
+            now_ % spec_.global_dmil_interval == 0) {
+            // Broadcast SM 0's MILG decisions to every other SM.
+            for (int k = 0; k < numKernels(); ++k) {
+                const int limit = sms_[0]->controller().milLimit(k);
+                for (std::size_t s = 1; s < sms_.size(); ++s)
+                    sms_[s]->controller().overrideMilLimit(k, limit);
+            }
+        }
+        for (auto &sm : sms_)
+            sm->tick(now_);
+        mem_.tick(now_);
+    }
+}
+
+double
+Gpu::ipc(KernelId k) const
+{
+    const Cycle cycles = measuredCycles();
+    if (cycles == 0)
+        return 0.0;
+    std::uint64_t instrs = 0;
+    for (const auto &sm : sms_)
+        instrs += sm->kernelStats(k).issued_instructions;
+    return static_cast<double>(instrs) / static_cast<double>(cycles);
+}
+
+KernelStats
+Gpu::kernelStatsTotal(KernelId k) const
+{
+    KernelStats total;
+    for (const auto &sm : sms_)
+        total += sm->kernelStats(k);
+    return total;
+}
+
+SmStats
+Gpu::smStatsTotal() const
+{
+    SmStats total;
+    for (const auto &sm : sms_)
+        total += sm->smStats();
+    return total;
+}
+
+void
+Gpu::attachSeries(KernelId k, TimeSeries *issue, TimeSeries *l1d)
+{
+    for (auto &sm : sms_) {
+        sm->setIssueSeries(k, issue);
+        sm->setL1dSeries(k, l1d);
+    }
+}
+
+} // namespace ckesim

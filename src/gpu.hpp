@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Top-level GPU: SM array + shared memory subsystem + CKE scheme
+ * orchestration (TB partitioning, dynamic Warped-Slicer profiling,
+ * SMK warp quotas, UCP repartitioning).
+ */
+
+#ifndef CKESIM_GPU_HPP
+#define CKESIM_GPU_HPP
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/issue_policy.hpp"
+#include "core/smk.hpp"
+#include "core/tb_partition.hpp"
+#include "core/ucp.hpp"
+#include "core/warped_slicer.hpp"
+#include "kernels/workload.hpp"
+#include "mem/memsys.hpp"
+#include "sim/config.hpp"
+#include "sim/time_series.hpp"
+#include "sm/sm.hpp"
+
+namespace ckesim {
+
+/** How TB quotas are decided. */
+enum class PartitionScheme {
+    Leftover,     ///< early CKE: first kernel hogs, rest fill leftovers
+    Spatial,      ///< spatial multitasking: SMs split between kernels
+    WarpedSlicer, ///< dynamic scalability-curve sweet point
+    SmkDrf,       ///< SMK: DRF static-resource fairness
+};
+
+/** Full description of a CKE scheme under evaluation. */
+struct SchemeSpec
+{
+    PartitionScheme partition = PartitionScheme::WarpedSlicer;
+    BmiMode bmi = BmiMode::None;
+    MilMode mil = MilMode::None;
+    /** SMIL per-kernel limits (kSmilInf / 0 = unlimited). */
+    std::array<int, kMaxKernelsPerSm> smil_limits{};
+
+    /** SMK-(P+W): gate instruction issue with epoch quotas. */
+    bool smk_warp_quota = false;
+    /** Per-SM isolated IPC per kernel (feeds SMK quotas). */
+    std::vector<double> isolated_ipc_per_sm;
+    Cycle smk_epoch_cycles = 2048;
+
+    /** UCP L1D way partitioning (Section 3.1 baseline). */
+    bool ucp = false;
+    /** Repartition period: several UMON refills per measurement
+     *  window even in quick (30K-cycle) runs. */
+    Cycle ucp_interval = 5000;
+
+    /** Dynamic Warped-Slicer online profiling window. */
+    Cycle ws_profile_window = 20000;
+    /** When non-empty: static ("oracle") curves, no online window. */
+    std::vector<ScalabilityCurve> oracle_curves;
+
+    // ---- Section 4.5 ("Further Discussion") ablations ---------------
+    /** Partition the L1D MSHRs evenly between kernels. The paper
+     *  argues this cannot help: the in-order LSU still blocks. */
+    bool mshr_partition = false;
+    /** Bypass the L1D for these kernels' read misses. */
+    std::array<bool, kMaxKernelsPerSm> bypass_l1d{};
+    /** Global DMIL: broadcast SM 0's MILG limits to all SMs
+     *  (requires every SM to run the same kernel pair). */
+    bool global_dmil = false;
+    Cycle global_dmil_interval = 1024;
+};
+
+/** One simulated GPU executing one CKE workload under one scheme. */
+class Gpu
+{
+  public:
+    Gpu(const GpuConfig &cfg, const Workload &workload,
+        const SchemeSpec &spec);
+    ~Gpu();
+
+    /** Simulate @p cycles cycles (including any profiling window). */
+    void run(Cycle cycles);
+
+    /** Cycles covered by the final measurement phase. */
+    Cycle measuredCycles() const { return now_ - measured_start_; }
+
+    int numKernels() const { return workload_.numKernels(); }
+
+    /** GPU-wide IPC of kernel @p k over the measurement phase. */
+    double ipc(KernelId k) const;
+
+    /** Sum of kernel @p k's stats over all SMs (measurement phase). */
+    KernelStats kernelStatsTotal(KernelId k) const;
+
+    /** Sum of SM-level stats over all SMs (measurement phase). */
+    SmStats smStatsTotal() const;
+
+    /** Warped-Slicer's predicted WS at the sweet point. */
+    double theoreticalWs() const { return sweet_.theoretical_ws; }
+
+    /** Chosen per-SM TB partition (WS/SMK/Leftover modes). */
+    const std::vector<int> &chosenPartition() const
+    {
+        return partition_;
+    }
+
+    Sm &sm(int i) { return *sms_[static_cast<std::size_t>(i)]; }
+    const Sm &sm(int i) const
+    {
+        return *sms_[static_cast<std::size_t>(i)];
+    }
+    int numSms() const { return static_cast<int>(sms_.size()); }
+    MemorySystem &memsys() { return mem_; }
+
+    /** Attach GPU-wide per-kernel samplers (shared by every SM). */
+    void attachSeries(KernelId k, TimeSeries *issue, TimeSeries *l1d);
+
+    const GpuConfig &config() const { return cfg_; }
+
+  private:
+    void setupInitialPartition();
+    void applyQuotas(const QuotaMatrix &quotas);
+    void finishProfiling();
+    void ucpRepartition();
+    static void accessTap(void *opaque, KernelId k, Addr line);
+
+    GpuConfig cfg_;
+    Workload workload_;
+    SchemeSpec spec_;
+    MemorySystem mem_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+
+    // Warped-Slicer state.
+    bool profiling_ = false;
+    Cycle profile_end_ = 0;
+    /** Per SM: (kernel, tb_count) during profiling; kernel<0 = idle. */
+    std::vector<std::pair<int, int>> profile_assign_;
+    SweetPoint sweet_;
+    std::vector<int> partition_;
+
+    // UCP state: umons_[sm][kernel].
+    struct Tap
+    {
+        Gpu *gpu = nullptr;
+        int sm = 0;
+    };
+    std::vector<std::vector<UmonMonitor>> umons_;
+    std::vector<Tap> taps_;
+
+    Cycle now_ = 0;
+    Cycle measured_start_ = 0;
+};
+
+/** Convenience: a standard spec for a named scheme combination. */
+SchemeSpec makeScheme(PartitionScheme partition, BmiMode bmi,
+                      MilMode mil);
+
+} // namespace ckesim
+
+#endif // CKESIM_GPU_HPP

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Procedural global-memory address generation for synthetic kernels.
+ *
+ * Each warp owns an AddrGenState seeded deterministically from
+ * (kernel instance, TB sequence number, warp index). A call to
+ * generateAccess() emits one warp memory instruction's 32 per-thread
+ * byte addresses, constructed so they coalesce into exactly the
+ * profile's `Req/Minst` line transactions, with temporal locality
+ * controlled by `reuse_prob` over a recently-touched-line ring.
+ */
+
+#ifndef CKESIM_KERNELS_ADDRGEN_HPP
+#define CKESIM_KERNELS_ADDRGEN_HPP
+
+#include <array>
+#include <vector>
+
+#include "kernels/profile.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace ckesim {
+
+/** Per-warp address-stream state. */
+struct AddrGenState
+{
+    /** Recently touched lines (reuse candidates). Sized to cover a
+     *  high-MLP kernel's whole in-flight burst plus the lookback
+     *  window behind it. */
+    static constexpr int kRingSize = 192;
+
+    Rng rng{1};
+    Addr stream_cursor = 0;      ///< next step for streaming patterns
+    Addr stream_base_line = 0;   ///< per-TB region base
+    Addr stream_region_lines = 0;
+    Addr stream_stride = 1;      ///< warps per TB (interleave factor)
+    Addr stream_offset = 0;      ///< warp index within the TB
+    Addr footprint_base_line = 0; ///< per-TB footprint base
+    Addr footprint_lines = 1;
+    std::array<Addr, kRingSize> ring{};
+    int ring_count = 0;
+    int ring_pos = 0;
+};
+
+/**
+ * Seed a warp's address stream.
+ *
+ * @param kernel_slot kernel's slot in the workload (address isolation)
+ * @param tb_seq global sequence number of the warp's thread block
+ * @param warp_in_tb warp index within the TB
+ * @param warps_per_tb warps in the TB (streaming interleave factor:
+ *        a TB's warps jointly stream one contiguous region, which is
+ *        what gives coalesced kernels their DRAM row locality)
+ */
+void initAddrGen(AddrGenState &st, const KernelProfile &prof,
+                 int kernel_slot, std::uint64_t tb_seq, int warp_in_tb,
+                 int warps_per_tb, std::uint64_t seed, int line_bytes);
+
+/**
+ * Emit one memory instruction's per-thread byte addresses (32 threads)
+ * into @p thread_addrs (cleared first). Coalesces to exactly
+ * prof.req_per_minst lines (fewer only when reuse collides).
+ */
+void generateAccess(AddrGenState &st, const KernelProfile &prof,
+                    int line_bytes, int simd_width,
+                    std::vector<Addr> &thread_addrs);
+
+} // namespace ckesim
+
+#endif // CKESIM_KERNELS_ADDRGEN_HPP

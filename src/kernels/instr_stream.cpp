@@ -1,0 +1,64 @@
+#include "kernels/instr_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ckesim {
+
+void
+InstrStream::reset(const KernelProfile &prof, std::uint64_t seed)
+{
+    prof_ = &prof;
+    rng_ = Rng(seed ^ 0x5bf03635ebbc9ef5ULL);
+    budget_ = prof.instrs_per_warp;
+    executed_ = 0;
+    burst_left_ = drawBurst();
+    computeNext();
+}
+
+int
+InstrStream::drawBurst()
+{
+    // Uniform around the mean: [ceil(c/2), floor(3c/2)] keeps the
+    // long-run mean at Cinst/Minst with local phase variation.
+    const double c = prof_->cinst_per_minst;
+    const int lo = std::max(0, static_cast<int>(std::ceil(c * 0.5)));
+    const int hi = std::max(lo, static_cast<int>(std::floor(c * 1.5)));
+    return lo + static_cast<int>(rng_.nextBelow(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+void
+InstrStream::computeNext()
+{
+    if (burst_left_ > 0) {
+        const double u = rng_.nextDouble();
+        if (u < prof_->sfu_fraction) {
+            next_kind_ = InstrKind::Sfu;
+        } else if (u < prof_->sfu_fraction + prof_->smem_fraction) {
+            next_kind_ = InstrKind::Smem;
+        } else {
+            next_kind_ = InstrKind::Alu;
+        }
+    } else {
+        next_kind_ = rng_.nextDouble() < prof_->write_fraction
+                         ? InstrKind::MemStore
+                         : InstrKind::MemLoad;
+    }
+}
+
+InstrKind
+InstrStream::advance()
+{
+    const InstrKind kind = next_kind_;
+    ++executed_;
+    if (burst_left_ > 0) {
+        --burst_left_;
+    } else {
+        burst_left_ = drawBurst();
+    }
+    computeNext();
+    return kind;
+}
+
+} // namespace ckesim

@@ -1,0 +1,132 @@
+#include "kernels/workload.hpp"
+
+namespace ckesim {
+
+std::string
+Workload::name() const
+{
+    std::string s;
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        if (i)
+            s += '+';
+        s += kernels[i]->name;
+    }
+    return s;
+}
+
+WorkloadClass
+Workload::cls() const
+{
+    int mem = 0;
+    for (const KernelProfile *k : kernels)
+        if (k->isMemoryIntensive())
+            ++mem;
+    if (mem == 0)
+        return WorkloadClass::CC;
+    if (mem == static_cast<int>(kernels.size()))
+        return WorkloadClass::MM;
+    return WorkloadClass::CM;
+}
+
+std::string
+workloadClassName(WorkloadClass cls, int num_kernels)
+{
+    std::string c;
+    switch (cls) {
+      case WorkloadClass::CC:
+        c = "C";
+        break;
+      case WorkloadClass::MM:
+        c = "M";
+        break;
+      case WorkloadClass::CM:
+        // Mixed: for pairs "C+M"; for triples callers distinguish
+        // C+C+M vs C+M+M themselves when needed.
+        if (num_kernels == 2)
+            return "C+M";
+        return "mixed";
+    }
+    std::string out = c;
+    for (int i = 1; i < num_kernels; ++i)
+        out += "+" + c;
+    return out;
+}
+
+Workload
+makeWorkload(const std::vector<std::string> &names)
+{
+    Workload w;
+    for (const std::string &n : names)
+        w.kernels.push_back(&findProfile(n));
+    return w;
+}
+
+std::vector<Workload>
+allPairs(const std::vector<const KernelProfile *> &kernels)
+{
+    std::vector<Workload> out;
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        for (std::size_t j = i + 1; j < kernels.size(); ++j) {
+            Workload w;
+            w.kernels = {kernels[i], kernels[j]};
+            out.push_back(std::move(w));
+        }
+    }
+    return out;
+}
+
+std::vector<Workload>
+allSuitePairs()
+{
+    std::vector<const KernelProfile *> ptrs;
+    for (const KernelProfile &p : benchmarkSuite())
+        ptrs.push_back(&p);
+    return allPairs(ptrs);
+}
+
+std::vector<Workload>
+representativePairs()
+{
+    static const std::vector<std::vector<std::string>> names = {
+        // The six pairs the paper examines individually.
+        {"pf", "bp"}, {"bp", "hs"},                    // C+C
+        {"bp", "sv"}, {"bp", "ks"},                    // C+M
+        {"sv", "ks"}, {"sv", "ax"},                    // M+M
+        // Additional coverage for class geomeans.
+        {"cp", "pf"}, {"dc", "st"}, {"hs", "bs"},      // C+C
+        {"hs", "3m"}, {"pf", "s2"}, {"st", "cd"},      // C+M
+        {"cp", "ax"}, {"dc", "sv"},                    // C+M
+        {"3m", "s2"}, {"cd", "ks"}, {"3m", "ax"},      // M+M
+    };
+    std::vector<Workload> out;
+    for (const auto &n : names)
+        out.push_back(makeWorkload(n));
+    return out;
+}
+
+std::vector<Workload>
+representativeTriples()
+{
+    static const std::vector<std::vector<std::string>> names = {
+        {"pf", "bp", "hs"}, {"cp", "dc", "st"},        // C+C+C
+        {"pf", "bp", "sv"}, {"bp", "hs", "ks"},        // C+C+M
+        {"bp", "sv", "ks"}, {"pf", "3m", "s2"},        // C+M+M
+        {"sv", "ks", "ax"}, {"3m", "s2", "cd"},        // M+M+M
+    };
+    std::vector<Workload> out;
+    for (const auto &n : names)
+        out.push_back(makeWorkload(n));
+    return out;
+}
+
+std::vector<Workload>
+filterByClass(const std::vector<Workload> &all, WorkloadClass cls)
+{
+    std::vector<Workload> out;
+    for (const Workload &w : all)
+        if (w.cls() == cls)
+            out.push_back(w);
+    return out;
+}
+
+} // namespace ckesim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Multiprogrammed workload construction (Section 2.3): CKE workloads
+ * are pairs (or triples, Section 4.2) of benchmark kernels, classified
+ * by the mix of compute- and memory-intensive members.
+ */
+
+#ifndef CKESIM_KERNELS_WORKLOAD_HPP
+#define CKESIM_KERNELS_WORKLOAD_HPP
+
+#include <string>
+#include <vector>
+
+#include "kernels/profile.hpp"
+
+namespace ckesim {
+
+/** Class of a multiprogrammed workload. */
+enum class WorkloadClass {
+    CC,  ///< all compute-intensive
+    CM,  ///< mixed
+    MM,  ///< all memory-intensive
+};
+
+/** A concurrent-kernel workload. */
+struct Workload
+{
+    std::vector<const KernelProfile *> kernels;
+
+    /** "bp+sv" style name, in kernel order. */
+    std::string name() const;
+
+    /** C+C / C+M / M+M (by count of memory-intensive members). */
+    WorkloadClass cls() const;
+
+    int numKernels() const
+    {
+        return static_cast<int>(kernels.size());
+    }
+};
+
+/** Human-readable class label ("C+C", "C+M", "M+M"). */
+std::string workloadClassName(WorkloadClass cls, int num_kernels = 2);
+
+/** Build a workload from profile short names, e.g. {"bp","sv"}. */
+Workload makeWorkload(const std::vector<std::string> &names);
+
+/** All unordered pairs over the given kernels (suite order). */
+std::vector<Workload>
+allPairs(const std::vector<const KernelProfile *> &kernels);
+
+/** All unordered pairs over the full 13-benchmark suite. */
+std::vector<Workload> allSuitePairs();
+
+/**
+ * The representative pair list used by the quick bench mode: every
+ * workload the paper examines individually (pf+bp, bp+hs, bp+sv,
+ * bp+ks, sv+ks, sv+ax) plus enough extra pairs for class geomeans.
+ */
+std::vector<Workload> representativePairs();
+
+/** Curated 3-kernel workloads spanning all four classes (Fig 14). */
+std::vector<Workload> representativeTriples();
+
+/** Workloads of one class. */
+std::vector<Workload>
+filterByClass(const std::vector<Workload> &all, WorkloadClass cls);
+
+} // namespace ckesim
+
+#endif // CKESIM_KERNELS_WORKLOAD_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Address manipulation helpers: line extraction, xor set indexing
+ * (Table 1: "xor-indexing" for both cache levels) and the static
+ * line-to-L2-partition/DRAM-channel mapping.
+ */
+
+#ifndef CKESIM_MEM_ADDRESS_HPP
+#define CKESIM_MEM_ADDRESS_HPP
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace ckesim {
+
+/** Round @p addr down to its cache-line base. */
+inline Addr
+lineBase(Addr addr, int line_bytes)
+{
+    return addr & ~static_cast<Addr>(line_bytes - 1);
+}
+
+/** Line number (address divided by line size). */
+inline Addr
+lineNumber(Addr addr, int line_bytes)
+{
+    return addr / static_cast<Addr>(line_bytes);
+}
+
+/**
+ * Xor-fold set index used by GPGPU-Sim-style caches: xoring the tag
+ * bits into the index spreads power-of-two strides across sets.
+ * @pre num_sets is a power of two.
+ */
+inline int
+xorSetIndex(Addr line_number, int num_sets)
+{
+    const Addr mask = static_cast<Addr>(num_sets - 1);
+    Addr x = line_number;
+    x ^= x >> 10;
+    x ^= x >> 20;
+    return static_cast<int>((line_number ^ (x >> 4)) & mask);
+}
+
+/** Partition interleave granularity: 16 lines (one 2KB row) per chunk, so a
+ *  warp's coalesced burst lands in one channel and sequential streams
+ *  retain DRAM row locality (GPGPU-Sim-style address mapping). */
+inline constexpr int kPartitionChunkLines = 16;
+
+/**
+ * L2 partition (== DRAM channel) owning a line. 512B chunks
+ * interleave across partitions, with an xor fold so power-of-two
+ * kernel strides do not camp on one partition.
+ */
+inline int
+linePartition(Addr line_number, int num_partitions)
+{
+    const Addr chunk = line_number / kPartitionChunkLines;
+    const Addr x = chunk ^ (chunk >> 7) ^ (chunk >> 15);
+    return static_cast<int>(x % static_cast<Addr>(num_partitions));
+}
+
+} // namespace ckesim
+
+#endif // CKESIM_MEM_ADDRESS_HPP

@@ -1,0 +1,163 @@
+#include "mem/cache.hpp"
+
+#include <cassert>
+
+namespace ckesim {
+
+CacheArray::CacheArray(int num_sets, int assoc)
+    : num_sets_(num_sets), assoc_(assoc),
+      sets_(static_cast<std::size_t>(num_sets) * assoc)
+{
+    assert(num_sets > 0 && (num_sets & (num_sets - 1)) == 0 &&
+           "num_sets must be a power of two");
+    assert(assoc > 0);
+}
+
+int
+CacheArray::probe(Addr line_number) const
+{
+    const int set = setIndex(line_number);
+    for (int w = 0; w < assoc_; ++w) {
+        const CacheLine &l = line(set, w);
+        if ((l.valid || l.reserved) && l.line_number == line_number)
+            return w;
+    }
+    return -1;
+}
+
+void
+CacheArray::touch(int set, int way)
+{
+    line(set, way).lru = ++tick_;
+}
+
+bool
+CacheArray::wayAllowed(KernelId kernel, int way) const
+{
+    if (kernel < 0 ||
+        static_cast<std::size_t>(kernel) >= restrictions_.size())
+        return true;
+    const WayRange &r = restrictions_[static_cast<std::size_t>(kernel)];
+    if (r.count == 0)
+        return true;
+    return way >= r.first && way < r.first + r.count;
+}
+
+VictimResult
+CacheArray::chooseVictim(Addr line_number, KernelId kernel)
+{
+    const int set = setIndex(line_number);
+    VictimResult res;
+
+    // Prefer an invalid (and allowed) way.
+    for (int w = 0; w < assoc_; ++w) {
+        const CacheLine &l = line(set, w);
+        if (!l.valid && !l.reserved && wayAllowed(kernel, w)) {
+            res.ok = true;
+            res.way = w;
+            return res;
+        }
+    }
+
+    // Otherwise the LRU valid, non-reserved, allowed way.
+    int best = -1;
+    std::uint64_t best_lru = 0;
+    for (int w = 0; w < assoc_; ++w) {
+        const CacheLine &l = line(set, w);
+        if (l.reserved || !wayAllowed(kernel, w))
+            continue;
+        if (best < 0 || l.lru < best_lru) {
+            best = w;
+            best_lru = l.lru;
+        }
+    }
+    if (best < 0)
+        return res; // every candidate is reserved: reservation failure
+
+    const CacheLine &victim = line(set, best);
+    res.ok = true;
+    res.way = best;
+    if (victim.valid && victim.dirty) {
+        res.evicted_dirty = true;
+        res.evicted_line = victim.line_number;
+    }
+    return res;
+}
+
+void
+CacheArray::reserve(int set, int way, Addr line_number, KernelId kernel)
+{
+    CacheLine &l = line(set, way);
+    l.line_number = line_number;
+    l.valid = false;
+    l.reserved = true;
+    l.dirty = false;
+    l.owner = kernel;
+    l.lru = ++tick_;
+}
+
+void
+CacheArray::fill(int set, int way, bool dirty)
+{
+    CacheLine &l = line(set, way);
+    assert(l.reserved && "fill on a non-reserved line");
+    l.reserved = false;
+    l.valid = true;
+    l.dirty = dirty;
+    l.lru = ++tick_;
+}
+
+void
+CacheArray::install(int set, int way, Addr line_number, KernelId kernel,
+                    bool dirty)
+{
+    CacheLine &l = line(set, way);
+    l.line_number = line_number;
+    l.valid = true;
+    l.reserved = false;
+    l.dirty = dirty;
+    l.owner = kernel;
+    l.lru = ++tick_;
+}
+
+void
+CacheArray::invalidate(int set, int way)
+{
+    CacheLine &l = line(set, way);
+    l.valid = false;
+    l.reserved = false;
+    l.dirty = false;
+}
+
+void
+CacheArray::restrictToWays(KernelId kernel, int first, int count)
+{
+    assert(kernel >= 0);
+    assert(first >= 0 && count >= 0 && first + count <= assoc_);
+    if (static_cast<std::size_t>(kernel) >= restrictions_.size())
+        restrictions_.resize(static_cast<std::size_t>(kernel) + 1);
+    if (count >= assoc_) {
+        restrictions_[static_cast<std::size_t>(kernel)] = WayRange{};
+    } else {
+        restrictions_[static_cast<std::size_t>(kernel)] =
+            WayRange{first, count};
+    }
+}
+
+void
+CacheArray::clearWayRestrictions()
+{
+    restrictions_.clear();
+}
+
+int
+CacheArray::occupancyOf(KernelId kernel) const
+{
+    int n = 0;
+    for (const CacheLine &l : sets_)
+        if (l.valid && l.owner == kernel)
+            ++n;
+    return n;
+}
+
+} // namespace ckesim

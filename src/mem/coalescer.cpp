@@ -1,0 +1,22 @@
+#include "mem/coalescer.hpp"
+
+#include <algorithm>
+
+#include "mem/address.hpp"
+
+namespace ckesim {
+
+void
+coalesce(const std::vector<Addr> &thread_addrs, int line_bytes,
+         std::vector<Addr> &out)
+{
+    out.clear();
+    // Warps have at most 32 threads; linear dedup beats hashing here.
+    for (Addr a : thread_addrs) {
+        const Addr line = lineNumber(a, line_bytes);
+        if (std::find(out.begin(), out.end(), line) == out.end())
+            out.push_back(line);
+    }
+}
+
+} // namespace ckesim

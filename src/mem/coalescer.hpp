@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Intra-warp memory access coalescer.
+ *
+ * Global/local accesses of a warp's 32 threads are merged into as few
+ * line-sized transactions as possible (Section 2.1). The number of
+ * transactions a warp memory instruction produces is the paper's
+ * `Req/Minst` — the quantity QBMI quotas are built from.
+ */
+
+#ifndef CKESIM_MEM_COALESCER_HPP
+#define CKESIM_MEM_COALESCER_HPP
+
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ckesim {
+
+/**
+ * Coalesce per-thread byte addresses into unique line numbers,
+ * preserving first-touch order (the order requests enter the LSU).
+ *
+ * @param thread_addrs byte address per active thread
+ * @param line_bytes cache line size
+ * @param out cleared and filled with unique line numbers
+ */
+void coalesce(const std::vector<Addr> &thread_addrs, int line_bytes,
+              std::vector<Addr> &out);
+
+} // namespace ckesim
+
+#endif // CKESIM_MEM_COALESCER_HPP

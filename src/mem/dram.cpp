@@ -1,0 +1,105 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+
+namespace ckesim {
+
+namespace {
+constexpr std::uint64_t kClosedRow = ~0ULL;
+} // namespace
+
+DramChannel::DramChannel(const DramConfig &cfg, int line_bytes)
+    : cfg_(cfg), line_bytes_(line_bytes),
+      open_row_(static_cast<std::size_t>(cfg.banks_per_channel),
+                kClosedRow)
+{
+}
+
+int
+DramChannel::bankOf(Addr line_addr) const
+{
+    const Addr lines_per_row =
+        static_cast<Addr>(cfg_.row_bytes / line_bytes_);
+    return static_cast<int>((line_addr / lines_per_row) %
+                            static_cast<Addr>(cfg_.banks_per_channel));
+}
+
+std::uint64_t
+DramChannel::rowOf(Addr line_addr) const
+{
+    const Addr lines_per_row =
+        static_cast<Addr>(cfg_.row_bytes / line_bytes_);
+    return line_addr /
+           (lines_per_row * static_cast<Addr>(cfg_.banks_per_channel));
+}
+
+bool
+DramChannel::tryEnqueue(const MemRequest &req, Cycle now)
+{
+    if (static_cast<int>(queue_.size()) >= cfg_.queue_depth)
+        return false;
+    Txn txn;
+    txn.req = req;
+    txn.bank = bankOf(req.line_addr);
+    txn.row = rowOf(req.line_addr);
+    txn.arrival = now;
+    queue_.push_back(txn);
+    return true;
+}
+
+void
+DramChannel::tick(Cycle now)
+{
+    if (busy_until_ > now || queue_.empty())
+        return;
+
+    // FR-FCFS: prefer the oldest row-buffer hit in the lookahead
+    // window; fall back to the overall oldest request.
+    const int window =
+        std::min<int>(cfg_.frfcfs_window,
+                      static_cast<int>(queue_.size()));
+    int pick = 0;
+    bool row_hit = false;
+    for (int i = 0; i < window; ++i) {
+        const Txn &t = queue_[static_cast<std::size_t>(i)];
+        if (open_row_[static_cast<std::size_t>(t.bank)] == t.row) {
+            pick = i;
+            row_hit = true;
+            break;
+        }
+    }
+
+    Txn txn = queue_[static_cast<std::size_t>(pick)];
+    queue_.erase(queue_.begin() + pick);
+
+    int service = cfg_.row_hit_service;
+    if (!row_hit) {
+        service += cfg_.row_miss_penalty;
+        ++row_misses_;
+    } else {
+        ++row_hits_;
+    }
+    open_row_[static_cast<std::size_t>(txn.bank)] = txn.row;
+    busy_until_ = now + static_cast<Cycle>(service);
+
+    if (txn.req.kind != ReqKind::Writeback) {
+        const Cycle ready =
+            busy_until_ + static_cast<Cycle>(cfg_.access_latency);
+        fills_.push_back(Fill{ready, txn.req});
+    }
+}
+
+std::vector<MemRequest>
+DramChannel::drainFills(Cycle now)
+{
+    std::vector<MemRequest> out;
+    // Fills complete in enqueue order within a channel: ready times are
+    // monotonic because busy_until_ is monotonic.
+    while (!fills_.empty() && fills_.front().ready <= now) {
+        out.push_back(fills_.front().req);
+        fills_.pop_front();
+    }
+    return out;
+}
+
+} // namespace ckesim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-channel GDDR model with row-buffer locality and FR-FCFS-like
+ * scheduling (Table 1: 16 channels, FR-FCFS, 48B/cycle at 924MHz).
+ *
+ * Each channel services one transaction at a time. Within a lookahead
+ * window, requests hitting the currently open row of their bank are
+ * prioritized (first-ready), otherwise first-come-first-served. Service
+ * occupancy models data-burst bandwidth; a fixed access latency is
+ * added on top for the returning fill.
+ */
+
+#ifndef CKESIM_MEM_DRAM_HPP
+#define CKESIM_MEM_DRAM_HPP
+
+#include <deque>
+#include <vector>
+
+#include "mem/request.hpp"
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace ckesim {
+
+/** One DRAM channel. */
+class DramChannel
+{
+  public:
+    DramChannel(const DramConfig &cfg, int line_bytes);
+
+    /** Try to enqueue a transaction; false when the queue is full. */
+    bool tryEnqueue(const MemRequest &req, Cycle now);
+
+    /** Advance to @p now; starts at most one new transaction. */
+    void tick(Cycle now);
+
+    /** Pop fills (completed reads) whose data is available at @p now. */
+    std::vector<MemRequest> drainFills(Cycle now);
+
+    int queueLength() const
+    {
+        return static_cast<int>(queue_.size());
+    }
+    int freeSlots() const { return cfg_.queue_depth - queueLength(); }
+    bool busy(Cycle now) const { return busy_until_ > now; }
+
+    /** No queued transaction and no fill awaiting pickup. */
+    bool idle() const { return queue_.empty() && fills_.empty(); }
+
+    /** Row-buffer hit-rate observed so far (diagnostics). */
+    double rowHitRate() const
+    {
+        const std::uint64_t total = row_hits_ + row_misses_;
+        return total ? static_cast<double>(row_hits_) / total : 0.0;
+    }
+
+  private:
+    struct Txn
+    {
+        MemRequest req;
+        int bank = 0;
+        std::uint64_t row = 0;
+        Cycle arrival = 0;
+    };
+    struct Fill
+    {
+        Cycle ready = 0;
+        MemRequest req;
+    };
+
+    int bankOf(Addr line_addr) const;
+    std::uint64_t rowOf(Addr line_addr) const;
+
+    DramConfig cfg_;
+    int line_bytes_;
+    std::deque<Txn> queue_;
+    std::vector<std::uint64_t> open_row_; ///< per bank; ~0 = closed
+    Cycle busy_until_ = 0;
+    std::deque<Fill> fills_;
+    std::uint64_t row_hits_ = 0;
+    std::uint64_t row_misses_ = 0;
+};
+
+} // namespace ckesim
+
+#endif // CKESIM_MEM_DRAM_HPP

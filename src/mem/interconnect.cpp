@@ -1,0 +1,39 @@
+#include "mem/interconnect.hpp"
+
+namespace ckesim {
+
+Crossbar::Crossbar(int num_dests, const IcntConfig &cfg)
+    : cfg_(cfg), ports_(static_cast<std::size_t>(num_dests))
+{
+}
+
+bool
+Crossbar::tryInject(int dest, int flits, const MemRequest &req, Cycle now)
+{
+    Port &port = ports_[static_cast<std::size_t>(dest)];
+    if (static_cast<int>(port.queue.size()) >= cfg_.input_queue_depth)
+        return false;
+
+    const Cycle start =
+        std::max<Cycle>(port.next_free, now + cfg_.latency);
+    const Cycle ready = start + static_cast<Cycle>(flits);
+    port.next_free = ready;
+    port.queue.push_back(Packet{ready, req});
+    return true;
+}
+
+std::vector<MemRequest>
+Crossbar::drain(int dest, Cycle now, int max_count)
+{
+    Port &port = ports_[static_cast<std::size_t>(dest)];
+    std::vector<MemRequest> out;
+    while (!port.queue.empty() &&
+           static_cast<int>(out.size()) < max_count &&
+           port.queue.front().ready <= now) {
+        out.push_back(port.queue.front().req);
+        port.queue.pop_front();
+    }
+    return out;
+}
+
+} // namespace ckesim

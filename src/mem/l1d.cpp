@@ -1,0 +1,145 @@
+#include "mem/l1d.hpp"
+
+namespace ckesim {
+
+L1Dcache::L1Dcache(const L1dConfig &cfg, int sm_id)
+    : cfg_(cfg), sm_id_(sm_id), tags_(cfg.numSets(), cfg.assoc),
+      mshrs_(cfg.num_mshrs, cfg.mshr_merge)
+{
+}
+
+bool
+L1Dcache::mshrQuotaExceeded(KernelId kernel) const
+{
+    if (static_cast<std::size_t>(kernel) >= mshr_quota_.size())
+        return false;
+    const int quota = mshr_quota_[static_cast<std::size_t>(kernel)];
+    return quota > 0 && mshrsHeldBy(kernel) >= quota;
+}
+
+L1Outcome
+L1Dcache::access(Addr line_number, KernelId kernel, bool write,
+                 const L1Target &target, Cycle now)
+{
+    L1Outcome out;
+
+    if (write) {
+        // WEWN: write-evict (drop any cached copy), write-no-allocate
+        // (forward the write through the miss queue, no MSHR, no line).
+        if (static_cast<int>(miss_queue_.size()) >=
+            cfg_.miss_queue_depth) {
+            out.kind = L1Outcome::Kind::RsFail;
+            out.fail = RsFailReason::MissQueue;
+            return out;
+        }
+        const int way = tags_.probe(line_number);
+        if (way >= 0 && tags_.line(tags_.setIndex(line_number),
+                                   way).valid) {
+            tags_.invalidate(tags_.setIndex(line_number), way);
+        }
+        MemRequest req;
+        req.line_addr = line_number;
+        req.sm_id = sm_id_;
+        req.kernel = kernel;
+        req.kind = ReqKind::WriteThru;
+        req.birth = now;
+        miss_queue_.push_back(req);
+        out.kind = L1Outcome::Kind::WriteQueued;
+        return out;
+    }
+
+    // Read path.
+    const int way = tags_.probe(line_number);
+    if (way >= 0) {
+        const int set = tags_.setIndex(line_number);
+        CacheLine &l = tags_.line(set, way);
+        if (l.valid) {
+            tags_.touch(set, way);
+            out.kind = L1Outcome::Kind::Hit;
+            return out;
+        }
+        // Line reserved: an identical miss is outstanding; merge.
+        if (!mshrs_.canMerge(line_number)) {
+            out.kind = L1Outcome::Kind::RsFail;
+            out.fail = RsFailReason::Mshr;
+            return out;
+        }
+        mshrs_.merge(line_number, target);
+        out.kind = L1Outcome::Kind::MergedMshr;
+        return out;
+    }
+
+    // Bypassed misses hold no cache line, so an outstanding miss may
+    // exist without a reserved line: merge into it.
+    if (mshrs_.pending(line_number)) {
+        if (!mshrs_.canMerge(line_number)) {
+            out.kind = L1Outcome::Kind::RsFail;
+            out.fail = RsFailReason::Mshr;
+            return out;
+        }
+        mshrs_.merge(line_number, target);
+        out.kind = L1Outcome::Kind::MergedMshr;
+        return out;
+    }
+
+    // Brand-new miss: need MSHR + victim line + miss-queue entry
+    // (bypassed kernels skip the line slot).
+    if (!mshrs_.hasFree() || mshrQuotaExceeded(kernel)) {
+        out.kind = L1Outcome::Kind::RsFail;
+        out.fail = RsFailReason::Mshr;
+        return out;
+    }
+    if (static_cast<int>(miss_queue_.size()) >= cfg_.miss_queue_depth) {
+        out.kind = L1Outcome::Kind::RsFail;
+        out.fail = RsFailReason::MissQueue;
+        return out;
+    }
+    if (!bypassed(kernel)) {
+        VictimResult victim =
+            tags_.chooseVictim(line_number, kernel);
+        if (!victim.ok) {
+            out.kind = L1Outcome::Kind::RsFail;
+            out.fail = RsFailReason::Line;
+            return out;
+        }
+        // WEWN lines are never dirty, so no writeback on eviction.
+        tags_.reserve(tags_.setIndex(line_number), victim.way,
+                      line_number, kernel);
+    }
+    mshrs_.allocate(line_number, target);
+    if (static_cast<std::size_t>(kernel) >= mshr_held_.size())
+        mshr_held_.resize(static_cast<std::size_t>(kernel) + 1, 0);
+    ++mshr_held_[static_cast<std::size_t>(kernel)];
+    miss_owner_.emplace(line_number, kernel);
+
+    MemRequest req;
+    req.line_addr = line_number;
+    req.sm_id = sm_id_;
+    req.kernel = kernel;
+    req.kind = ReqKind::ReadMiss;
+    req.birth = now;
+    miss_queue_.push_back(req);
+
+    out.kind = L1Outcome::Kind::MissToL2;
+    return out;
+}
+
+std::vector<L1Target>
+L1Dcache::fill(Addr line_number)
+{
+    const int way = tags_.probe(line_number);
+    if (way >= 0) {
+        const int set = tags_.setIndex(line_number);
+        if (tags_.line(set, way).reserved)
+            tags_.fill(set, way);
+    }
+    // Bypassed misses have no reserved line: nothing is installed.
+    auto owner = miss_owner_.find(line_number);
+    if (owner != miss_owner_.end()) {
+        --mshr_held_[static_cast<std::size_t>(owner->second)];
+        miss_owner_.erase(owner);
+    }
+    return mshrs_.release(line_number);
+}
+
+} // namespace ckesim

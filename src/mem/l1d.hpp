@@ -1,0 +1,164 @@
+/**
+ * @file
+ * L1 data cache front-end: tag array + MSHRs + miss queue, with the
+ * paper's reservation-failure semantics (Section 2.1).
+ *
+ * Policy (Table 1): xor-indexing, allocate-on-miss, LRU, WEWN
+ * (write-evict, write-no-allocate). A read miss must secure a victim
+ * line slot, an MSHR (or merge slot) and a miss-queue entry; a write
+ * needs a miss-queue entry only. Any shortage is a reservation failure
+ * and the access must be retried, stalling the in-order LSU.
+ */
+
+#ifndef CKESIM_MEM_L1D_HPP
+#define CKESIM_MEM_L1D_HPP
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "mem/mshr.hpp"
+#include "mem/request.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace ckesim {
+
+/** Bookkeeping attached to each outstanding L1D read request. */
+struct L1Target
+{
+    int warp_index = -1;  ///< SM warp-table slot to notify
+    KernelId kernel = kInvalidKernel;
+};
+
+/** Outcome of one L1D access attempt. */
+struct L1Outcome
+{
+    enum class Kind {
+        Hit,         ///< data returned after hit_latency
+        MissToL2,    ///< new MSHR allocated, request queued to L2
+        MergedMshr,  ///< merged into an outstanding miss
+        WriteQueued, ///< write-through accepted into miss queue
+        RsFail,      ///< reservation failure: retry next cycle
+    };
+    Kind kind = Kind::RsFail;
+    RsFailReason fail = RsFailReason::None;
+
+    bool serviced() const { return kind != Kind::RsFail; }
+};
+
+/**
+ * One SM's L1 data cache. Untimed internally; the owning LSU applies
+ * hit latency and retry timing.
+ */
+class L1Dcache
+{
+  public:
+    L1Dcache(const L1dConfig &cfg, int sm_id);
+
+    /**
+     * Attempt one coalesced line access.
+     * @param line_number line to access
+     * @param kernel issuing kernel (owns allocation, stats)
+     * @param write true for a store (WEWN path)
+     * @param target wakeup bookkeeping for loads
+     * @param now current cycle (stamped on downstream requests)
+     */
+    L1Outcome access(Addr line_number, KernelId kernel, bool write,
+                     const L1Target &target, Cycle now);
+
+    /** Front of the miss queue, if any (does not pop). */
+    const MemRequest *peekMissQueue() const
+    {
+        return miss_queue_.empty() ? nullptr : &miss_queue_.front();
+    }
+
+    /** Pop the miss-queue head after a successful downstream inject. */
+    void popMissQueue() { miss_queue_.pop_front(); }
+
+    /**
+     * A fill returned from L2 for @p line_number: make the reserved
+     * line valid and return every merged target to wake.
+     */
+    std::vector<L1Target> fill(Addr line_number);
+
+    /** UCP hook: constrain kernel to a contiguous way range. */
+    void restrictKernelWays(KernelId kernel, int first, int count)
+    {
+        tags_.restrictToWays(kernel, first, count);
+    }
+
+    void clearWayRestrictions() { tags_.clearWayRestrictions(); }
+
+    /**
+     * Section 4.5 ablation: cap the MSHRs kernel @p kernel may hold
+     * (0 = unlimited). The paper argues such partitioning cannot
+     * help because the in-order LSU still blocks behind a saturated
+     * co-runner's accesses.
+     */
+    void
+    setMshrQuota(KernelId kernel, int quota)
+    {
+        if (static_cast<std::size_t>(kernel) >= mshr_quota_.size())
+            mshr_quota_.resize(static_cast<std::size_t>(kernel) + 1,
+                               0);
+        mshr_quota_[static_cast<std::size_t>(kernel)] = quota;
+    }
+
+    /**
+     * Section 4.5 ablation: bypass the L1D for kernel @p kernel's
+     * read misses — they take an MSHR and a miss-queue entry but no
+     * cache line slot, and fills are not installed.
+     */
+    void
+    setBypass(KernelId kernel, bool bypass)
+    {
+        if (static_cast<std::size_t>(kernel) >= bypass_.size())
+            bypass_.resize(static_cast<std::size_t>(kernel) + 1,
+                           false);
+        bypass_[static_cast<std::size_t>(kernel)] = bypass;
+    }
+
+    /** MSHRs currently held by @p kernel (quota accounting). */
+    int
+    mshrsHeldBy(KernelId kernel) const
+    {
+        return static_cast<std::size_t>(kernel) < mshr_held_.size()
+                   ? mshr_held_[static_cast<std::size_t>(kernel)]
+                   : 0;
+    }
+
+    CacheArray &tags() { return tags_; }
+    const CacheArray &tags() const { return tags_; }
+    int mshrsInUse() const { return mshrs_.size(); }
+    int missQueueSize() const
+    {
+        return static_cast<int>(miss_queue_.size());
+    }
+
+  private:
+    bool bypassed(KernelId kernel) const
+    {
+        return static_cast<std::size_t>(kernel) < bypass_.size() &&
+               bypass_[static_cast<std::size_t>(kernel)];
+    }
+    bool mshrQuotaExceeded(KernelId kernel) const;
+
+    L1dConfig cfg_;
+    int sm_id_;
+    CacheArray tags_;
+    MshrTable<L1Target> mshrs_;
+    std::deque<MemRequest> miss_queue_;
+    /** Per-kernel MSHR caps (0 = unlimited) and current holdings. */
+    std::vector<int> mshr_quota_;
+    std::vector<int> mshr_held_;
+    /** Kernel that allocated each outstanding (bypassed) miss. */
+    std::unordered_map<Addr, KernelId> miss_owner_;
+    std::vector<bool> bypass_;
+};
+
+} // namespace ckesim
+
+#endif // CKESIM_MEM_L1D_HPP

@@ -1,0 +1,130 @@
+#include "mem/l2cache.hpp"
+
+#include <cassert>
+
+namespace ckesim {
+
+L2Partition::L2Partition(const L2Config &cfg, int partition_id)
+    : cfg_(cfg), partition_id_(partition_id),
+      tags_(cfg.numSetsPerPartition(), cfg.assoc),
+      mshrs_(cfg.num_mshrs, /*max_merge=*/16)
+{
+}
+
+void
+L2Partition::acceptInput(const MemRequest &req)
+{
+    assert(inputRoom() > 0);
+    input_.push_back(req);
+}
+
+void
+L2Partition::tick(Cycle now, DramChannel &dram)
+{
+    if (input_.empty())
+        return;
+
+    const MemRequest req = input_.front();
+    const bool is_write = req.kind == ReqKind::WriteThru;
+
+    const int way = tags_.probe(req.line_addr);
+    if (way >= 0) {
+        const int set = tags_.setIndex(req.line_addr);
+        CacheLine &l = tags_.line(set, way);
+        if (l.valid) {
+            // L2 hit.
+            ++accesses_;
+            tags_.touch(set, way);
+            if (is_write) {
+                l.dirty = true; // WBWA write hit
+            } else {
+                replies_.push_back(
+                    Reply{now + static_cast<Cycle>(cfg_.latency), req});
+            }
+            input_.pop_front();
+            return;
+        }
+        // Reserved: merge into the outstanding miss.
+        if (!mshrs_.canMerge(req.line_addr))
+            return; // stall at head
+        ++accesses_;
+        ++misses_;
+        mshrs_.merge(req.line_addr, req);
+        input_.pop_front();
+        return;
+    }
+
+    // New miss: MSHR + victim line + DRAM slot(s).
+    if (!mshrs_.hasFree())
+        return;
+    VictimResult victim = tags_.chooseVictim(req.line_addr, req.kernel);
+    if (!victim.ok)
+        return;
+    const int dram_slots_needed = victim.evicted_dirty ? 2 : 1;
+    if (dram.freeSlots() < dram_slots_needed)
+        return;
+
+    ++accesses_;
+    ++misses_;
+
+    if (victim.evicted_dirty) {
+        MemRequest wb;
+        wb.line_addr = victim.evicted_line;
+        wb.sm_id = -1;
+        wb.kernel = req.kernel;
+        wb.kind = ReqKind::Writeback;
+        wb.birth = now;
+        const bool ok = dram.tryEnqueue(wb, now);
+        assert(ok);
+        (void)ok;
+    }
+
+    tags_.reserve(tags_.setIndex(req.line_addr), victim.way,
+                  req.line_addr, req.kernel);
+    mshrs_.allocate(req.line_addr, req);
+
+    MemRequest fetch = req;
+    fetch.kind = ReqKind::ReadMiss; // WBWA: writes fetch the line too
+    const bool ok = dram.tryEnqueue(fetch, now);
+    assert(ok);
+    (void)ok;
+
+    input_.pop_front();
+}
+
+void
+L2Partition::onDramFill(const MemRequest &fill, Cycle now)
+{
+    std::vector<MemRequest> targets = mshrs_.release(fill.line_addr);
+
+    bool dirty = false;
+    for (const MemRequest &t : targets)
+        if (t.kind == ReqKind::WriteThru)
+            dirty = true;
+
+    const int way = tags_.probe(fill.line_addr);
+    assert(way >= 0 && "fill for a line that lost its reservation");
+    const int set = tags_.setIndex(fill.line_addr);
+    assert(tags_.line(set, way).reserved);
+    tags_.fill(set, way, dirty);
+
+    for (const MemRequest &t : targets) {
+        if (t.kind != ReqKind::WriteThru) {
+            replies_.push_back(
+                Reply{now + static_cast<Cycle>(cfg_.latency), t});
+        }
+    }
+}
+
+std::vector<MemRequest>
+L2Partition::drainReplies(Cycle now)
+{
+    std::vector<MemRequest> out;
+    while (!replies_.empty() && replies_.front().ready <= now) {
+        out.push_back(replies_.front().req);
+        replies_.pop_front();
+    }
+    return out;
+}
+
+} // namespace ckesim

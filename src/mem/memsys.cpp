@@ -1,0 +1,112 @@
+#include "mem/memsys.hpp"
+
+namespace ckesim {
+
+namespace {
+/** Flit counts. Requests (reads and 64B sector writes) occupy one
+ *  forward flit; read replies occupy two reply flits (64B/cycle/SM
+ *  return bandwidth). Sized so that neither crossbar direction is
+ *  the global bandwidth limiter — in the paper's configuration the
+ *  contended resources are the cache-miss resources and DRAM. */
+constexpr int kReadReqFlits = 1;
+constexpr int kWriteReqFlits = 1;
+constexpr int kReplyFlits = 2;
+} // namespace
+
+MemorySystem::MemorySystem(const GpuConfig &cfg)
+    : cfg_(cfg),
+      fwd_(cfg.numL2Partitions(), cfg.icnt),
+      reply_(cfg.num_sms, cfg.icnt),
+      reply_retry_(static_cast<std::size_t>(cfg.numL2Partitions()))
+{
+    partitions_.reserve(static_cast<std::size_t>(cfg.numL2Partitions()));
+    channels_.reserve(static_cast<std::size_t>(cfg.numL2Partitions()));
+    for (int p = 0; p < cfg.numL2Partitions(); ++p) {
+        partitions_.push_back(std::make_unique<L2Partition>(cfg.l2, p));
+        channels_.push_back(
+            std::make_unique<DramChannel>(cfg.dram, cfg.l2.line_bytes));
+    }
+}
+
+bool
+MemorySystem::injectFromSm(const MemRequest &req, Cycle now)
+{
+    const int dest = linePartition(req.line_addr, numPartitions());
+    const int flits =
+        req.kind == ReqKind::WriteThru ? kWriteReqFlits : kReadReqFlits;
+    return fwd_.tryInject(dest, flits, req, now);
+}
+
+void
+MemorySystem::tick(Cycle now)
+{
+    for (int p = 0; p < numPartitions(); ++p) {
+        L2Partition &part = *partitions_[static_cast<std::size_t>(p)];
+        DramChannel &chan = *channels_[static_cast<std::size_t>(p)];
+
+        // Crossbar -> partition input queue, as room allows.
+        const int room = part.inputRoom();
+        if (room > 0) {
+            for (const MemRequest &req : fwd_.drain(p, now, room))
+                part.acceptInput(req);
+        }
+
+        part.tick(now, chan);
+        chan.tick(now);
+
+        for (const MemRequest &fill : chan.drainFills(now))
+            part.onDramFill(fill, now);
+
+        // Partition replies -> reply crossbar, retrying refused ones.
+        std::deque<MemRequest> &retry =
+            reply_retry_[static_cast<std::size_t>(p)];
+        for (const MemRequest &r : part.drainReplies(now))
+            retry.push_back(r);
+        while (!retry.empty()) {
+            const MemRequest &r = retry.front();
+            if (!reply_.tryInject(r.sm_id, kReplyFlits, r, now))
+                break;
+            retry.pop_front();
+        }
+    }
+}
+
+std::vector<MemRequest>
+MemorySystem::drainRepliesForSm(int sm_id, Cycle now)
+{
+    return reply_.drain(sm_id, now, /*max_count=*/64);
+}
+
+double
+MemorySystem::l2MissRate() const
+{
+    std::uint64_t acc = 0;
+    std::uint64_t miss = 0;
+    for (const auto &p : partitions_) {
+        acc += p->accesses();
+        miss += p->misses();
+    }
+    return acc ? static_cast<double>(miss) / static_cast<double>(acc)
+               : 0.0;
+}
+
+bool
+MemorySystem::quiescent() const
+{
+    for (int p = 0; p < numPartitions(); ++p) {
+        if (fwd_.queueLength(p) > 0)
+            return false;
+        if (!partitions_[static_cast<std::size_t>(p)]->idle())
+            return false;
+        if (!channels_[static_cast<std::size_t>(p)]->idle())
+            return false;
+        if (!reply_retry_[static_cast<std::size_t>(p)].empty())
+            return false;
+    }
+    for (int s = 0; s < cfg_.num_sms; ++s)
+        if (reply_.queueLength(s) > 0)
+            return false;
+    return true;
+}
+
+} // namespace ckesim

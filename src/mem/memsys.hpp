@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The shared memory subsystem below the SMs' L1Ds: forward crossbar,
+ * L2 partitions, DRAM channels and the reply crossbar.
+ */
+
+#ifndef CKESIM_MEM_MEMSYS_HPP
+#define CKESIM_MEM_MEMSYS_HPP
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mem/address.hpp"
+#include "mem/dram.hpp"
+#include "mem/interconnect.hpp"
+#include "mem/l2cache.hpp"
+#include "mem/request.hpp"
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace ckesim {
+
+/**
+ * Shared L2 + interconnect + DRAM. SMs inject L1 miss / write-through
+ * traffic and drain fills addressed to them.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const GpuConfig &cfg);
+
+    /**
+     * Inject a request from SM @p sm_id towards the partition owning
+     * its line. @return false when the crossbar port is saturated
+     * (the request must stay in the L1 miss queue).
+     */
+    bool injectFromSm(const MemRequest &req, Cycle now);
+
+    /** Advance every partition, channel and reply port one cycle. */
+    void tick(Cycle now);
+
+    /** Pop read fills delivered to SM @p sm_id by cycle @p now. */
+    std::vector<MemRequest> drainRepliesForSm(int sm_id, Cycle now);
+
+    int numPartitions() const
+    {
+        return static_cast<int>(partitions_.size());
+    }
+    const L2Partition &partition(int i) const
+    {
+        return *partitions_[static_cast<std::size_t>(i)];
+    }
+    const DramChannel &channel(int i) const
+    {
+        return *channels_[static_cast<std::size_t>(i)];
+    }
+
+    /** Aggregate L2 miss rate across partitions (diagnostics). */
+    double l2MissRate() const;
+
+    /** True when no request is anywhere in flight below the L1s. */
+    bool quiescent() const;
+
+  private:
+    GpuConfig cfg_;
+    Crossbar fwd_;   ///< SM -> partition
+    Crossbar reply_; ///< partition -> SM
+    std::vector<std::unique_ptr<L2Partition>> partitions_;
+    std::vector<std::unique_ptr<DramChannel>> channels_;
+    /** Replies an overloaded reply port refused; retried each cycle. */
+    std::vector<std::deque<MemRequest>> reply_retry_;
+    std::uint64_t inflight_ = 0; ///< requests below the L1s
+};
+
+} // namespace ckesim
+
+#endif // CKESIM_MEM_MEMSYS_HPP

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Miss Status Handling Register (MSHR) table.
+ *
+ * An MSHR tracks one outstanding line miss and the requests merged into
+ * it. MSHRs are the paper's most commonly saturated cache-miss-related
+ * resource: when the table (or an entry's merge list) is full, the
+ * access suffers a reservation failure and the memory pipeline stalls.
+ */
+
+#ifndef CKESIM_MEM_MSHR_HPP
+#define CKESIM_MEM_MSHR_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ckesim {
+
+/**
+ * MSHR table keyed by line number. @tparam Target is the per-merged-
+ * request bookkeeping returned to the owner when the fill arrives.
+ */
+template <typename Target>
+class MshrTable
+{
+  public:
+    /**
+     * @param num_entries table capacity (Table 1: 128 per SM/partition)
+     * @param max_merge maximum requests merged into one entry
+     */
+    MshrTable(int num_entries, int max_merge)
+        : capacity_(num_entries), max_merge_(max_merge)
+    {
+        entries_.reserve(static_cast<std::size_t>(num_entries));
+    }
+
+    /** Is a miss for this line already outstanding? */
+    bool
+    pending(Addr line_number) const
+    {
+        return entries_.find(line_number) != entries_.end();
+    }
+
+    /** Can a new request for this (pending) line merge? */
+    bool
+    canMerge(Addr line_number) const
+    {
+        auto it = entries_.find(line_number);
+        assert(it != entries_.end());
+        return static_cast<int>(it->second.size()) < max_merge_;
+    }
+
+    /** Is there room for a brand-new entry? */
+    bool hasFree() const
+    {
+        return static_cast<int>(entries_.size()) < capacity_;
+    }
+
+    /** Allocate a new entry for @p line_number with one target. */
+    void
+    allocate(Addr line_number, Target target)
+    {
+        assert(hasFree());
+        assert(!pending(line_number));
+        entries_.emplace(line_number,
+                         std::vector<Target>{std::move(target)});
+    }
+
+    /** Merge another request into an existing entry. */
+    void
+    merge(Addr line_number, Target target)
+    {
+        auto it = entries_.find(line_number);
+        assert(it != entries_.end());
+        assert(canMerge(line_number));
+        it->second.push_back(std::move(target));
+    }
+
+    /**
+     * Retire the entry on fill, returning all merged targets.
+     * @pre an entry for @p line_number exists.
+     */
+    std::vector<Target>
+    release(Addr line_number)
+    {
+        auto it = entries_.find(line_number);
+        assert(it != entries_.end());
+        std::vector<Target> out = std::move(it->second);
+        entries_.erase(it);
+        return out;
+    }
+
+    int size() const { return static_cast<int>(entries_.size()); }
+    int capacity() const { return capacity_; }
+    int maxMerge() const { return max_merge_; }
+    bool empty() const { return entries_.empty(); }
+
+  private:
+    int capacity_;
+    int max_merge_;
+    std::unordered_map<Addr, std::vector<Target>> entries_;
+};
+
+} // namespace ckesim
+
+#endif // CKESIM_MEM_MSHR_HPP

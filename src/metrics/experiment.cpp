@@ -1,0 +1,110 @@
+#include "metrics/experiment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/stats.hpp"
+
+namespace ckesim {
+
+void
+ClassAggregate::add(WorkloadClass cls, double value)
+{
+    // Geomeans need positive values; clamp degenerate runs.
+    const double v = value > 1e-9 ? value : 1e-9;
+    by_class_[cls].push_back(v);
+    all_.push_back(v);
+}
+
+double
+ClassAggregate::geomean(WorkloadClass cls) const
+{
+    auto it = by_class_.find(cls);
+    if (it == by_class_.end() || it->second.empty())
+        return 0.0;
+    return ckesim::geomean(it->second);
+}
+
+double
+ClassAggregate::geomeanAll() const
+{
+    if (all_.empty())
+        return 0.0;
+    return ckesim::geomean(all_);
+}
+
+int
+ClassAggregate::count(WorkloadClass cls) const
+{
+    auto it = by_class_.find(cls);
+    return it == by_class_.end()
+               ? 0
+               : static_cast<int>(it->second.size());
+}
+
+const char *
+classLabel(WorkloadClass cls)
+{
+    switch (cls) {
+      case WorkloadClass::CC:
+        return "C+C";
+      case WorkloadClass::CM:
+        return "C+M";
+      case WorkloadClass::MM:
+        return "M+M";
+    }
+    return "?";
+}
+
+bool
+fullMode()
+{
+    const char *env = std::getenv("CKESIM_FULL");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+GpuConfig
+benchConfig()
+{
+    // Always the paper's full Table 1 machine: the L2-capacity /
+    // working-set balance the kernels are calibrated against does
+    // not survive shrinking the partition count. Quick mode shortens
+    // runs and subsets workloads instead.
+    return GpuConfig{};
+}
+
+Cycle
+benchCycles()
+{
+    if (const char *env = std::getenv("CKESIM_CYCLES")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<Cycle>(v);
+    }
+    return fullMode() ? 400000 : 60000;
+}
+
+std::vector<Workload>
+benchPairs()
+{
+    return fullMode() ? allSuitePairs() : representativePairs();
+}
+
+std::string
+fmt(double v, int width, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%*.*f", width, precision, v);
+    return buf;
+}
+
+void
+printHeader(const std::string &title)
+{
+    std::printf("\n%s\n", title.c_str());
+    for (std::size_t i = 0; i < title.size(); ++i)
+        std::printf("-");
+    std::printf("\n");
+}
+
+} // namespace ckesim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared experiment-harness helpers: class-grouped geomeans, table
+ * formatting, and environment-driven sizing (quick vs full runs) used
+ * by every bench binary.
+ */
+
+#ifndef CKESIM_METRICS_EXPERIMENT_HPP
+#define CKESIM_METRICS_EXPERIMENT_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kernels/workload.hpp"
+#include "metrics/runner.hpp"
+#include "sim/config.hpp"
+
+namespace ckesim {
+
+/** Accumulates per-class values and reports geomeans (paper style). */
+class ClassAggregate
+{
+  public:
+    void add(WorkloadClass cls, double value);
+
+    /** Geomean within one class (0 when empty). */
+    double geomean(WorkloadClass cls) const;
+
+    /** Geomean over everything added ("ALL" columns). */
+    double geomeanAll() const;
+
+    int count(WorkloadClass cls) const;
+
+  private:
+    std::map<WorkloadClass, std::vector<double>> by_class_;
+    std::vector<double> all_;
+};
+
+/** "C+C" / "C+M" / "M+M". */
+const char *classLabel(WorkloadClass cls);
+
+/**
+ * Is CKESIM_FULL set? Full mode runs the paper-scale configuration
+ * (16 SMs, all 78 suite pairs, longer windows).
+ */
+bool fullMode();
+
+/** Bench GPU configuration (16 SMs full / 8 SMs quick). */
+GpuConfig benchConfig();
+
+/** Measurement cycles per simulation (env CKESIM_CYCLES overrides). */
+Cycle benchCycles();
+
+/** Pair list (all 78 suite pairs full / representative 17 quick). */
+std::vector<Workload> benchPairs();
+
+/** Align-right number formatting for simple console tables. */
+std::string fmt(double v, int width = 7, int precision = 3);
+
+/** Print a header line followed by an underline of '-'. */
+void printHeader(const std::string &title);
+
+} // namespace ckesim
+
+#endif // CKESIM_METRICS_EXPERIMENT_HPP

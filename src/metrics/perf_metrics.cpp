@@ -1,0 +1,43 @@
+#include "metrics/perf_metrics.hpp"
+
+#include <algorithm>
+
+namespace ckesim {
+
+namespace {
+constexpr double kEps = 1e-12;
+} // namespace
+
+double
+weightedSpeedup(const std::vector<double> &norm_ipcs)
+{
+    double sum = 0.0;
+    for (double v : norm_ipcs)
+        sum += v;
+    return sum;
+}
+
+double
+antt(const std::vector<double> &norm_ipcs)
+{
+    if (norm_ipcs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : norm_ipcs)
+        sum += 1.0 / std::max(v, kEps);
+    return sum / static_cast<double>(norm_ipcs.size());
+}
+
+double
+fairnessIndex(const std::vector<double> &norm_ipcs)
+{
+    if (norm_ipcs.empty())
+        return 0.0;
+    const auto [mn, mx] =
+        std::minmax_element(norm_ipcs.begin(), norm_ipcs.end());
+    if (*mx <= kEps)
+        return 0.0;
+    return *mn / *mx;
+}
+
+} // namespace ckesim

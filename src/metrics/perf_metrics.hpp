@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Multiprogramming performance metrics (Section 2.3, citing Eyerman &
+ * Eeckhout): Weighted Speedup, ANTT and Fairness over per-kernel
+ * normalized IPCs (concurrent IPC / isolated IPC).
+ */
+
+#ifndef CKESIM_METRICS_PERF_METRICS_HPP
+#define CKESIM_METRICS_PERF_METRICS_HPP
+
+#include <vector>
+
+namespace ckesim {
+
+/** Weighted Speedup: sum of normalized IPCs. */
+double weightedSpeedup(const std::vector<double> &norm_ipcs);
+
+/**
+ * Average Normalized Turnaround Time: mean of per-kernel slowdowns
+ * (1 / normalized IPC). Lower is better.
+ */
+double antt(const std::vector<double> &norm_ipcs);
+
+/**
+ * Fairness: lowest normalized IPC over highest normalized IPC.
+ * 1.0 = perfectly fair; higher is better.
+ */
+double fairnessIndex(const std::vector<double> &norm_ipcs);
+
+} // namespace ckesim
+
+#endif // CKESIM_METRICS_PERF_METRICS_HPP

@@ -1,0 +1,30 @@
+#include "sim/config.hpp"
+
+#include <sstream>
+
+namespace ckesim {
+
+std::string
+GpuConfig::digest() const
+{
+    std::ostringstream os;
+    os << "sms" << num_sms
+       << "_sch" << sm.num_schedulers
+       << (sm.sched_policy == SchedPolicy::GTO ? "gto" : "lrr")
+       << "_l1d" << l1d.size_bytes / 1024 << "k" << l1d.assoc << "w"
+       << "m" << l1d.num_mshrs << "q" << l1d.miss_queue_depth
+       << "_l2p" << numL2Partitions()
+       << "_seed" << seed;
+    return os.str();
+}
+
+GpuConfig
+makeSmallConfig(int num_sms, int num_channels)
+{
+    GpuConfig cfg;
+    cfg.num_sms = num_sms;
+    cfg.dram.num_channels = num_channels;
+    return cfg;
+}
+
+} // namespace ckesim

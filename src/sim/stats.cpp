@@ -1,0 +1,49 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+
+namespace ckesim {
+
+KernelStats &
+KernelStats::operator+=(const KernelStats &o)
+{
+    issued_instructions += o.issued_instructions;
+    alu_instructions += o.alu_instructions;
+    sfu_instructions += o.sfu_instructions;
+    smem_instructions += o.smem_instructions;
+    mem_instructions += o.mem_instructions;
+    mem_requests += o.mem_requests;
+    l1d_accesses += o.l1d_accesses;
+    l1d_hits += o.l1d_hits;
+    l1d_misses += o.l1d_misses;
+    l1d_rsfails += o.l1d_rsfails;
+    l1d_rsfail_line += o.l1d_rsfail_line;
+    l1d_rsfail_mshr += o.l1d_rsfail_mshr;
+    l1d_rsfail_missq += o.l1d_rsfail_missq;
+    tbs_completed += o.tbs_completed;
+    return *this;
+}
+
+SmStats &
+SmStats::operator+=(const SmStats &o)
+{
+    cycles += o.cycles;
+    lsu_stall_cycles += o.lsu_stall_cycles;
+    alu_issue_slots += o.alu_issue_slots;
+    sfu_issue_slots += o.sfu_issue_slots;
+    issue_slots_used += o.issue_slots_used;
+    return *this;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+} // namespace ckesim

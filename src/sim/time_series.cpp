@@ -1,0 +1,16 @@
+#include "sim/time_series.hpp"
+
+namespace ckesim {
+
+double
+TimeSeries::meanOver(std::size_t first, std::size_t last) const
+{
+    if (first >= last)
+        return 0.0;
+    std::uint64_t total = 0;
+    for (std::size_t i = first; i < last; ++i)
+        total += binCount(i);
+    return static_cast<double>(total) / static_cast<double>(last - first);
+}
+
+} // namespace ckesim

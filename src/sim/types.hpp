@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef CKESIM_SIM_TYPES_HPP
+#define CKESIM_SIM_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace ckesim {
+
+/** Simulation time, in GPU core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the (synthetic) global memory space. */
+using Addr = std::uint64_t;
+
+/** Index of a kernel inside a concurrent workload (0-based). */
+using KernelId = int;
+
+/** Sentinel for "no kernel". */
+inline constexpr KernelId kInvalidKernel = -1;
+
+/** Sentinel cycle meaning "never". */
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/** Maximum number of kernels that may share one SM. */
+inline constexpr int kMaxKernelsPerSm = 4;
+
+} // namespace ckesim
+
+#endif // CKESIM_SIM_TYPES_HPP

@@ -1,0 +1,13 @@
+#include "sm/scheduler.hpp"
+
+namespace ckesim {
+
+WarpScheduler::WarpScheduler(int id, int num_schedulers, int max_warps,
+                             SchedPolicy policy)
+    : id_(id), policy_(policy)
+{
+    for (int slot = id; slot < max_warps; slot += num_schedulers)
+        slots_.push_back(slot);
+}
+
+} // namespace ckesim

@@ -1,0 +1,421 @@
+#include "sm/sm.hpp"
+
+#include <cassert>
+
+#include "mem/coalescer.hpp"
+
+namespace ckesim {
+
+Sm::Sm(const GpuConfig &cfg, int sm_id, MemorySystem &mem,
+       std::vector<const KernelProfile *> kernels,
+       const IssuePolicyConfig &policy)
+    : cfg_(cfg), sm_id_(sm_id), mem_(mem),
+      controller_(policy, static_cast<int>(kernels.size())),
+      l1d_(cfg.l1d, sm_id),
+      lsu_(cfg.sm.lsu_queue_depth, cfg.l1d.hit_latency),
+      warps_(static_cast<std::size_t>(cfg.sm.max_warps)),
+      tbs_(static_cast<std::size_t>(cfg.sm.max_tbs))
+{
+    assert(!kernels.empty() &&
+           static_cast<int>(kernels.size()) <= kMaxKernelsPerSm);
+    ctx_.resize(kernels.size());
+    for (std::size_t k = 0; k < kernels.size(); ++k)
+        ctx_[k].prof = kernels[k];
+
+    schedulers_.reserve(static_cast<std::size_t>(cfg.sm.num_schedulers));
+    for (int s = 0; s < cfg.sm.num_schedulers; ++s)
+        schedulers_.emplace_back(s, cfg.sm.num_schedulers,
+                                 cfg.sm.max_warps, cfg.sm.sched_policy);
+
+    scratch_thread_addrs_.reserve(
+        static_cast<std::size_t>(cfg.sm.simd_width));
+    scratch_lines_.reserve(static_cast<std::size_t>(cfg.sm.simd_width));
+}
+
+void
+Sm::setTbQuota(KernelId k, int quota)
+{
+    ctx_[static_cast<std::size_t>(k)].quota = quota;
+}
+
+void
+Sm::resetStats()
+{
+    for (KernelCtx &c : ctx_)
+        c.stats = KernelStats{};
+    sm_stats_ = SmStats{};
+}
+
+void
+Sm::drainFills(Cycle now)
+{
+    for (const MemRequest &fill : mem_.drainRepliesForSm(sm_id_, now)) {
+        for (const L1Target &t : l1d_.fill(fill.line_addr))
+            requestReturned(t.warp_index, now);
+    }
+}
+
+void
+Sm::processWakes(Cycle now)
+{
+    while (!wakes_.empty() && wakes_.top().first <= now) {
+        const int slot = wakes_.top().second;
+        wakes_.pop();
+        requestReturned(slot, now);
+    }
+}
+
+void
+Sm::requestReturned(int warp_slot, Cycle now)
+{
+    (void)now;
+    Warp &w = warps_[static_cast<std::size_t>(warp_slot)];
+    assert(w.pending_requests > 0);
+    const bool load_done = w.retireRequest();
+    if (load_done)
+        controller_.onMemInstrCompleted(w.kernel);
+
+    if (w.state != WarpState::WaitMem)
+        return;
+    // Blocked on memory-level parallelism: resume once under the
+    // profile's in-flight load bound again.
+    const KernelProfile &prof =
+        *ctx_[static_cast<std::size_t>(w.kernel)].prof;
+    if (w.outstanding_loads >= prof.mlp)
+        return;
+    if (w.stream.done()) {
+        if (w.outstanding_loads == 0)
+            retireWarp(warp_slot);
+        return;
+    }
+    w.state = WarpState::Ready;
+}
+
+void
+Sm::retireWarp(int slot)
+{
+    Warp &w = warps_[static_cast<std::size_t>(slot)];
+    w.state = WarpState::Done;
+    ThreadBlock &tb = tbs_[static_cast<std::size_t>(w.tb_index)];
+    assert(tb.active && tb.warps_left > 0);
+    if (--tb.warps_left > 0)
+        return;
+
+    // Whole TB finished: release its warp slots and static resources.
+    for (std::size_t s = 0; s < warps_.size(); ++s) {
+        Warp &o = warps_[s];
+        if (o.state == WarpState::Done &&
+            o.tb_index == w.tb_index) {
+            o.state = WarpState::Invalid;
+            o.tb_index = -1;
+        }
+    }
+    KernelCtx &c = ctx_[static_cast<std::size_t>(tb.kernel)];
+    const KernelProfile &prof = *c.prof;
+    used_.regs -= prof.regsPerTb();
+    used_.smem -= prof.smem_per_tb;
+    used_.threads -= prof.threads_per_tb;
+    used_.warps -= tb.num_warps;
+    used_.tbs -= 1;
+    c.resident -= 1;
+    c.stats.tbs_completed += 1;
+    tb.active = false;
+}
+
+void
+Sm::preScan(Cycle now, std::array<bool, kMaxKernelsPerSm> &mem_demand)
+{
+    mem_demand.fill(false);
+    for (std::size_t s = 0; s < warps_.size(); ++s) {
+        Warp &w = warps_[s];
+        if (w.state == WarpState::Busy && w.ready_at <= now) {
+            if (w.stream.done()) {
+                if (w.outstanding_loads == 0)
+                    retireWarp(static_cast<int>(s));
+                else
+                    w.state = WarpState::WaitMem;
+                continue;
+            }
+            w.state = WarpState::Ready;
+        }
+        if (w.state == WarpState::Ready &&
+            isGlobalMem(w.stream.peek()))
+            mem_demand[static_cast<std::size_t>(w.kernel)] = true;
+    }
+}
+
+bool
+Sm::resourcesFit(const KernelProfile &prof) const
+{
+    const SmConfig &sm = cfg_.sm;
+    const int w = prof.warpsPerTb(sm.simd_width);
+    return used_.tbs + 1 <= sm.max_tbs &&
+           used_.threads + prof.threads_per_tb <= sm.max_threads &&
+           used_.warps + w <= sm.max_warps &&
+           used_.regs + prof.regsPerTb() <= sm.register_file &&
+           used_.smem + prof.smem_per_tb <= sm.smem_bytes;
+}
+
+bool
+Sm::launchTb(KernelId k)
+{
+    KernelCtx &c = ctx_[static_cast<std::size_t>(k)];
+    const KernelProfile &prof = *c.prof;
+    const int warps_needed = prof.warpsPerTb(cfg_.sm.simd_width);
+
+    // Find a TB table slot.
+    int tb_index = -1;
+    for (std::size_t i = 0; i < tbs_.size(); ++i) {
+        if (!tbs_[i].active) {
+            tb_index = static_cast<int>(i);
+            break;
+        }
+    }
+    if (tb_index < 0)
+        return false;
+
+    // Collect free warp slots.
+    int found = 0;
+    int slots[64];
+    for (std::size_t s = 0; s < warps_.size() && found < warps_needed;
+         ++s) {
+        if (warps_[s].state == WarpState::Invalid)
+            slots[found++] = static_cast<int>(s);
+    }
+    if (found < warps_needed)
+        return false;
+
+    const std::uint64_t tb_seq =
+        c.tb_seq++ + static_cast<std::uint64_t>(sm_id_) * 100003ULL;
+
+    ThreadBlock &tb = tbs_[static_cast<std::size_t>(tb_index)];
+    tb.active = true;
+    tb.kernel = k;
+    tb.seq = tb_seq;
+    tb.num_warps = warps_needed;
+    tb.warps_left = warps_needed;
+
+    const std::uint64_t age = age_counter_++;
+    for (int i = 0; i < warps_needed; ++i) {
+        Warp &w = warps_[static_cast<std::size_t>(slots[i])];
+        w.state = WarpState::Ready;
+        w.kernel = k;
+        w.tb_index = tb_index;
+        w.pending_requests = 0;
+        w.load_head = 0;
+        w.outstanding_loads = 0;
+        w.age = age;
+        const std::uint64_t seed =
+            cfg_.seed ^ (tb_seq * 1000003ULL) ^
+            static_cast<std::uint64_t>(i);
+        w.stream.reset(prof, seed);
+        initAddrGen(w.addr, prof, k, tb_seq, i, warps_needed,
+                    cfg_.seed, cfg_.l1d.line_bytes);
+    }
+
+    used_.regs += prof.regsPerTb();
+    used_.smem += prof.smem_per_tb;
+    used_.threads += prof.threads_per_tb;
+    used_.warps += warps_needed;
+    used_.tbs += 1;
+    c.resident += 1;
+    return true;
+}
+
+void
+Sm::tryDispatch(Cycle now)
+{
+    (void)now;
+    // At most one TB launch per cycle, round-robin across kernels.
+    const int n = numKernels();
+    for (int i = 0; i < n; ++i) {
+        const int k = (dispatch_rr_ + i) % n;
+        KernelCtx &c = ctx_[static_cast<std::size_t>(k)];
+        if (c.resident >= c.quota)
+            continue;
+        if (!resourcesFit(*c.prof))
+            continue;
+        if (launchTb(k)) {
+            dispatch_rr_ = (k + 1) % n;
+            return;
+        }
+    }
+}
+
+bool
+Sm::canIssueWarp(int slot) const
+{
+    const Warp &w = warps_[static_cast<std::size_t>(slot)];
+    if (w.state != WarpState::Ready)
+        return false;
+    if (!controller_.admitAnyIssue(w.kernel))
+        return false;
+    if (isGlobalMem(w.stream.peek())) {
+        if (!lsu_.hasRoom())
+            return false;
+        if (!controller_.admitMemIssue(w.kernel))
+            return false;
+    }
+    return true;
+}
+
+void
+Sm::issueFrom(int slot, Cycle now)
+{
+    Warp &w = warps_[static_cast<std::size_t>(slot)];
+    KernelCtx &c = ctx_[static_cast<std::size_t>(w.kernel)];
+    const InstrKind kind = w.stream.advance();
+
+    ++c.stats.issued_instructions;
+    ++sm_stats_.issue_slots_used;
+    controller_.onInstrIssued(w.kernel);
+    if (c.issue_series)
+        c.issue_series->record(now);
+
+    switch (kind) {
+      case InstrKind::Alu:
+        ++c.stats.alu_instructions;
+        ++sm_stats_.alu_issue_slots;
+        w.state = WarpState::Busy;
+        w.ready_at = now + static_cast<Cycle>(cfg_.sm.alu_latency);
+        break;
+      case InstrKind::Sfu:
+        ++c.stats.sfu_instructions;
+        ++sm_stats_.sfu_issue_slots;
+        w.state = WarpState::Busy;
+        w.ready_at = now + static_cast<Cycle>(cfg_.sm.sfu_latency);
+        break;
+      case InstrKind::Smem:
+        ++c.stats.smem_instructions;
+        w.state = WarpState::Busy;
+        w.ready_at = now + static_cast<Cycle>(cfg_.sm.smem_latency);
+        break;
+      case InstrKind::MemLoad:
+      case InstrKind::MemStore: {
+        generateAccess(w.addr, *c.prof, cfg_.l1d.line_bytes,
+                       cfg_.sm.simd_width, scratch_thread_addrs_);
+        coalesce(scratch_thread_addrs_, cfg_.l1d.line_bytes,
+                 scratch_lines_);
+        const bool is_store = kind == InstrKind::MemStore;
+        lsu_.enqueue(slot, w.kernel, is_store, scratch_lines_);
+        controller_.onMemInstrIssued(w.kernel);
+        ++c.stats.mem_instructions;
+        c.stats.mem_requests += scratch_lines_.size();
+        if (is_store) {
+            // Stores do not block the warp.
+            w.state = WarpState::Busy;
+            w.ready_at = now + 1;
+        } else {
+            w.pending_requests +=
+                static_cast<int>(scratch_lines_.size());
+            w.pushLoad(static_cast<int>(scratch_lines_.size()));
+            if (w.outstanding_loads >= c.prof->mlp) {
+                w.state = WarpState::WaitMem;
+            } else {
+                // Independent loads overlap (MLP); issue-limited only.
+                w.state = WarpState::Busy;
+                w.ready_at = now + 1;
+            }
+        }
+        break;
+      }
+    }
+}
+
+void
+Sm::tick(Cycle now)
+{
+    now_ = now;
+    drainFills(now);
+    processWakes(now);
+
+    std::array<bool, kMaxKernelsPerSm> mem_demand{};
+    preScan(now, mem_demand);
+    controller_.beginCycle(mem_demand);
+
+    tryDispatch(now);
+
+    for (WarpScheduler &sched : schedulers_) {
+        const int slot =
+            sched.pick(warps_, [&](int s) { return canIssueWarp(s); });
+        if (slot < 0)
+            continue;
+        issueFrom(slot, now);
+        sched.onIssue(slot);
+    }
+
+    if (lsu_.tick(now, l1d_, *this))
+        ++sm_stats_.lsu_stall_cycles;
+
+    // Drain at most one miss-queue entry into the interconnect.
+    if (const MemRequest *head = l1d_.peekMissQueue()) {
+        if (mem_.injectFromSm(*head, now))
+            l1d_.popMissQueue();
+    }
+
+    ++sm_stats_.cycles;
+}
+
+// ---- LsuHost ------------------------------------------------------------
+
+void
+Sm::lsuHitReturn(int warp_slot, KernelId k, Cycle ready_at)
+{
+    (void)k;
+    wakes_.emplace(ready_at, warp_slot);
+}
+
+void
+Sm::lsuEntryDrained(int warp_slot, KernelId k, bool is_store)
+{
+    (void)warp_slot;
+    if (is_store)
+        controller_.onMemInstrCompleted(k);
+}
+
+void
+Sm::lsuAccessServiced(KernelId k, Addr line, const L1Outcome &outcome)
+{
+    KernelCtx &c = ctx_[static_cast<std::size_t>(k)];
+    ++c.stats.l1d_accesses;
+    switch (outcome.kind) {
+      case L1Outcome::Kind::Hit:
+        ++c.stats.l1d_hits;
+        break;
+      case L1Outcome::Kind::MissToL2:
+      case L1Outcome::Kind::MergedMshr: // still waits for the fill
+      case L1Outcome::Kind::WriteQueued:
+        ++c.stats.l1d_misses;
+        break;
+      case L1Outcome::Kind::RsFail:
+        break;
+    }
+    controller_.onRequestServiced(k);
+    if (c.l1d_series)
+        c.l1d_series->record(now_);
+    if (access_observer_)
+        access_observer_(access_observer_opaque_, k, line);
+}
+
+void
+Sm::lsuReservationFailure(KernelId k, RsFailReason reason)
+{
+    KernelCtx &c = ctx_[static_cast<std::size_t>(k)];
+    ++c.stats.l1d_rsfails;
+    switch (reason) {
+      case RsFailReason::Line:
+        ++c.stats.l1d_rsfail_line;
+        break;
+      case RsFailReason::Mshr:
+        ++c.stats.l1d_rsfail_mshr;
+        break;
+      case RsFailReason::MissQueue:
+        ++c.stats.l1d_rsfail_missq;
+        break;
+      case RsFailReason::None:
+        break;
+    }
+    controller_.onRsFail(k);
+}
+
+} // namespace ckesim

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The streaming multiprocessor: TB dispatch with static resource
+ * accounting, warp schedulers, execution latencies, the shared LSU /
+ * L1D front-end, and the per-SM CKE issue controller.
+ *
+ * Intra-SM sharing: thread blocks from several kernels are resident at
+ * once (per-kernel TB quotas from the partition policy); all warps
+ * share the schedulers, LSU and L1D — the interference arena of the
+ * paper.
+ */
+
+#ifndef CKESIM_SM_SM_HPP
+#define CKESIM_SM_SM_HPP
+
+#include <queue>
+#include <vector>
+
+#include "core/issue_policy.hpp"
+#include "kernels/profile.hpp"
+#include "mem/l1d.hpp"
+#include "mem/memsys.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+#include "sim/time_series.hpp"
+#include "sm/lsu.hpp"
+#include "sm/scheduler.hpp"
+#include "sm/warp.hpp"
+
+namespace ckesim {
+
+/** One SM executing thread blocks from up to kMaxKernelsPerSm kernels. */
+class Sm : public LsuHost
+{
+  public:
+    Sm(const GpuConfig &cfg, int sm_id, MemorySystem &mem,
+       std::vector<const KernelProfile *> kernels,
+       const IssuePolicyConfig &policy);
+
+    /** Set how many TBs of kernel @p k may be resident (partition). */
+    void setTbQuota(KernelId k, int quota);
+    int tbQuota(KernelId k) const
+    {
+        return ctx_[static_cast<std::size_t>(k)].quota;
+    }
+
+    /** Advance one core cycle. */
+    void tick(Cycle now);
+
+    /** Zero all counters (phase changes keep warp/cache state). */
+    void resetStats();
+
+    // ---- inspection ----------------------------------------------------
+    int numKernels() const { return static_cast<int>(ctx_.size()); }
+    const KernelProfile &profile(KernelId k) const
+    {
+        return *ctx_[static_cast<std::size_t>(k)].prof;
+    }
+    const KernelStats &kernelStats(KernelId k) const
+    {
+        return ctx_[static_cast<std::size_t>(k)].stats;
+    }
+    const SmStats &smStats() const { return sm_stats_; }
+    int residentTbs(KernelId k) const
+    {
+        return ctx_[static_cast<std::size_t>(k)].resident;
+    }
+    IssueController &controller() { return controller_; }
+    const IssueController &controller() const { return controller_; }
+    L1Dcache &l1d() { return l1d_; }
+    const L1Dcache &l1d() const { return l1d_; }
+    int smId() const { return sm_id_; }
+
+    /** Attach per-kernel samplers (Figures 6 and 8); may be null. */
+    void setIssueSeries(KernelId k, TimeSeries *ts)
+    {
+        ctx_[static_cast<std::size_t>(k)].issue_series = ts;
+    }
+    void setL1dSeries(KernelId k, TimeSeries *ts)
+    {
+        ctx_[static_cast<std::size_t>(k)].l1d_series = ts;
+    }
+
+    /** Observer of every serviced L1D access (UCP's UMON taps here). */
+    using AccessObserver = void (*)(void *, KernelId, Addr);
+    void
+    setAccessObserver(AccessObserver fn, void *opaque)
+    {
+        access_observer_ = fn;
+        access_observer_opaque_ = opaque;
+    }
+
+    // ---- LsuHost --------------------------------------------------------
+    void lsuHitReturn(int warp_slot, KernelId k, Cycle ready_at) override;
+    void lsuEntryDrained(int warp_slot, KernelId k,
+                         bool is_store) override;
+    void lsuAccessServiced(KernelId k, Addr line,
+                           const L1Outcome &outcome) override;
+    void lsuReservationFailure(KernelId k, RsFailReason reason) override;
+
+  private:
+    struct KernelCtx
+    {
+        const KernelProfile *prof = nullptr;
+        int quota = 0;
+        int resident = 0;
+        std::uint64_t tb_seq = 0;
+        KernelStats stats;
+        TimeSeries *issue_series = nullptr;
+        TimeSeries *l1d_series = nullptr;
+    };
+
+    struct Resources
+    {
+        int regs = 0;
+        int smem = 0;
+        int threads = 0;
+        int tbs = 0;
+        int warps = 0;
+    };
+
+    void drainFills(Cycle now);
+    void processWakes(Cycle now);
+    void preScan(Cycle now,
+                 std::array<bool, kMaxKernelsPerSm> &mem_demand);
+    void tryDispatch(Cycle now);
+    bool resourcesFit(const KernelProfile &prof) const;
+    bool launchTb(KernelId k);
+    bool canIssueWarp(int slot) const;
+    void issueFrom(int slot, Cycle now);
+    void requestReturned(int warp_slot, Cycle now);
+    void retireWarp(int slot);
+
+    GpuConfig cfg_;
+    int sm_id_;
+    MemorySystem &mem_;
+    std::vector<KernelCtx> ctx_;
+    IssueController controller_;
+    L1Dcache l1d_;
+    Lsu lsu_;
+    std::vector<WarpScheduler> schedulers_;
+    std::vector<Warp> warps_;
+    std::vector<ThreadBlock> tbs_;
+    Resources used_;
+    SmStats sm_stats_;
+    std::uint64_t age_counter_ = 0;
+    int dispatch_rr_ = 0;
+    Cycle now_ = 0;
+
+    /** Pending (cycle, warp_slot) load-data returns from L1 hits. */
+    using WakeEvent = std::pair<Cycle, int>;
+    std::priority_queue<WakeEvent, std::vector<WakeEvent>,
+                        std::greater<WakeEvent>>
+        wakes_;
+
+    // Scratch buffers reused every memory instruction.
+    std::vector<Addr> scratch_thread_addrs_;
+    std::vector<Addr> scratch_lines_;
+
+    AccessObserver access_observer_ = nullptr;
+    void *access_observer_opaque_ = nullptr;
+};
+
+} // namespace ckesim
+
+#endif // CKESIM_SM_SM_HPP

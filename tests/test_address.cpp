@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for address math: line extraction, xor set indexing and
+ * the chunked partition interleave.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/address.hpp"
+
+namespace ckesim {
+namespace {
+
+TEST(Address, LineBaseAndNumber)
+{
+    EXPECT_EQ(lineBase(0x1234, 128), 0x1200u);
+    EXPECT_EQ(lineBase(0x1200, 128), 0x1200u);
+    EXPECT_EQ(lineNumber(0x1234, 128), 0x1234u / 128);
+    EXPECT_EQ(lineNumber(255, 64), 3u);
+}
+
+TEST(Address, XorIndexInRange)
+{
+    for (Addr line = 0; line < 100000; line += 37) {
+        const int set = xorSetIndex(line, 64);
+        ASSERT_GE(set, 0);
+        ASSERT_LT(set, 64);
+    }
+}
+
+TEST(Address, XorIndexSpreadsSequentialLines)
+{
+    // Sequential lines must cover all sets evenly.
+    std::vector<int> counts(64, 0);
+    for (Addr line = 0; line < 6400; ++line)
+        ++counts[static_cast<std::size_t>(xorSetIndex(line, 64))];
+    for (int c : counts)
+        EXPECT_EQ(c, 100);
+}
+
+TEST(Address, XorIndexBreaksPowerOfTwoStrides)
+{
+    // A large power-of-two stride should not camp on one set.
+    std::vector<int> counts(64, 0);
+    for (int i = 0; i < 640; ++i) {
+        const Addr line = static_cast<Addr>(i) << 10;
+        ++counts[static_cast<std::size_t>(xorSetIndex(line, 64))];
+    }
+    int max_count = 0;
+    for (int c : counts)
+        max_count = std::max(max_count, c);
+    EXPECT_LT(max_count, 64); // far below all-in-one-set (640)
+}
+
+TEST(Address, PartitionInRangeAndChunked)
+{
+    for (Addr line = 0; line < 4096; ++line) {
+        const int p = linePartition(line, 16);
+        ASSERT_GE(p, 0);
+        ASSERT_LT(p, 16);
+        // Whole chunks map to one partition.
+        EXPECT_EQ(p, linePartition(
+                         line - line % kPartitionChunkLines, 16));
+    }
+}
+
+TEST(Address, PartitionBalanced)
+{
+    std::vector<int> counts(16, 0);
+    const int chunks = 1600;
+    for (int c = 0; c < chunks; ++c) {
+        const Addr line = static_cast<Addr>(c) * kPartitionChunkLines;
+        ++counts[static_cast<std::size_t>(linePartition(line, 16))];
+    }
+    for (int c : counts) {
+        EXPECT_GT(c, chunks / 16 / 2);
+        EXPECT_LT(c, chunks / 16 * 2);
+    }
+}
+
+} // namespace
+} // namespace ckesim

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for procedural address generation: determinism, target
+ * coalescing degree, footprint confinement and reuse behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kernels/addrgen.hpp"
+#include "mem/address.hpp"
+#include "mem/coalescer.hpp"
+
+namespace ckesim {
+namespace {
+
+constexpr int kLine = 64;
+constexpr int kSimd = 32;
+
+AddrGenState
+makeState(const KernelProfile &p, int warp = 0, std::uint64_t tb = 0)
+{
+    AddrGenState st;
+    initAddrGen(st, p, /*kernel_slot=*/0, tb, warp,
+                p.warpsPerTb(kSimd), /*seed=*/42, kLine);
+    return st;
+}
+
+TEST(AddrGen, DeterministicAcrossRuns)
+{
+    const KernelProfile &p = findProfile("sv");
+    AddrGenState a = makeState(p);
+    AddrGenState b = makeState(p);
+    std::vector<Addr> va, vb;
+    for (int i = 0; i < 100; ++i) {
+        generateAccess(a, p, kLine, kSimd, va);
+        generateAccess(b, p, kLine, kSimd, vb);
+        ASSERT_EQ(va, vb);
+    }
+}
+
+TEST(AddrGen, CoalescesToReqPerMinst)
+{
+    for (const char *name : {"bp", "sv", "ks", "ax", "bs"}) {
+        const KernelProfile &p = findProfile(name);
+        AddrGenState st = makeState(p);
+        std::vector<Addr> addrs, lines;
+        std::uint64_t total = 0;
+        const int n = 300;
+        for (int i = 0; i < n; ++i) {
+            generateAccess(st, p, kLine, kSimd, addrs);
+            ASSERT_EQ(addrs.size(), static_cast<std::size_t>(kSimd));
+            coalesce(addrs, kLine, lines);
+            total += lines.size();
+            ASSERT_LE(static_cast<int>(lines.size()),
+                      p.req_per_minst);
+        }
+        const double avg = static_cast<double>(total) / n;
+        // Reuse collisions can shave a little off the target.
+        EXPECT_GT(avg, 0.6 * p.req_per_minst) << name;
+        EXPECT_LE(avg, 1.0 * p.req_per_minst) << name;
+    }
+}
+
+TEST(AddrGen, KernelSlotsAreDisjoint)
+{
+    const KernelProfile &p = findProfile("bs");
+    AddrGenState a, b;
+    initAddrGen(a, p, 0, 0, 0, 16, 42, kLine);
+    initAddrGen(b, p, 1, 0, 0, 16, 42, kLine);
+    std::set<Addr> seen_a;
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 200; ++i) {
+        generateAccess(a, p, kLine, kSimd, addrs);
+        for (Addr x : addrs)
+            seen_a.insert(lineNumber(x, kLine));
+    }
+    for (int i = 0; i < 200; ++i) {
+        generateAccess(b, p, kLine, kSimd, addrs);
+        for (Addr x : addrs)
+            ASSERT_EQ(seen_a.count(lineNumber(x, kLine)), 0u);
+    }
+}
+
+TEST(AddrGen, FootprintConfinesRandomPatterns)
+{
+    const KernelProfile &p = findProfile("ks"); // StridedScatter
+    AddrGenState st = makeState(p);
+    std::vector<Addr> addrs;
+    Addr mn = ~Addr{0}, mx = 0;
+    for (int i = 0; i < 500; ++i) {
+        generateAccess(st, p, kLine, kSimd, addrs);
+        for (Addr a : addrs) {
+            mn = std::min(mn, a);
+            mx = std::max(mx, a);
+        }
+    }
+    EXPECT_LE(mx - mn, p.footprint_bytes + kLine);
+}
+
+TEST(AddrGen, StreamingAdvancesThroughRegion)
+{
+    const KernelProfile &p = findProfile("bs"); // pure streaming
+    AddrGenState st = makeState(p);
+    std::vector<Addr> addrs;
+    std::set<Addr> lines;
+    const int n = 400;
+    for (int i = 0; i < n; ++i) {
+        generateAccess(st, p, kLine, kSimd, addrs);
+        lines.insert(lineNumber(addrs[0], kLine));
+    }
+    // No reuse: every instruction touches a fresh line.
+    EXPECT_EQ(lines.size(), static_cast<std::size_t>(n));
+}
+
+TEST(AddrGen, TbWarpsInterleaveOneRegion)
+{
+    // Warps of one TB must jointly cover contiguous lines (the DRAM
+    // row locality property).
+    const KernelProfile &p = findProfile("bs");
+    const int warps = p.warpsPerTb(kSimd);
+    std::vector<AddrGenState> sts;
+    for (int w = 0; w < warps; ++w)
+        sts.push_back(makeState(p, w, /*tb=*/5));
+    std::set<Addr> lines;
+    std::vector<Addr> addrs;
+    for (int w = 0; w < warps; ++w) {
+        generateAccess(sts[static_cast<std::size_t>(w)], p, kLine,
+                       kSimd, addrs);
+        lines.insert(lineNumber(addrs[0], kLine));
+    }
+    ASSERT_EQ(lines.size(), static_cast<std::size_t>(warps));
+    // Contiguous run of `warps` lines.
+    EXPECT_EQ(*lines.rbegin() - *lines.begin(),
+              static_cast<Addr>(warps - 1));
+}
+
+TEST(AddrGen, HighReuseRevisitsLines)
+{
+    const KernelProfile &p = findProfile("dc"); // reuse 0.91
+    AddrGenState st = makeState(p);
+    std::vector<Addr> addrs;
+    std::set<Addr> lines;
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+        generateAccess(st, p, kLine, kSimd, addrs);
+        for (Addr a : addrs)
+            lines.insert(lineNumber(a, kLine));
+    }
+    // Heavy reuse => far fewer distinct lines than instructions.
+    EXPECT_LT(lines.size(), static_cast<std::size_t>(n / 2));
+}
+
+TEST(AddrGen, DistinctWarpsDistinctStreams)
+{
+    const KernelProfile &p = findProfile("sv");
+    AddrGenState a = makeState(p, 0);
+    AddrGenState b = makeState(p, 1);
+    std::vector<Addr> va, vb;
+    generateAccess(a, p, kLine, kSimd, va);
+    generateAccess(b, p, kLine, kSimd, vb);
+    EXPECT_NE(va, vb);
+}
+
+} // namespace
+} // namespace ckesim

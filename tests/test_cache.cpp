@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for the set-associative tag array: LRU replacement,
+ * allocate-on-miss reservation, way restrictions (UCP) and owner
+ * tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+
+namespace ckesim {
+namespace {
+
+/** Lines that all land in the same set of a 64-set array. */
+Addr
+sameSetLine(int num_sets, int set, int i)
+{
+    // Scan for the i-th line mapping to `set`.
+    int found = 0;
+    for (Addr line = 0;; ++line) {
+        if (xorSetIndex(line, num_sets) == set) {
+            if (found == i)
+                return line;
+            ++found;
+        }
+    }
+}
+
+TEST(CacheArray, ProbeMissOnEmpty)
+{
+    CacheArray c(64, 4);
+    EXPECT_EQ(c.probe(123), -1);
+}
+
+TEST(CacheArray, InstallThenHit)
+{
+    CacheArray c(64, 4);
+    const Addr line = 777;
+    VictimResult v = c.chooseVictim(line, 0);
+    ASSERT_TRUE(v.ok);
+    c.install(c.setIndex(line), v.way, line, 0, false);
+    EXPECT_EQ(c.probe(line), v.way);
+}
+
+TEST(CacheArray, LruEvictsOldest)
+{
+    CacheArray c(64, 2);
+    const int set = 5;
+    const Addr a = sameSetLine(64, set, 0);
+    const Addr b = sameSetLine(64, set, 1);
+    const Addr d = sameSetLine(64, set, 2);
+
+    VictimResult v = c.chooseVictim(a, 0);
+    c.install(set, v.way, a, 0, false);
+    v = c.chooseVictim(b, 0);
+    c.install(set, v.way, b, 0, false);
+
+    // Touch a so b is LRU.
+    c.touch(set, c.probe(a));
+    v = c.chooseVictim(d, 0);
+    ASSERT_TRUE(v.ok);
+    EXPECT_EQ(v.way, c.probe(b));
+}
+
+TEST(CacheArray, ReservedLinesAreNotVictims)
+{
+    CacheArray c(64, 2);
+    const int set = 3;
+    const Addr a = sameSetLine(64, set, 0);
+    const Addr b = sameSetLine(64, set, 1);
+    const Addr d = sameSetLine(64, set, 2);
+
+    VictimResult v = c.chooseVictim(a, 0);
+    c.reserve(set, v.way, a, 0);
+    v = c.chooseVictim(b, 0);
+    c.reserve(set, v.way, b, 0);
+
+    // Both ways reserved: reservation failure.
+    v = c.chooseVictim(d, 0);
+    EXPECT_FALSE(v.ok);
+
+    // Fill one; it becomes evictable again.
+    c.fill(set, c.probe(a));
+    v = c.chooseVictim(d, 0);
+    ASSERT_TRUE(v.ok);
+    EXPECT_EQ(v.way, c.probe(a));
+}
+
+TEST(CacheArray, FillMakesLineValid)
+{
+    CacheArray c(64, 4);
+    const Addr line = 42;
+    VictimResult v = c.chooseVictim(line, 1);
+    c.reserve(c.setIndex(line), v.way, line, 1);
+    EXPECT_FALSE(c.line(c.setIndex(line), v.way).valid);
+    c.fill(c.setIndex(line), v.way);
+    const CacheLine &l = c.line(c.setIndex(line), v.way);
+    EXPECT_TRUE(l.valid);
+    EXPECT_FALSE(l.reserved);
+    EXPECT_EQ(l.owner, 1);
+}
+
+TEST(CacheArray, DirtyEvictionReported)
+{
+    CacheArray c(64, 1);
+    const int set = 9;
+    const Addr a = sameSetLine(64, set, 0);
+    const Addr b = sameSetLine(64, set, 1);
+    VictimResult v = c.chooseVictim(a, 0);
+    c.install(set, v.way, a, 0, /*dirty=*/true);
+    v = c.chooseVictim(b, 0);
+    ASSERT_TRUE(v.ok);
+    EXPECT_TRUE(v.evicted_dirty);
+    EXPECT_EQ(v.evicted_line, a);
+}
+
+TEST(CacheArray, InvalidateFreesWay)
+{
+    CacheArray c(64, 2);
+    const Addr line = 55;
+    VictimResult v = c.chooseVictim(line, 0);
+    c.install(c.setIndex(line), v.way, line, 0, false);
+    c.invalidate(c.setIndex(line), c.probe(line));
+    EXPECT_EQ(c.probe(line), -1);
+}
+
+TEST(CacheArray, WayRestrictionsConfineVictims)
+{
+    CacheArray c(64, 4);
+    c.restrictToWays(0, 0, 2); // kernel 0 -> ways [0,2)
+    c.restrictToWays(1, 2, 2); // kernel 1 -> ways [2,4)
+    const Addr line = 1234;
+    for (int i = 0; i < 10; ++i) {
+        VictimResult v = c.chooseVictim(line + 64 * i, 0);
+        ASSERT_TRUE(v.ok);
+        EXPECT_LT(v.way, 2);
+        v = c.chooseVictim(line + 64 * i, 1);
+        ASSERT_TRUE(v.ok);
+        EXPECT_GE(v.way, 2);
+    }
+}
+
+TEST(CacheArray, WayRestrictionDoesNotBlockLookups)
+{
+    CacheArray c(64, 4);
+    c.restrictToWays(0, 0, 2);
+    c.restrictToWays(1, 2, 2);
+    const Addr line = 321;
+    VictimResult v = c.chooseVictim(line, 1);
+    c.install(c.setIndex(line), v.way, line, 1, false);
+    // Kernel 0 still *sees* kernel 1's line (UCP partitions
+    // allocation, not visibility).
+    EXPECT_GE(c.probe(line), 0);
+}
+
+TEST(CacheArray, ClearWayRestrictions)
+{
+    CacheArray c(64, 4);
+    c.restrictToWays(0, 0, 1);
+    c.clearWayRestrictions();
+    bool saw_upper_way = false;
+    for (int i = 0; i < 4; ++i) {
+        const Addr line = sameSetLine(64, /*set=*/7, i);
+        VictimResult v = c.chooseVictim(line, 0);
+        ASSERT_TRUE(v.ok);
+        c.install(c.setIndex(line), v.way, line, 0, false);
+        if (v.way > 0)
+            saw_upper_way = true;
+    }
+    EXPECT_TRUE(saw_upper_way);
+}
+
+TEST(CacheArray, FullWidthRestrictionMeansUnrestricted)
+{
+    CacheArray c(64, 4);
+    c.restrictToWays(0, 0, 4);
+    const Addr line = 99;
+    VictimResult v = c.chooseVictim(line, 0);
+    EXPECT_TRUE(v.ok);
+}
+
+TEST(CacheArray, OccupancyPerKernel)
+{
+    CacheArray c(64, 4);
+    for (int i = 0; i < 6; ++i) {
+        const Addr line = static_cast<Addr>(i) * 64 + 1;
+        VictimResult v = c.chooseVictim(line, i % 2);
+        c.install(c.setIndex(line), v.way, line, i % 2, false);
+    }
+    EXPECT_EQ(c.occupancyOf(0), 3);
+    EXPECT_EQ(c.occupancyOf(1), 3);
+    EXPECT_EQ(c.occupancyOf(2), 0);
+}
+
+} // namespace
+} // namespace ckesim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the intra-warp coalescer (Section 2.1: requests from
+ * a warp's threads merge into as few line transactions as possible).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/coalescer.hpp"
+
+namespace ckesim {
+namespace {
+
+TEST(Coalescer, FullyCoalescedContiguousFloats)
+{
+    // 32 threads x 4B consecutive within 128B -> exactly one line.
+    std::vector<Addr> addrs;
+    for (int t = 0; t < 32; ++t)
+        addrs.push_back(0x1000 + static_cast<Addr>(t) * 4);
+    std::vector<Addr> out;
+    coalesce(addrs, 128, out);
+    EXPECT_EQ(out, std::vector<Addr>{0x1000 / 128});
+}
+
+TEST(Coalescer, TwoLinesForFloat2Stride)
+{
+    // 8B per thread spans two 128B lines.
+    std::vector<Addr> addrs;
+    for (int t = 0; t < 32; ++t)
+        addrs.push_back(0x2000 + static_cast<Addr>(t) * 8);
+    std::vector<Addr> out;
+    coalesce(addrs, 128, out);
+    EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Coalescer, FullyDivergentScatter)
+{
+    std::vector<Addr> addrs;
+    for (int t = 0; t < 32; ++t)
+        addrs.push_back(static_cast<Addr>(t) * 4096);
+    std::vector<Addr> out;
+    coalesce(addrs, 128, out);
+    EXPECT_EQ(out.size(), 32u);
+}
+
+TEST(Coalescer, PreservesFirstTouchOrder)
+{
+    std::vector<Addr> addrs = {128 * 5, 128 * 2, 128 * 5 + 4,
+                               128 * 9};
+    std::vector<Addr> out;
+    coalesce(addrs, 128, out);
+    EXPECT_EQ(out, (std::vector<Addr>{5, 2, 9}));
+}
+
+TEST(Coalescer, EmptyInput)
+{
+    std::vector<Addr> out = {1, 2, 3};
+    coalesce({}, 128, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Coalescer, RespectsLineSize)
+{
+    std::vector<Addr> addrs = {0, 64, 127, 128};
+    std::vector<Addr> out;
+    coalesce(addrs, 128, out);
+    EXPECT_EQ(out.size(), 2u);
+    coalesce(addrs, 64, out);
+    EXPECT_EQ(out.size(), 3u);
+}
+
+} // namespace
+} // namespace ckesim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the bench-harness helpers: class-grouped geomeans
+ * and environment-driven sizing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "metrics/experiment.hpp"
+
+namespace ckesim {
+namespace {
+
+TEST(ClassAggregate, GeomeanPerClass)
+{
+    ClassAggregate agg;
+    agg.add(WorkloadClass::CC, 1.0);
+    agg.add(WorkloadClass::CC, 4.0);
+    agg.add(WorkloadClass::MM, 9.0);
+    EXPECT_NEAR(agg.geomean(WorkloadClass::CC), 2.0, 1e-12);
+    EXPECT_NEAR(agg.geomean(WorkloadClass::MM), 9.0, 1e-12);
+    EXPECT_DOUBLE_EQ(agg.geomean(WorkloadClass::CM), 0.0);
+    EXPECT_EQ(agg.count(WorkloadClass::CC), 2);
+    EXPECT_EQ(agg.count(WorkloadClass::CM), 0);
+}
+
+TEST(ClassAggregate, GeomeanAllSpansClasses)
+{
+    ClassAggregate agg;
+    agg.add(WorkloadClass::CC, 2.0);
+    agg.add(WorkloadClass::MM, 8.0);
+    EXPECT_NEAR(agg.geomeanAll(), 4.0, 1e-12);
+}
+
+TEST(ClassAggregate, ClampsNonPositiveValues)
+{
+    ClassAggregate agg;
+    agg.add(WorkloadClass::CC, 0.0); // would break a geomean
+    agg.add(WorkloadClass::CC, 1.0);
+    EXPECT_GT(agg.geomean(WorkloadClass::CC), 0.0);
+}
+
+TEST(Experiment, ClassLabels)
+{
+    EXPECT_STREQ(classLabel(WorkloadClass::CC), "C+C");
+    EXPECT_STREQ(classLabel(WorkloadClass::CM), "C+M");
+    EXPECT_STREQ(classLabel(WorkloadClass::MM), "M+M");
+}
+
+TEST(Experiment, BenchConfigIsAlwaysTheTable1Machine)
+{
+    const GpuConfig cfg = benchConfig();
+    EXPECT_EQ(cfg.num_sms, 16);
+    EXPECT_EQ(cfg.dram.num_channels, 16);
+}
+
+TEST(Experiment, CyclesOverridableByEnv)
+{
+    ::setenv("CKESIM_CYCLES", "12345", 1);
+    EXPECT_EQ(benchCycles(), Cycle{12345});
+    ::unsetenv("CKESIM_CYCLES");
+    EXPECT_GT(benchCycles(), Cycle{10000});
+}
+
+TEST(Experiment, FullModeSwitchesPairList)
+{
+    ::unsetenv("CKESIM_FULL");
+    EXPECT_FALSE(fullMode());
+    const std::size_t quick = benchPairs().size();
+    ::setenv("CKESIM_FULL", "1", 1);
+    EXPECT_TRUE(fullMode());
+    EXPECT_EQ(benchPairs().size(), 78u);
+    ::unsetenv("CKESIM_FULL");
+    EXPECT_LT(quick, 78u);
+}
+
+TEST(Experiment, FmtAlignsNumbers)
+{
+    EXPECT_EQ(fmt(1.5, 7, 3), "  1.500");
+    EXPECT_EQ(fmt(-0.25, 6, 2), " -0.25");
+}
+
+} // namespace
+} // namespace ckesim

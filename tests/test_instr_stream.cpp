@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the procedural instruction stream: budget, mix
+ * ratios and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/instr_stream.hpp"
+
+namespace ckesim {
+namespace {
+
+struct MixCounts
+{
+    int alu = 0, sfu = 0, smem = 0, load = 0, store = 0;
+    int total() const { return alu + sfu + smem + load + store; }
+    int compute() const { return alu + sfu + smem; }
+    int mem() const { return load + store; }
+};
+
+MixCounts
+runStream(const KernelProfile &p, std::uint64_t seed = 1)
+{
+    InstrStream s;
+    s.reset(p, seed);
+    MixCounts m;
+    while (!s.done()) {
+        switch (s.advance()) {
+          case InstrKind::Alu:
+            ++m.alu;
+            break;
+          case InstrKind::Sfu:
+            ++m.sfu;
+            break;
+          case InstrKind::Smem:
+            ++m.smem;
+            break;
+          case InstrKind::MemLoad:
+            ++m.load;
+            break;
+          case InstrKind::MemStore:
+            ++m.store;
+            break;
+        }
+    }
+    return m;
+}
+
+TEST(InstrStream, ExecutesExactBudget)
+{
+    const KernelProfile &p = findProfile("bp");
+    const MixCounts m = runStream(p);
+    EXPECT_EQ(m.total(), p.instrs_per_warp);
+}
+
+TEST(InstrStream, CinstPerMinstNearTarget)
+{
+    for (const char *name : {"cp", "hs", "3m", "ks", "cd"}) {
+        const KernelProfile &p = findProfile(name);
+        const MixCounts m = runStream(p);
+        ASSERT_GT(m.mem(), 0) << name;
+        const double ratio =
+            static_cast<double>(m.compute()) / m.mem();
+        EXPECT_NEAR(ratio, p.cinst_per_minst,
+                    0.25 * p.cinst_per_minst + 0.3)
+            << name;
+    }
+}
+
+TEST(InstrStream, WriteFractionNearTarget)
+{
+    const KernelProfile &p = findProfile("bp"); // write_fraction 0.2
+    MixCounts total;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        const MixCounts m = runStream(p, seed);
+        total.load += m.load;
+        total.store += m.store;
+    }
+    const double wf =
+        static_cast<double>(total.store) /
+        (total.store + total.load);
+    EXPECT_NEAR(wf, p.write_fraction, 0.05);
+}
+
+TEST(InstrStream, SfuAndSmemFractions)
+{
+    const KernelProfile &p = findProfile("cp"); // sfu .30, smem .30
+    MixCounts total;
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        const MixCounts m = runStream(p, seed);
+        total.alu += m.alu;
+        total.sfu += m.sfu;
+        total.smem += m.smem;
+    }
+    const double c = total.alu + total.sfu + total.smem;
+    EXPECT_NEAR(total.sfu / c, p.sfu_fraction, 0.05);
+    EXPECT_NEAR(total.smem / c, p.smem_fraction, 0.05);
+}
+
+TEST(InstrStream, DeterministicForSeed)
+{
+    const KernelProfile &p = findProfile("sv");
+    InstrStream a, b;
+    a.reset(p, 99);
+    b.reset(p, 99);
+    for (int i = 0; i < 500; ++i)
+        ASSERT_EQ(a.advance(), b.advance());
+}
+
+TEST(InstrStream, PeekMatchesAdvance)
+{
+    const KernelProfile &p = findProfile("ks");
+    InstrStream s;
+    s.reset(p, 3);
+    for (int i = 0; i < 200; ++i) {
+        const InstrKind peeked = s.peek();
+        ASSERT_EQ(s.advance(), peeked);
+    }
+}
+
+TEST(InstrStream, ResetRestarts)
+{
+    const KernelProfile &p = findProfile("bs");
+    InstrStream s;
+    s.reset(p, 5);
+    while (!s.done())
+        s.advance();
+    EXPECT_EQ(s.executed(), p.instrs_per_warp);
+    s.reset(p, 5);
+    EXPECT_FALSE(s.done());
+    EXPECT_EQ(s.executed(), 0);
+}
+
+TEST(InstrStream, IsGlobalMemHelper)
+{
+    EXPECT_TRUE(isGlobalMem(InstrKind::MemLoad));
+    EXPECT_TRUE(isGlobalMem(InstrKind::MemStore));
+    EXPECT_FALSE(isGlobalMem(InstrKind::Alu));
+    EXPECT_FALSE(isGlobalMem(InstrKind::Smem));
+    EXPECT_FALSE(isGlobalMem(InstrKind::Sfu));
+}
+
+} // namespace
+} // namespace ckesim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * End-to-end smoke tests: isolated kernels execute and produce sane
+ * statistics; a concurrent pair under WS-DMIL runs to completion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu.hpp"
+#include "kernels/workload.hpp"
+#include "metrics/runner.hpp"
+
+namespace ckesim {
+namespace {
+
+GpuConfig
+testConfig()
+{
+    GpuConfig cfg = makeSmallConfig(4, 4);
+    return cfg;
+}
+
+TEST(Integration, IsolatedComputeKernelExecutes)
+{
+    Runner runner(testConfig(), 20000);
+    const IsolatedResult &res = runner.isolated(findProfile("bp"));
+    EXPECT_GT(res.ipc, 0.1);
+    EXPECT_GT(res.stats.issued_instructions, 1000u);
+    EXPECT_GT(res.stats.mem_instructions, 0u);
+    EXPECT_GT(res.stats.l1d_accesses, 0u);
+}
+
+TEST(Integration, IsolatedMemoryKernelExecutes)
+{
+    Runner runner(testConfig(), 20000);
+    const IsolatedResult &res = runner.isolated(findProfile("sv"));
+    EXPECT_GT(res.ipc, 0.01);
+    EXPECT_GT(res.stats.l1dMissRate(), 0.3);
+}
+
+TEST(Integration, ConcurrentPairUnderWsDmil)
+{
+    Runner runner(testConfig(), 20000);
+    const Workload wl = makeWorkload({"bp", "sv"});
+    const ConcurrentResult res = runner.run(wl, NamedScheme::WS_DMIL);
+    ASSERT_EQ(res.norm_ipc.size(), 2u);
+    EXPECT_GT(res.weighted_speedup, 0.1);
+    EXPECT_LE(res.weighted_speedup, 2.5);
+    EXPECT_GT(res.fairness, 0.0);
+    EXPECT_LE(res.fairness, 1.0 + 1e-9);
+}
+
+} // namespace
+} // namespace ckesim

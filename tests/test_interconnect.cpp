@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the crossbar model: zero-load latency, flit
+ * serialization at destination ports, queue-depth backpressure and
+ * FIFO delivery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/interconnect.hpp"
+
+namespace ckesim {
+namespace {
+
+IcntConfig
+cfgOf(int latency, int depth)
+{
+    IcntConfig c;
+    c.latency = latency;
+    c.input_queue_depth = depth;
+    return c;
+}
+
+MemRequest
+req(Addr line)
+{
+    MemRequest r;
+    r.line_addr = line;
+    return r;
+}
+
+TEST(Crossbar, DeliversAfterLatencyPlusSerialization)
+{
+    Crossbar x(2, cfgOf(4, 8));
+    ASSERT_TRUE(x.tryInject(0, /*flits=*/1, req(1), /*now=*/10));
+    // Ready at 10 + 4 (latency) + 1 (flit) = 15.
+    EXPECT_TRUE(x.drain(0, 14, 8).empty());
+    const auto out = x.drain(0, 15, 8);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].line_addr, 1u);
+}
+
+TEST(Crossbar, PortSerializesFlits)
+{
+    Crossbar x(1, cfgOf(0, 8));
+    x.tryInject(0, 4, req(1), 0); // ready at 4
+    x.tryInject(0, 4, req(2), 0); // ready at 8
+    EXPECT_EQ(x.drain(0, 4, 8).size(), 1u);
+    EXPECT_EQ(x.drain(0, 7, 8).size(), 0u);
+    EXPECT_EQ(x.drain(0, 8, 8).size(), 1u);
+}
+
+TEST(Crossbar, IndependentPorts)
+{
+    Crossbar x(2, cfgOf(0, 8));
+    x.tryInject(0, 4, req(1), 0);
+    x.tryInject(1, 4, req(2), 0);
+    // Port 1 is not delayed by port 0's serialization.
+    EXPECT_EQ(x.drain(1, 4, 8).size(), 1u);
+}
+
+TEST(Crossbar, QueueDepthRejectsInjection)
+{
+    Crossbar x(1, cfgOf(0, 2));
+    EXPECT_TRUE(x.tryInject(0, 1, req(1), 0));
+    EXPECT_TRUE(x.tryInject(0, 1, req(2), 0));
+    EXPECT_FALSE(x.tryInject(0, 1, req(3), 0));
+    EXPECT_EQ(x.queueLength(0), 2);
+    // Draining frees capacity.
+    x.drain(0, 100, 8);
+    EXPECT_TRUE(x.tryInject(0, 1, req(3), 100));
+}
+
+TEST(Crossbar, DrainRespectsMaxCount)
+{
+    Crossbar x(1, cfgOf(0, 8));
+    for (int i = 0; i < 4; ++i)
+        x.tryInject(0, 1, req(static_cast<Addr>(i)), 0);
+    EXPECT_EQ(x.drain(0, 100, 2).size(), 2u);
+    EXPECT_EQ(x.drain(0, 100, 8).size(), 2u);
+}
+
+TEST(Crossbar, FifoOrderPerPort)
+{
+    Crossbar x(1, cfgOf(0, 8));
+    for (Addr i = 0; i < 4; ++i)
+        x.tryInject(0, 1, req(i), 0);
+    const auto out = x.drain(0, 100, 8);
+    ASSERT_EQ(out.size(), 4u);
+    for (Addr i = 0; i < 4; ++i)
+        EXPECT_EQ(out[static_cast<std::size_t>(i)].line_addr, i);
+}
+
+TEST(Crossbar, IdlePortRecoversWireAfterGap)
+{
+    Crossbar x(1, cfgOf(2, 8));
+    x.tryInject(0, 1, req(1), 0); // ready at 3
+    x.drain(0, 3, 8);
+    // A much later injection sees only latency+flit, not stale
+    // next_free.
+    x.tryInject(0, 1, req(2), 100);
+    EXPECT_TRUE(x.drain(0, 102, 8).empty());
+    EXPECT_EQ(x.drain(0, 103, 8).size(), 1u);
+}
+
+} // namespace
+} // namespace ckesim

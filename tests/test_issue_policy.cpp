@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the per-SM issue controller: RBMI/QBMI arbitration,
+ * MIL admission, the QBMI+DMIL interaction and SMK warp quotas.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/issue_policy.hpp"
+
+namespace ckesim {
+namespace {
+
+std::array<bool, kMaxKernelsPerSm>
+demand(bool k0, bool k1)
+{
+    std::array<bool, kMaxKernelsPerSm> d{};
+    d[0] = k0;
+    d[1] = k1;
+    return d;
+}
+
+TEST(IssueController, UnmanagedAdmitsEveryone)
+{
+    IssuePolicyConfig cfg;
+    IssueController c(cfg, 2);
+    c.beginCycle(demand(true, true));
+    EXPECT_TRUE(c.admitMemIssue(0));
+    EXPECT_TRUE(c.admitMemIssue(1));
+    EXPECT_TRUE(c.admitAnyIssue(0));
+}
+
+TEST(IssueController, RbmiAlternates)
+{
+    IssuePolicyConfig cfg;
+    cfg.bmi = BmiMode::RBMI;
+    IssueController c(cfg, 2);
+    c.beginCycle(demand(true, true));
+    EXPECT_TRUE(c.admitMemIssue(0));
+    EXPECT_FALSE(c.admitMemIssue(1));
+    c.onMemInstrIssued(0); // pointer moves to kernel 1
+    EXPECT_FALSE(c.admitMemIssue(0));
+    EXPECT_TRUE(c.admitMemIssue(1));
+    c.onMemInstrIssued(1);
+    EXPECT_TRUE(c.admitMemIssue(0));
+}
+
+TEST(IssueController, RbmiSkipsKernelsWithoutDemand)
+{
+    IssuePolicyConfig cfg;
+    cfg.bmi = BmiMode::RBMI;
+    IssueController c(cfg, 2);
+    c.beginCycle(demand(false, true));
+    EXPECT_TRUE(c.admitMemIssue(1));
+}
+
+TEST(IssueController, QbmiPrefersHigherQuota)
+{
+    IssuePolicyConfig cfg;
+    cfg.bmi = BmiMode::QBMI;
+    IssueController c(cfg, 2);
+    c.beginCycle(demand(true, true));
+    // Initial quotas are equal (both rates default to 1): both admit.
+    EXPECT_TRUE(c.admitMemIssue(0));
+    EXPECT_TRUE(c.admitMemIssue(1));
+    c.onMemInstrIssued(0); // quota0 drops below quota1
+    EXPECT_FALSE(c.admitMemIssue(0));
+    EXPECT_TRUE(c.admitMemIssue(1));
+}
+
+TEST(IssueController, QbmiIgnoresKernelsWithoutDemand)
+{
+    IssuePolicyConfig cfg;
+    cfg.bmi = BmiMode::QBMI;
+    IssueController c(cfg, 2);
+    c.beginCycle(demand(true, false));
+    c.onMemInstrIssued(0);
+    c.beginCycle(demand(true, false));
+    // Kernel 1 has more quota but no demand: kernel 0 still admitted.
+    EXPECT_TRUE(c.admitMemIssue(0));
+}
+
+TEST(IssueController, QbmiReplenishesOnDepletion)
+{
+    IssuePolicyConfig cfg;
+    cfg.bmi = BmiMode::QBMI;
+    IssueController c(cfg, 2);
+    c.beginCycle(demand(true, true));
+    const int q0 = c.qbmiQuota(0);
+    // Exhaust kernel 0's quota.
+    for (int i = 0; i < q0; ++i)
+        c.onMemInstrIssued(0);
+    EXPECT_LE(c.qbmiQuota(0), 0);
+    c.beginCycle(demand(true, true));
+    // A fresh set was *added* to current values (paper semantics).
+    EXPECT_GT(c.qbmiQuota(0), 0);
+    EXPECT_GT(c.qbmiQuota(1), q0);
+}
+
+TEST(IssueController, StaticMilCapsInflight)
+{
+    IssuePolicyConfig cfg;
+    cfg.mil = MilMode::Static;
+    cfg.static_limits[0] = 2;
+    cfg.static_limits[1] = 0; // "Inf"
+    IssueController c(cfg, 2);
+    c.beginCycle(demand(true, true));
+    c.onMemInstrIssued(0);
+    c.onMemInstrIssued(0);
+    EXPECT_FALSE(c.admitMemIssue(0));
+    EXPECT_TRUE(c.admitMemIssue(1));
+    c.onMemInstrCompleted(0);
+    EXPECT_TRUE(c.admitMemIssue(0));
+    EXPECT_EQ(c.milLimit(1), 1 << 20);
+}
+
+TEST(IssueController, DynamicMilFollowsMilg)
+{
+    IssuePolicyConfig cfg;
+    cfg.mil = MilMode::Dynamic;
+    IssueController c(cfg, 2);
+    c.beginCycle(demand(true, true));
+    // Drive one congested interval for kernel 0.
+    c.onMemInstrIssued(0);
+    for (int i = 0; i < 40; ++i) {
+        c.onMemInstrIssued(0);
+        c.onMemInstrCompleted(0);
+    }
+    for (int i = 0; i < 3000; ++i)
+        c.onRsFail(0);
+    for (int i = 0; i < 1024; ++i)
+        c.onRequestServiced(0);
+    EXPECT_LT(c.milLimit(0), 42);
+    EXPECT_GE(c.milLimit(0), 1);
+    // Kernel 1 untouched.
+    EXPECT_GE(c.milLimit(1), 1 << 19);
+}
+
+TEST(IssueController, InflightTracking)
+{
+    IssuePolicyConfig cfg;
+    IssueController c(cfg, 2);
+    c.onMemInstrIssued(0);
+    c.onMemInstrIssued(0);
+    c.onMemInstrIssued(1);
+    EXPECT_EQ(c.inflight(0), 2);
+    EXPECT_EQ(c.inflight(1), 1);
+    c.onMemInstrCompleted(0);
+    EXPECT_EQ(c.inflight(0), 1);
+}
+
+TEST(IssueController, QbmiIgnoresMilFrozenCompetitors)
+{
+    // A kernel frozen by its MIL limit must not block the other via
+    // quota priority (the QBMI+DMIL combination, Section 3.4).
+    IssuePolicyConfig cfg;
+    cfg.bmi = BmiMode::QBMI;
+    cfg.mil = MilMode::Static;
+    cfg.static_limits[1] = 1;
+    IssueController c(cfg, 2);
+    c.beginCycle(demand(true, true));
+    c.onMemInstrIssued(0); // quota0 now below quota1
+    c.onMemInstrIssued(1); // kernel 1 hits its limit
+    c.beginCycle(demand(true, true));
+    EXPECT_FALSE(c.admitMemIssue(1));
+    EXPECT_TRUE(c.admitMemIssue(0)); // 1 is frozen: 0 may go
+}
+
+TEST(IssueController, SmkWarpQuotaGatesAllIssue)
+{
+    IssuePolicyConfig cfg;
+    cfg.warp_quota_enabled = true;
+    cfg.warp_quotas[0] = 2;
+    cfg.warp_quotas[1] = 4;
+    IssueController c(cfg, 2);
+    c.beginCycle(demand(false, false));
+    EXPECT_TRUE(c.admitAnyIssue(0));
+    c.onInstrIssued(0);
+    c.onInstrIssued(0);
+    EXPECT_FALSE(c.admitAnyIssue(0)); // quota spent
+    EXPECT_TRUE(c.admitAnyIssue(1));
+    // Exhaust kernel 1 too: quotas replenish at the cycle boundary.
+    for (int i = 0; i < 4; ++i)
+        c.onInstrIssued(1);
+    EXPECT_FALSE(c.admitAnyIssue(1));
+    c.beginCycle(demand(false, false));
+    EXPECT_TRUE(c.admitAnyIssue(0));
+    EXPECT_TRUE(c.admitAnyIssue(1));
+}
+
+TEST(IssueController, SmkQuotaStallEscape)
+{
+    // If the kernel holding remaining quota never issues (e.g. no
+    // ready warps), the controller must eventually replenish instead
+    // of deadlocking the other kernel.
+    IssuePolicyConfig cfg;
+    cfg.warp_quota_enabled = true;
+    cfg.warp_quotas[0] = 1;
+    cfg.warp_quotas[1] = 1000;
+    IssueController c(cfg, 2);
+    c.beginCycle(demand(false, false));
+    c.onInstrIssued(0);
+    EXPECT_FALSE(c.admitAnyIssue(0));
+    for (int i = 0; i < 400; ++i)
+        c.beginCycle(demand(false, false));
+    EXPECT_TRUE(c.admitAnyIssue(0));
+}
+
+} // namespace
+} // namespace ckesim

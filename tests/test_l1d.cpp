@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the L1D front-end: hit/miss paths, reservation
+ * failures for each resource (line / MSHR / miss queue), WEWN write
+ * semantics and fill wakeups.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/l1d.hpp"
+
+namespace ckesim {
+namespace {
+
+L1dConfig
+smallL1(int mshrs = 4, int missq = 4, int assoc = 2)
+{
+    L1dConfig cfg;
+    cfg.size_bytes = 64 * assoc * 16; // 16 sets
+    cfg.line_bytes = 64;
+    cfg.assoc = assoc;
+    cfg.num_mshrs = mshrs;
+    cfg.mshr_merge = 2;
+    cfg.miss_queue_depth = missq;
+    return cfg;
+}
+
+L1Target
+tgt(int warp)
+{
+    L1Target t;
+    t.warp_index = warp;
+    t.kernel = 0;
+    return t;
+}
+
+/** i-th line mapping to a given set. */
+Addr
+sameSetLine(const L1dConfig &cfg, int set, int i)
+{
+    int found = 0;
+    for (Addr line = 0;; ++line) {
+        if (xorSetIndex(line, cfg.numSets()) == set) {
+            if (found == i)
+                return line;
+            ++found;
+        }
+    }
+}
+
+TEST(L1Dcache, MissThenFillThenHit)
+{
+    L1Dcache l1(smallL1(), 0);
+    const Addr line = 100;
+
+    L1Outcome out = l1.access(line, 0, false, tgt(7), 0);
+    EXPECT_EQ(out.kind, L1Outcome::Kind::MissToL2);
+    ASSERT_NE(l1.peekMissQueue(), nullptr);
+    EXPECT_EQ(l1.peekMissQueue()->line_addr, line);
+    l1.popMissQueue();
+
+    const std::vector<L1Target> targets = l1.fill(line);
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(targets[0].warp_index, 7);
+
+    out = l1.access(line, 0, false, tgt(8), 1);
+    EXPECT_EQ(out.kind, L1Outcome::Kind::Hit);
+}
+
+TEST(L1Dcache, SecondMissToSameLineMerges)
+{
+    L1Dcache l1(smallL1(), 0);
+    const Addr line = 100;
+    l1.access(line, 0, false, tgt(1), 0);
+    const L1Outcome out = l1.access(line, 0, false, tgt(2), 0);
+    EXPECT_EQ(out.kind, L1Outcome::Kind::MergedMshr);
+    // Merge consumed no extra miss-queue entry.
+    EXPECT_EQ(l1.missQueueSize(), 1);
+    // Fill returns both targets.
+    EXPECT_EQ(l1.fill(line).size(), 2u);
+}
+
+TEST(L1Dcache, MergeListFullIsMshrRsFail)
+{
+    L1Dcache l1(smallL1(), 0); // merge cap 2
+    const Addr line = 100;
+    l1.access(line, 0, false, tgt(1), 0);
+    l1.access(line, 0, false, tgt(2), 0);
+    const L1Outcome out = l1.access(line, 0, false, tgt(3), 0);
+    EXPECT_EQ(out.kind, L1Outcome::Kind::RsFail);
+    EXPECT_EQ(out.fail, RsFailReason::Mshr);
+}
+
+TEST(L1Dcache, MshrTableFullIsRsFail)
+{
+    L1Dcache l1(smallL1(/*mshrs=*/2, /*missq=*/8), 0);
+    l1.access(1, 0, false, tgt(1), 0);
+    l1.access(2, 0, false, tgt(2), 0);
+    const L1Outcome out = l1.access(3, 0, false, tgt(3), 0);
+    EXPECT_EQ(out.kind, L1Outcome::Kind::RsFail);
+    EXPECT_EQ(out.fail, RsFailReason::Mshr);
+    EXPECT_EQ(l1.mshrsInUse(), 2);
+}
+
+TEST(L1Dcache, MissQueueFullIsRsFail)
+{
+    L1Dcache l1(smallL1(/*mshrs=*/8, /*missq=*/2), 0);
+    l1.access(1, 0, false, tgt(1), 0);
+    l1.access(2, 0, false, tgt(2), 0);
+    // Queue not drained: third new miss cannot enqueue.
+    const L1Outcome out = l1.access(3, 0, false, tgt(3), 0);
+    EXPECT_EQ(out.kind, L1Outcome::Kind::RsFail);
+    EXPECT_EQ(out.fail, RsFailReason::MissQueue);
+}
+
+TEST(L1Dcache, AllWaysReservedIsLineRsFail)
+{
+    const L1dConfig cfg = smallL1(/*mshrs=*/8, /*missq=*/8,
+                                  /*assoc=*/2);
+    L1Dcache l1(cfg, 0);
+    const Addr a = sameSetLine(cfg, 3, 0);
+    const Addr b = sameSetLine(cfg, 3, 1);
+    const Addr c = sameSetLine(cfg, 3, 2);
+    EXPECT_EQ(l1.access(a, 0, false, tgt(1), 0).kind,
+              L1Outcome::Kind::MissToL2);
+    EXPECT_EQ(l1.access(b, 0, false, tgt(2), 0).kind,
+              L1Outcome::Kind::MissToL2);
+    const L1Outcome out = l1.access(c, 0, false, tgt(3), 0);
+    EXPECT_EQ(out.kind, L1Outcome::Kind::RsFail);
+    EXPECT_EQ(out.fail, RsFailReason::Line);
+
+    // A fill frees the set again.
+    l1.fill(a);
+    EXPECT_EQ(l1.access(c, 0, false, tgt(3), 1).kind,
+              L1Outcome::Kind::MissToL2);
+}
+
+TEST(L1Dcache, WriteEvictsAndForwards)
+{
+    L1Dcache l1(smallL1(), 0);
+    const Addr line = 50;
+    // Install via miss+fill.
+    l1.access(line, 0, false, tgt(1), 0);
+    l1.popMissQueue();
+    l1.fill(line);
+
+    // WEWN: the write invalidates the cached copy and enqueues a
+    // write-through request; no MSHR is used.
+    const int mshrs_before = l1.mshrsInUse();
+    const L1Outcome out = l1.access(line, 0, true, tgt(2), 1);
+    EXPECT_EQ(out.kind, L1Outcome::Kind::WriteQueued);
+    EXPECT_EQ(l1.mshrsInUse(), mshrs_before);
+    ASSERT_NE(l1.peekMissQueue(), nullptr);
+    EXPECT_EQ(l1.peekMissQueue()->kind, ReqKind::WriteThru);
+
+    // The next read misses: write-evict dropped the line.
+    EXPECT_EQ(l1.access(line, 0, false, tgt(3), 2).kind,
+              L1Outcome::Kind::MissToL2);
+}
+
+TEST(L1Dcache, WriteNeedsOnlyMissQueue)
+{
+    L1Dcache l1(smallL1(/*mshrs=*/1, /*missq=*/2), 0);
+    // Exhaust the single MSHR.
+    l1.access(1, 0, false, tgt(1), 0);
+    // A write still succeeds (no MSHR needed).
+    EXPECT_EQ(l1.access(2, 0, true, tgt(2), 0).kind,
+              L1Outcome::Kind::WriteQueued);
+    // But a full miss queue rejects writes.
+    EXPECT_EQ(l1.access(3, 0, true, tgt(3), 0).kind,
+              L1Outcome::Kind::RsFail);
+}
+
+TEST(L1Dcache, RsFailLeavesNoSideEffects)
+{
+    L1Dcache l1(smallL1(/*mshrs=*/1, /*missq=*/8), 0);
+    l1.access(1, 0, false, tgt(1), 0);
+    const int missq = l1.missQueueSize();
+    const L1Outcome out = l1.access(2, 0, false, tgt(2), 0);
+    EXPECT_EQ(out.kind, L1Outcome::Kind::RsFail);
+    EXPECT_EQ(l1.missQueueSize(), missq);
+    EXPECT_EQ(l1.mshrsInUse(), 1);
+    // Retry succeeds after the fill.
+    l1.popMissQueue();
+    l1.fill(1);
+    EXPECT_EQ(l1.access(2, 0, false, tgt(2), 1).kind,
+              L1Outcome::Kind::MissToL2);
+}
+
+} // namespace
+} // namespace ckesim

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the in-order LSU: per-cycle request servicing, head
+ * blocking on reservation failure and the host-event protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sm/lsu.hpp"
+
+namespace ckesim {
+namespace {
+
+struct RecordingHost : LsuHost
+{
+    std::vector<std::pair<int, Cycle>> hits;
+    std::vector<std::pair<int, bool>> drained;
+    int serviced = 0;
+    int rsfails = 0;
+    RsFailReason last_reason = RsFailReason::None;
+
+    void
+    lsuHitReturn(int warp, KernelId, Cycle ready) override
+    {
+        hits.push_back({warp, ready});
+    }
+    void
+    lsuEntryDrained(int warp, KernelId, bool is_store) override
+    {
+        drained.push_back({warp, is_store});
+    }
+    void
+    lsuAccessServiced(KernelId, Addr, const L1Outcome &) override
+    {
+        ++serviced;
+    }
+    void
+    lsuReservationFailure(KernelId, RsFailReason r) override
+    {
+        ++rsfails;
+        last_reason = r;
+    }
+};
+
+L1dConfig
+l1cfg(int mshrs = 8, int missq = 8)
+{
+    L1dConfig cfg;
+    cfg.size_bytes = 64 * 4 * 16;
+    cfg.line_bytes = 64;
+    cfg.assoc = 4;
+    cfg.num_mshrs = mshrs;
+    cfg.mshr_merge = 4;
+    cfg.miss_queue_depth = missq;
+    cfg.hit_latency = 28;
+    return cfg;
+}
+
+TEST(Lsu, QueueDepthEnforced)
+{
+    Lsu lsu(/*depth=*/2, /*hit_latency=*/28);
+    EXPECT_TRUE(lsu.hasRoom());
+    lsu.enqueue(0, 0, false, {1});
+    lsu.enqueue(1, 0, false, {2});
+    EXPECT_FALSE(lsu.hasRoom());
+}
+
+TEST(Lsu, OneRequestPerCycle)
+{
+    Lsu lsu(8, 28);
+    L1Dcache l1(l1cfg(), 0);
+    RecordingHost host;
+    lsu.enqueue(0, 0, false, {1, 2, 3});
+    for (Cycle t = 0; t < 3; ++t)
+        EXPECT_FALSE(lsu.tick(t, l1, host));
+    EXPECT_EQ(host.serviced, 3);
+    ASSERT_EQ(host.drained.size(), 1u);
+    EXPECT_EQ(host.drained[0].first, 0);
+    EXPECT_TRUE(lsu.empty());
+}
+
+TEST(Lsu, HitSchedulesWakeAtHitLatency)
+{
+    Lsu lsu(8, 28);
+    L1Dcache l1(l1cfg(), 0);
+    RecordingHost host;
+    // Warm the line.
+    lsu.enqueue(0, 0, false, {5});
+    lsu.tick(0, l1, host);
+    l1.popMissQueue();
+    l1.fill(5);
+    // Hit path.
+    lsu.enqueue(1, 0, false, {5});
+    lsu.tick(10, l1, host);
+    ASSERT_EQ(host.hits.size(), 1u);
+    EXPECT_EQ(host.hits[0].first, 1);
+    EXPECT_EQ(host.hits[0].second, Cycle{10 + 28});
+}
+
+TEST(Lsu, HeadBlocksOnReservationFailure)
+{
+    Lsu lsu(8, 28);
+    L1Dcache l1(l1cfg(/*mshrs=*/1), 0);
+    RecordingHost host;
+    lsu.enqueue(0, 0, false, {1});
+    lsu.tick(0, l1, host); // takes the only MSHR
+    lsu.enqueue(1, 0, false, {2, 3});
+    // Head retries; the queue does not advance.
+    for (Cycle t = 1; t < 5; ++t)
+        EXPECT_TRUE(lsu.tick(t, l1, host));
+    EXPECT_EQ(host.rsfails, 4);
+    EXPECT_EQ(host.last_reason, RsFailReason::Mshr);
+    EXPECT_EQ(lsu.size(), 1);
+    // Free the MSHR: the head proceeds.
+    l1.popMissQueue();
+    l1.fill(1);
+    EXPECT_FALSE(lsu.tick(5, l1, host));
+    EXPECT_EQ(host.serviced, 2);
+}
+
+TEST(Lsu, InOrderAcrossKernels)
+{
+    // A blocked head from kernel 0 delays kernel 1 behind it: the
+    // cross-kernel interference of Section 4.5.
+    Lsu lsu(8, 28);
+    L1Dcache l1(l1cfg(/*mshrs=*/1), 0);
+    RecordingHost host;
+    lsu.enqueue(0, /*kernel=*/0, false, {1});
+    lsu.tick(0, l1, host);
+    lsu.enqueue(1, /*kernel=*/0, false, {2});
+    lsu.enqueue(2, /*kernel=*/1, false, {3});
+    for (Cycle t = 1; t < 4; ++t)
+        lsu.tick(t, l1, host);
+    // Kernel 1's entry has not been serviced.
+    EXPECT_EQ(host.serviced, 1);
+    EXPECT_EQ(lsu.size(), 2);
+}
+
+TEST(Lsu, StoreDrainSignalsStore)
+{
+    Lsu lsu(8, 28);
+    L1Dcache l1(l1cfg(), 0);
+    RecordingHost host;
+    lsu.enqueue(4, 0, /*is_store=*/true, {9});
+    lsu.tick(0, l1, host);
+    ASSERT_EQ(host.drained.size(), 1u);
+    EXPECT_TRUE(host.drained[0].second);
+    EXPECT_TRUE(host.hits.empty()); // stores never wake warps
+}
+
+TEST(Lsu, EmptyTickIsNotAStall)
+{
+    Lsu lsu(8, 28);
+    L1Dcache l1(l1cfg(), 0);
+    RecordingHost host;
+    EXPECT_FALSE(lsu.tick(0, l1, host));
+    EXPECT_EQ(host.rsfails, 0);
+}
+
+} // namespace
+} // namespace ckesim

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the MILG hardware model (Figure 10 / Section 3.3.2):
+ * counter widths, sampling interval, the throttle formula and AIMD
+ * relaxation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/milg.hpp"
+
+namespace ckesim {
+namespace {
+
+/** Drive one full 1024-request interval with a given rsfail count
+ *  and peak in-flight value. */
+void
+runInterval(Milg &m, int rsfails, int peak)
+{
+    m.observeInflight(peak);
+    for (int i = 0; i < rsfails; ++i)
+        m.onRsFail();
+    for (int i = 0; i < Milg::kIntervalRequests; ++i)
+        m.onRequest();
+}
+
+TEST(Milg, HardwareWidths)
+{
+    // Section 4.4: 7-bit inflight counter, 12-bit rsfail counter,
+    // 10-bit request counter.
+    EXPECT_EQ(Milg::kInflightBits, 7);
+    EXPECT_EQ(Milg::kRsFailBits, 12);
+    EXPECT_EQ(Milg::kRequestBits, 10);
+    EXPECT_EQ(Milg::kIntervalRequests, 1024);
+    EXPECT_EQ(Milg::kStorageBits, 29);
+}
+
+TEST(Milg, UnlimitedBeforeFirstInterval)
+{
+    Milg m;
+    EXPECT_GE(m.limit(), 1 << 19);
+    runInterval(m, 0, 10); // only now does it compute
+    EXPECT_LT(m.limit(), 1 << 19);
+}
+
+TEST(Milg, FirstCongestedIntervalOnlyHolds)
+{
+    // Hysteresis: one congested interval pins the limit at the
+    // observed peak; it does not yet divide.
+    Milg m;
+    runInterval(m, 2048, 60);
+    EXPECT_EQ(m.limit(), 60);
+}
+
+TEST(Milg, ThrottlesOnSustainedCongestion)
+{
+    Milg m;
+    // 2048 rsfails over 1024 requests = 2 per request, twice in a
+    // row -> peak / 3 on the second interval.
+    runInterval(m, 2048, 60);
+    runInterval(m, 2048, 60);
+    EXPECT_EQ(m.limit(), 20);
+}
+
+TEST(Milg, ThrottleFloorsAtOne)
+{
+    Milg m;
+    runInterval(m, Milg::kRsFailSaturation, 2);
+    runInterval(m, Milg::kRsFailSaturation, 2);
+    EXPECT_EQ(m.limit(), 1);
+}
+
+TEST(Milg, RelaxesWhenCongestionFree)
+{
+    Milg m;
+    runInterval(m, 2048, 60); // -> 20
+    runInterval(m, 0, 20);    // congestion free -> 30
+    EXPECT_EQ(m.limit(), 30);
+    runInterval(m, 0, 30);
+    EXPECT_EQ(m.limit(), 45);
+}
+
+TEST(Milg, BelowThresholdDoesNotThrottle)
+{
+    Milg m;
+    // 1000 rsfails over 1024 requests: below one per request.
+    runInterval(m, 1000, 40);
+    EXPECT_GE(m.limit(), 40);
+}
+
+TEST(Milg, RsFailCounterSaturates)
+{
+    Milg m;
+    // Far more failures than the 12-bit counter holds: the shift of
+    // the saturated value caps the divisor.
+    runInterval(m, 100000, 127);
+    runInterval(m, 100000, 127);
+    // 4095 >> 10 == 3 -> 127 / 4 = 31.
+    EXPECT_EQ(m.limit(), 31);
+}
+
+TEST(Milg, HysteresisClearsAfterCleanInterval)
+{
+    Milg m;
+    runInterval(m, 2048, 60); // congested: hold
+    runInterval(m, 0, 40);    // clean: relax, clear hysteresis
+    runInterval(m, 2048, 50); // congested again: hold, not divide
+    EXPECT_EQ(m.limit(), 50);
+}
+
+TEST(Milg, PeakInflightSaturatesAt7Bits)
+{
+    Milg m;
+    m.observeInflight(500); // beyond 7 bits
+    runInterval(m, 0, 1);
+    // Relax path from the saturated peak of 127.
+    EXPECT_EQ(m.limit(), 127 + 63);
+}
+
+TEST(Milg, PeakResetsEachInterval)
+{
+    Milg m;
+    runInterval(m, 2048, 100); // -> 33
+    // Next interval sees a lower peak.
+    runInterval(m, 2048, 9);
+    EXPECT_EQ(m.limit(), 3);
+}
+
+TEST(Milg, IntervalCountAdvances)
+{
+    Milg m;
+    EXPECT_EQ(m.intervals(), 0u);
+    runInterval(m, 0, 1);
+    runInterval(m, 0, 1);
+    EXPECT_EQ(m.intervals(), 2u);
+}
+
+TEST(Milg, ResetRestoresInitialState)
+{
+    Milg m;
+    runInterval(m, 4000, 50);
+    m.reset();
+    EXPECT_GE(m.limit(), 1 << 19);
+    EXPECT_EQ(m.intervals(), 0u);
+}
+
+TEST(Milg, ConvergesUnderSustainedCongestion)
+{
+    Milg m;
+    int peak = 120;
+    for (int i = 0; i < 8; ++i) {
+        runInterval(m, 3000, peak);
+        peak = std::min(peak, m.limit());
+    }
+    EXPECT_LE(m.limit(), 2);
+}
+
+} // namespace
+} // namespace ckesim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Unit tests for the multiprogramming metrics (Section 2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/perf_metrics.hpp"
+
+namespace ckesim {
+namespace {
+
+TEST(Metrics, WeightedSpeedupIsSum)
+{
+    EXPECT_DOUBLE_EQ(weightedSpeedup({0.5, 0.7}), 1.2);
+    EXPECT_DOUBLE_EQ(weightedSpeedup({}), 0.0);
+    EXPECT_DOUBLE_EQ(weightedSpeedup({1.0, 1.0, 1.0}), 3.0);
+}
+
+TEST(Metrics, AnttIsMeanSlowdown)
+{
+    // Slowdowns 2x and 4x -> ANTT 3.
+    EXPECT_DOUBLE_EQ(antt({0.5, 0.25}), 3.0);
+    EXPECT_DOUBLE_EQ(antt({1.0}), 1.0);
+    EXPECT_DOUBLE_EQ(antt({}), 0.0);
+}
+
+TEST(Metrics, AnttHandlesZeroGracefully)
+{
+    const double v = antt({0.0, 1.0});
+    EXPECT_GT(v, 1e6); // huge but finite
+}
+
+TEST(Metrics, FairnessMinOverMax)
+{
+    EXPECT_DOUBLE_EQ(fairnessIndex({0.5, 0.5}), 1.0);
+    EXPECT_DOUBLE_EQ(fairnessIndex({0.2, 0.8}), 0.25);
+    EXPECT_DOUBLE_EQ(fairnessIndex({0.3}), 1.0);
+    EXPECT_DOUBLE_EQ(fairnessIndex({}), 0.0);
+    EXPECT_DOUBLE_EQ(fairnessIndex({0.0, 0.0}), 0.0);
+}
+
+TEST(Metrics, BetterSchemeOrdering)
+{
+    // A scheme that lifts the starved kernel improves all three
+    // metrics at once.
+    const std::vector<double> starved = {0.1, 0.8};
+    const std::vector<double> balanced = {0.45, 0.75};
+    EXPECT_GT(weightedSpeedup(balanced), weightedSpeedup(starved));
+    EXPECT_LT(antt(balanced), antt(starved));
+    EXPECT_GT(fairnessIndex(balanced), fairnessIndex(starved));
+}
+
+} // namespace
+} // namespace ckesim

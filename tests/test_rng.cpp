@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNGs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hpp"
+
+namespace ckesim {
+namespace {
+
+TEST(SplitMix64, AdvancesStateAndVaries)
+{
+    std::uint64_t s = 42;
+    const std::uint64_t a = splitMix64(s);
+    const std::uint64_t b = splitMix64(s);
+    EXPECT_NE(a, b);
+    EXPECT_NE(s, 42u);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng r(0);
+    // Must not get stuck at zero.
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 16; ++i)
+        acc |= r.next();
+    EXPECT_NE(acc, 0u);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+        for (int i = 0; i < 2000; ++i)
+            ASSERT_LT(r.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng r(11);
+    double mn = 1.0, mx = 0.0, sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double d = r.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        mn = std::min(mn, d);
+        mx = std::max(mx, d);
+        sum += d;
+    }
+    EXPECT_LT(mn, 0.01);
+    EXPECT_GT(mx, 0.99);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+} // namespace
+} // namespace ckesim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the experiment runner: isolated baselines, scheme
+ * construction and concurrent-run metric consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/runner.hpp"
+
+namespace ckesim {
+namespace {
+
+Runner
+makeRunner(Cycle cycles = 10000)
+{
+    return Runner(makeSmallConfig(4, 4), cycles);
+}
+
+TEST(Runner, IsolatedResultsAreCached)
+{
+    Runner r = makeRunner();
+    const IsolatedResult &a = r.isolated(findProfile("bp"));
+    const IsolatedResult &b = r.isolated(findProfile("bp"));
+    EXPECT_EQ(&a, &b); // same cache entry
+    EXPECT_GT(a.ipc, 0.0);
+    EXPECT_DOUBLE_EQ(a.ipc_per_sm, a.ipc / 4);
+}
+
+TEST(Runner, TbLimitReducesParallelism)
+{
+    Runner r = makeRunner();
+    const IsolatedResult &full = r.isolated(findProfile("bp"));
+    const IsolatedResult &one = r.isolated(findProfile("bp"), 1);
+    EXPECT_LT(one.ipc, full.ipc);
+    EXPECT_EQ(one.max_tbs, 1);
+}
+
+TEST(Runner, ScalabilityCurveCoversAllTbCounts)
+{
+    Runner r(makeSmallConfig(2, 2), 5000);
+    const ScalabilityCurve c = r.scalability(findProfile("sv"));
+    EXPECT_EQ(c.maxTbs(),
+              findProfile("sv").maxTbsPerSm(r.config().sm));
+    EXPECT_GT(c.at(1), 0.0);
+    EXPECT_GT(c.at(4), c.at(1)); // more TBs help at first
+}
+
+TEST(Runner, SchemeNames)
+{
+    EXPECT_EQ(schemeName(NamedScheme::WS), "WS");
+    EXPECT_EQ(schemeName(NamedScheme::WS_DMIL), "WS-DMIL");
+    EXPECT_EQ(schemeName(NamedScheme::SMK_PW), "SMK-(P+W)");
+    EXPECT_EQ(schemeName(NamedScheme::WS_QBMI_DMIL), "WS-QBMI+DMIL");
+}
+
+TEST(Runner, SchemeSpecsMatchNames)
+{
+    Runner r = makeRunner();
+    const Workload w = makeWorkload({"bp", "sv"});
+    SchemeSpec s = r.scheme(NamedScheme::WS_QBMI, w);
+    EXPECT_EQ(s.partition, PartitionScheme::WarpedSlicer);
+    EXPECT_EQ(s.bmi, BmiMode::QBMI);
+    EXPECT_EQ(s.mil, MilMode::None);
+
+    s = r.scheme(NamedScheme::SMK_P_DMIL, w);
+    EXPECT_EQ(s.partition, PartitionScheme::SmkDrf);
+    EXPECT_EQ(s.mil, MilMode::Dynamic);
+    EXPECT_FALSE(s.smk_warp_quota);
+
+    s = r.scheme(NamedScheme::SMK_PW, w);
+    EXPECT_TRUE(s.smk_warp_quota);
+    ASSERT_EQ(s.isolated_ipc_per_sm.size(), 2u);
+    EXPECT_GT(s.isolated_ipc_per_sm[0], 0.0);
+
+    s = r.scheme(NamedScheme::WS_UCP, w);
+    EXPECT_TRUE(s.ucp);
+}
+
+TEST(Runner, ConcurrentResultInternallyConsistent)
+{
+    Runner r = makeRunner();
+    const Workload w = makeWorkload({"bp", "sv"});
+    const ConcurrentResult res = r.run(w, NamedScheme::WS_DMIL);
+    ASSERT_EQ(res.norm_ipc.size(), 2u);
+    double sum = 0.0;
+    for (double v : res.norm_ipc) {
+        EXPECT_GT(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(res.weighted_speedup, sum, 1e-12);
+    EXPECT_GT(res.antt_value, 0.9);
+    EXPECT_GT(res.fairness, 0.0);
+    EXPECT_LE(res.fairness, 1.0 + 1e-12);
+    EXPECT_EQ(res.workload_name, "bp+sv");
+    EXPECT_EQ(res.stats.size(), 2u);
+}
+
+TEST(Runner, SpatialBeatsNothingRunning)
+{
+    Runner r = makeRunner();
+    const Workload w = makeWorkload({"bp", "sv"});
+    const ConcurrentResult res = r.run(w, NamedScheme::Spatial);
+    EXPECT_GT(res.weighted_speedup, 0.3);
+    EXPECT_LT(res.weighted_speedup, 2.0 + 1e-12);
+}
+
+} // namespace
+} // namespace ckesim

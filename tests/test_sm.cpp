@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the SM: TB dispatch under static resource limits,
+ * per-kernel quotas, warp execution, TB restart semantics and stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memsys.hpp"
+#include "sm/sm.hpp"
+
+namespace ckesim {
+namespace {
+
+struct SmFixture
+{
+    GpuConfig cfg = makeSmallConfig(1, 2);
+    MemorySystem mem{cfg};
+
+    std::unique_ptr<Sm>
+    makeSm(std::vector<const KernelProfile *> kernels,
+           IssuePolicyConfig policy = {})
+    {
+        return std::make_unique<Sm>(cfg, 0, mem, std::move(kernels),
+                                    policy);
+    }
+
+    void
+    run(Sm &sm, Cycle cycles, Cycle from = 0)
+    {
+        for (Cycle t = from; t < from + cycles; ++t) {
+            sm.tick(t);
+            mem.tick(t);
+        }
+    }
+};
+
+TEST(Sm, DispatchRespectsQuota)
+{
+    SmFixture f;
+    auto sm = f.makeSm({&findProfile("bp")});
+    sm->setTbQuota(0, 3);
+    f.run(*sm, 50);
+    EXPECT_EQ(sm->residentTbs(0), 3);
+}
+
+TEST(Sm, ZeroQuotaMeansIdle)
+{
+    SmFixture f;
+    auto sm = f.makeSm({&findProfile("bp")});
+    sm->setTbQuota(0, 0);
+    f.run(*sm, 100);
+    EXPECT_EQ(sm->residentTbs(0), 0);
+    EXPECT_EQ(sm->kernelStats(0).issued_instructions, 0u);
+}
+
+TEST(Sm, DispatchBoundedByStaticResources)
+{
+    SmFixture f;
+    auto sm = f.makeSm({&findProfile("bp")});
+    sm->setTbQuota(0, 100); // far beyond feasibility
+    f.run(*sm, 100);
+    EXPECT_EQ(sm->residentTbs(0),
+              findProfile("bp").maxTbsPerSm(f.cfg.sm));
+}
+
+TEST(Sm, TwoKernelsShareTheSm)
+{
+    SmFixture f;
+    auto sm = f.makeSm({&findProfile("bp"), &findProfile("sv")});
+    sm->setTbQuota(0, 9);
+    sm->setTbQuota(1, 4);
+    f.run(*sm, 2000);
+    EXPECT_EQ(sm->residentTbs(0), 9);
+    EXPECT_EQ(sm->residentTbs(1), 4);
+    EXPECT_GT(sm->kernelStats(0).issued_instructions, 0u);
+    EXPECT_GT(sm->kernelStats(1).issued_instructions, 0u);
+}
+
+TEST(Sm, TbsRestartIndefinitely)
+{
+    SmFixture f;
+    // Small instruction budget so TBs complete quickly.
+    KernelProfile p = findProfile("cp");
+    p.instrs_per_warp = 64;
+    auto sm = f.makeSm({&p});
+    sm->setTbQuota(0, 2);
+    f.run(*sm, 20000);
+    EXPECT_GE(sm->kernelStats(0).tbs_completed, 4u);
+    EXPECT_EQ(sm->residentTbs(0), 2); // refilled after completion
+}
+
+TEST(Sm, StatsMixMatchesProfile)
+{
+    SmFixture f;
+    auto sm = f.makeSm({&findProfile("bp")});
+    sm->setTbQuota(0, 4);
+    f.run(*sm, 8000);
+    const KernelStats &s = sm->kernelStats(0);
+    ASSERT_GT(s.mem_instructions, 50u);
+    EXPECT_NEAR(s.cinstPerMinst(),
+                findProfile("bp").cinst_per_minst, 1.5);
+    EXPECT_NEAR(s.reqPerMinst(),
+                findProfile("bp").req_per_minst, 0.5);
+    // Accesses resolve to hit or miss exactly once.
+    EXPECT_EQ(s.l1d_hits + s.l1d_misses, s.l1d_accesses);
+    // rsfail reason counters sum to the total.
+    EXPECT_EQ(s.l1d_rsfail_line + s.l1d_rsfail_mshr +
+                  s.l1d_rsfail_missq,
+              s.l1d_rsfails);
+}
+
+TEST(Sm, ResetStatsClearsCountersOnly)
+{
+    SmFixture f;
+    auto sm = f.makeSm({&findProfile("bp")});
+    sm->setTbQuota(0, 2);
+    f.run(*sm, 1000);
+    ASSERT_GT(sm->kernelStats(0).issued_instructions, 0u);
+    const int resident = sm->residentTbs(0);
+    sm->resetStats();
+    EXPECT_EQ(sm->kernelStats(0).issued_instructions, 0u);
+    EXPECT_EQ(sm->smStats().cycles, 0u);
+    EXPECT_EQ(sm->residentTbs(0), resident); // warps keep running
+    f.run(*sm, 1000, 1000);
+    EXPECT_GT(sm->kernelStats(0).issued_instructions, 0u);
+}
+
+TEST(Sm, IssueSeriesRecordsActivity)
+{
+    SmFixture f;
+    auto sm = f.makeSm({&findProfile("bp")});
+    sm->setTbQuota(0, 4);
+    TimeSeries issue(100), l1d(100);
+    sm->setIssueSeries(0, &issue);
+    sm->setL1dSeries(0, &l1d);
+    f.run(*sm, 1000);
+    std::uint64_t issued = 0;
+    for (std::uint64_t b : issue.bins())
+        issued += b;
+    EXPECT_EQ(issued, sm->kernelStats(0).issued_instructions);
+    std::uint64_t accesses = 0;
+    for (std::uint64_t b : l1d.bins())
+        accesses += b;
+    EXPECT_EQ(accesses, sm->kernelStats(0).l1d_accesses);
+}
+
+TEST(Sm, MilLimitsInflightInstructions)
+{
+    SmFixture f;
+    IssuePolicyConfig policy;
+    policy.mil = MilMode::Static;
+    policy.static_limits[0] = 2;
+    auto sm = f.makeSm({&findProfile("sv")}, policy);
+    sm->setTbQuota(0, 8);
+    for (Cycle t = 0; t < 3000; ++t) {
+        sm->tick(t);
+        f.mem.tick(t);
+        ASSERT_LE(sm->controller().inflight(0), 2);
+    }
+    EXPECT_GT(sm->kernelStats(0).mem_instructions, 0u);
+}
+
+TEST(Sm, AccessObserverSeesEveryServicedAccess)
+{
+    SmFixture f;
+    auto sm = f.makeSm({&findProfile("bp")});
+    sm->setTbQuota(0, 2);
+    static std::uint64_t observed;
+    observed = 0;
+    sm->setAccessObserver(
+        [](void *, KernelId, Addr) { ++observed; }, nullptr);
+    f.run(*sm, 2000);
+    EXPECT_EQ(observed, sm->kernelStats(0).l1d_accesses);
+}
+
+TEST(Sm, ComputeKernelKeepsPipelineBusy)
+{
+    SmFixture f;
+    auto sm = f.makeSm({&findProfile("cp")});
+    sm->setTbQuota(0, findProfile("cp").maxTbsPerSm(f.cfg.sm));
+    f.run(*sm, 5000);
+    const SmStats &s = sm->smStats();
+    const double util =
+        static_cast<double>(s.issue_slots_used) /
+        (f.cfg.sm.num_schedulers * s.cycles);
+    EXPECT_GT(util, 0.2);
+    EXPECT_LT(s.lsuStallFraction(), 0.1);
+}
+
+} // namespace
+} // namespace ckesim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for SMK support: DRF TB partitioning and warp-
+ * instruction quota computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/smk.hpp"
+#include "core/tb_partition.hpp"
+
+namespace ckesim {
+namespace {
+
+std::vector<const KernelProfile *>
+pair(const char *a, const char *b)
+{
+    return {&findProfile(a), &findProfile(b)};
+}
+
+TEST(Drf, PartitionIsFeasibleAndMaximal)
+{
+    const SmConfig sm;
+    for (const auto &[a, b] : std::vector<std::pair<const char *,
+                                                    const char *>>{
+             {"bp", "sv"}, {"cp", "ks"}, {"cd", "hs"},
+             {"pf", "ax"}}) {
+        const auto ks = pair(a, b);
+        const std::vector<int> tbs = drfPartition(ks, sm);
+        EXPECT_TRUE(partitionFits(tbs, ks, sm)) << a << "+" << b;
+        // Maximal: no kernel can take one more TB.
+        for (std::size_t i = 0; i < tbs.size(); ++i) {
+            std::vector<int> grown = tbs;
+            ++grown[i];
+            EXPECT_FALSE(partitionFits(grown, ks, sm))
+                << a << "+" << b;
+        }
+    }
+}
+
+TEST(Drf, EveryKernelGetsTbs)
+{
+    const SmConfig sm;
+    const std::vector<int> tbs = drfPartition(pair("bp", "sv"), sm);
+    EXPECT_GE(tbs[0], 1);
+    EXPECT_GE(tbs[1], 1);
+}
+
+TEST(Drf, BalancesDominantShares)
+{
+    const SmConfig sm;
+    const auto ks = pair("bp", "sv");
+    const std::vector<int> tbs = drfPartition(ks, sm);
+    const std::vector<double> shares = dominantShares(tbs, ks, sm);
+    // DRF should keep dominant shares within a TB-granularity band.
+    EXPECT_LT(std::abs(shares[0] - shares[1]), 0.25);
+}
+
+TEST(Drf, IdenticalKernelsSplitEvenly)
+{
+    const SmConfig sm;
+    const auto ks = pair("bs", "st"); // identical static demands
+    const std::vector<int> tbs = drfPartition(ks, sm);
+    EXPECT_EQ(tbs[0], tbs[1]);
+}
+
+TEST(DominantShares, PicksBindingResource)
+{
+    const SmConfig sm;
+    // cd: 64 regs x 64 threads = 4096 regs/TB; registers dominate.
+    const auto ks = pair("cd", "bs");
+    const std::vector<double> shares =
+        dominantShares({8, 0}, ks, sm);
+    EXPECT_NEAR(shares[0], 8.0 * 4096 / 65536, 1e-9);
+    EXPECT_DOUBLE_EQ(shares[1], 0.0);
+}
+
+TEST(SmkQuotas, ProportionalToIsolatedIpc)
+{
+    const auto q = smkWarpQuotas({2.0, 1.0}, 1000);
+    EXPECT_EQ(q[0], 2000u);
+    EXPECT_EQ(q[1], 1000u);
+}
+
+TEST(SmkQuotas, FloorsTinyIpc)
+{
+    const auto q = smkWarpQuotas({0.0001, 1.0}, 1000);
+    EXPECT_GE(q[0], 50u); // clamped at 0.05 IPC
+    EXPECT_GE(q[1], 1u);
+}
+
+} // namespace
+} // namespace ckesim

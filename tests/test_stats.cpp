@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for statistic counters and derived metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace ckesim {
+namespace {
+
+TEST(KernelStats, DerivedMetricsHandleZeroDenominators)
+{
+    KernelStats s;
+    EXPECT_DOUBLE_EQ(s.cinstPerMinst(), 0.0);
+    EXPECT_DOUBLE_EQ(s.reqPerMinst(), 0.0);
+    EXPECT_DOUBLE_EQ(s.l1dMissRate(), 0.0);
+    EXPECT_DOUBLE_EQ(s.l1dRsFailRate(), 0.0);
+}
+
+TEST(KernelStats, DerivedMetrics)
+{
+    KernelStats s;
+    s.alu_instructions = 30;
+    s.sfu_instructions = 5;
+    s.smem_instructions = 5;
+    s.mem_instructions = 10;
+    s.mem_requests = 30;
+    s.l1d_accesses = 100;
+    s.l1d_misses = 40;
+    s.l1d_hits = 60;
+    s.l1d_rsfails = 250;
+    EXPECT_DOUBLE_EQ(s.cinstPerMinst(), 4.0);
+    EXPECT_DOUBLE_EQ(s.reqPerMinst(), 3.0);
+    EXPECT_DOUBLE_EQ(s.l1dMissRate(), 0.4);
+    EXPECT_DOUBLE_EQ(s.l1dRsFailRate(), 2.5);
+}
+
+TEST(KernelStats, AccumulationSumsEveryField)
+{
+    KernelStats a;
+    a.issued_instructions = 10;
+    a.mem_requests = 5;
+    a.l1d_rsfail_mshr = 2;
+    a.tbs_completed = 1;
+    KernelStats b = a;
+    b += a;
+    EXPECT_EQ(b.issued_instructions, 20u);
+    EXPECT_EQ(b.mem_requests, 10u);
+    EXPECT_EQ(b.l1d_rsfail_mshr, 4u);
+    EXPECT_EQ(b.tbs_completed, 2u);
+}
+
+TEST(SmStats, LsuStallFraction)
+{
+    SmStats s;
+    EXPECT_DOUBLE_EQ(s.lsuStallFraction(), 0.0);
+    s.cycles = 200;
+    s.lsu_stall_cycles = 50;
+    EXPECT_DOUBLE_EQ(s.lsuStallFraction(), 0.25);
+}
+
+TEST(SmStats, Accumulation)
+{
+    SmStats a;
+    a.cycles = 100;
+    a.alu_issue_slots = 40;
+    SmStats b;
+    b.cycles = 50;
+    b.alu_issue_slots = 10;
+    a += b;
+    EXPECT_EQ(a.cycles, 150u);
+    EXPECT_EQ(a.alu_issue_slots, 50u);
+}
+
+TEST(Geomean, MatchesHandComputation)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 8.0, 4.0}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({7.5}), 7.5);
+}
+
+} // namespace
+} // namespace ckesim

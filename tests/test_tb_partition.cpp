@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for TB partition feasibility and the leftover / spatial
+ * policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tb_partition.hpp"
+
+namespace ckesim {
+namespace {
+
+std::vector<const KernelProfile *>
+pair(const char *a, const char *b)
+{
+    return {&findProfile(a), &findProfile(b)};
+}
+
+TEST(Partition, FitsRespectsEveryResource)
+{
+    const SmConfig sm;
+    const auto ks = pair("bp", "sv");
+    // Each kernel alone at its occupancy max fits.
+    EXPECT_TRUE(partitionFits({ks[0]->maxTbsPerSm(sm), 0}, ks, sm));
+    EXPECT_TRUE(partitionFits({0, ks[1]->maxTbsPerSm(sm)}, ks, sm));
+    // Both at max together cannot fit (threads alone overflow).
+    EXPECT_FALSE(partitionFits({ks[0]->maxTbsPerSm(sm),
+                                ks[1]->maxTbsPerSm(sm)},
+                               ks, sm));
+}
+
+TEST(Partition, PaperSweetPointIsFeasible)
+{
+    // Figure 3(b): (9, 4) for bp+sv must be feasible; (10, 4) not.
+    const SmConfig sm;
+    const auto ks = pair("bp", "sv");
+    EXPECT_TRUE(partitionFits({9, 4}, ks, sm));
+    EXPECT_FALSE(partitionFits({10, 4}, ks, sm));
+}
+
+TEST(Partition, MaxFeasibleTbs)
+{
+    const SmConfig sm;
+    const auto ks = pair("bp", "sv");
+    // With 9 bp TBs (2304 threads), sv (192 thr/TB) fits 4 more.
+    EXPECT_EQ(maxFeasibleTbs({9, 0}, 1, ks, sm), 4);
+    // With nothing resident, sv reaches its occupancy max.
+    EXPECT_EQ(maxFeasibleTbs({0, 0}, 1, ks, sm), 16);
+}
+
+TEST(Partition, LeftoverGivesFirstKernelItsMax)
+{
+    const SmConfig sm;
+    const auto ks = pair("bp", "sv");
+    const std::vector<int> tbs = leftoverPartition(ks, sm);
+    EXPECT_EQ(tbs[0], findProfile("bp").maxTbsPerSm(sm));
+    // bp fills all 3072 threads: sv gets nothing.
+    EXPECT_EQ(tbs[1], 0);
+}
+
+TEST(Partition, LeftoverFillsWithSecondWhenRoomRemains)
+{
+    const SmConfig sm;
+    // cd is register-bound (threads 33%): plenty of threads remain.
+    const auto ks = pair("cd", "s2");
+    const std::vector<int> tbs = leftoverPartition(ks, sm);
+    EXPECT_EQ(tbs[0], findProfile("cd").maxTbsPerSm(sm));
+    EXPECT_EQ(tbs[1], 0); // cd is TB-slot bound at 16: no slots left
+}
+
+TEST(Partition, SpatialSplitsSmsEvenly)
+{
+    GpuConfig cfg = makeSmallConfig(8, 8);
+    const auto ks = pair("bp", "sv");
+    const QuotaMatrix q = spatialPartition(ks, cfg);
+    ASSERT_EQ(q.size(), 8u);
+    for (int s = 0; s < 4; ++s) {
+        EXPECT_GT(q[static_cast<std::size_t>(s)][0], 0);
+        EXPECT_EQ(q[static_cast<std::size_t>(s)][1], 0);
+    }
+    for (int s = 4; s < 8; ++s) {
+        EXPECT_EQ(q[static_cast<std::size_t>(s)][0], 0);
+        EXPECT_GT(q[static_cast<std::size_t>(s)][1], 0);
+    }
+}
+
+TEST(Partition, SpatialHandlesOddSmCount)
+{
+    GpuConfig cfg = makeSmallConfig(5, 4);
+    const auto ks = pair("bp", "sv");
+    const QuotaMatrix q = spatialPartition(ks, cfg);
+    int sm0 = 0, sm1 = 0;
+    for (const auto &row : q) {
+        if (row[0] > 0)
+            ++sm0;
+        if (row[1] > 0)
+            ++sm1;
+    }
+    EXPECT_EQ(sm0 + sm1, 5);
+    EXPECT_GE(sm0, 2);
+    EXPECT_GE(sm1, 2);
+}
+
+TEST(Partition, BroadcastReplicates)
+{
+    const QuotaMatrix q = broadcastPartition({3, 4}, 6);
+    ASSERT_EQ(q.size(), 6u);
+    for (const auto &row : q) {
+        EXPECT_EQ(row[0], 3);
+        EXPECT_EQ(row[1], 4);
+    }
+}
+
+} // namespace
+} // namespace ckesim

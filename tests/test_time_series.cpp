@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Unit tests for the fixed-interval event sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/time_series.hpp"
+
+namespace ckesim {
+namespace {
+
+TEST(TimeSeries, BinsByInterval)
+{
+    TimeSeries ts(1000);
+    ts.record(0);
+    ts.record(999);
+    ts.record(1000);
+    ts.record(2500, 3);
+    EXPECT_EQ(ts.binCount(0), 2u);
+    EXPECT_EQ(ts.binCount(1), 1u);
+    EXPECT_EQ(ts.binCount(2), 3u);
+    EXPECT_EQ(ts.binCount(3), 0u);
+}
+
+TEST(TimeSeries, SparseRecordingMaterializesGaps)
+{
+    TimeSeries ts(10);
+    ts.record(95);
+    ASSERT_EQ(ts.bins().size(), 10u);
+    for (std::size_t i = 0; i < 9; ++i)
+        EXPECT_EQ(ts.binCount(i), 0u);
+    EXPECT_EQ(ts.binCount(9), 1u);
+}
+
+TEST(TimeSeries, MeanOverRange)
+{
+    TimeSeries ts(100);
+    ts.record(0, 10);
+    ts.record(100, 20);
+    ts.record(200, 30);
+    EXPECT_DOUBLE_EQ(ts.meanOver(0, 3), 20.0);
+    EXPECT_DOUBLE_EQ(ts.meanOver(1, 3), 25.0);
+    EXPECT_DOUBLE_EQ(ts.meanOver(2, 2), 0.0);  // empty range
+    EXPECT_DOUBLE_EQ(ts.meanOver(0, 10), 6.0); // zero-padded
+}
+
+TEST(TimeSeries, ClearResets)
+{
+    TimeSeries ts(10);
+    ts.record(5);
+    ts.clear();
+    EXPECT_TRUE(ts.bins().empty());
+    EXPECT_EQ(ts.binCount(0), 0u);
+}
+
+TEST(TimeSeries, SharedAcrossProducersAccumulates)
+{
+    // Multiple SMs record into one GPU-wide series.
+    TimeSeries ts(100);
+    for (int sm = 0; sm < 4; ++sm)
+        ts.record(50, 2);
+    EXPECT_EQ(ts.binCount(0), 8u);
+}
+
+} // namespace
+} // namespace ckesim

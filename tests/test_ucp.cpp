@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the UCP baseline: UMON shadow-tag stacks and the
+ * lookahead way-partitioning algorithm (Section 3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ucp.hpp"
+
+namespace ckesim {
+namespace {
+
+/** Line in a *sampled* set (sample_shift 2 monitors sets 0,4,8,...). */
+Addr
+sampledLine(int num_sets, int i)
+{
+    int found = 0;
+    for (Addr line = 0;; ++line) {
+        if ((xorSetIndex(line, num_sets) & 3) == 0) {
+            if (found == i)
+                return line;
+            ++found;
+        }
+    }
+}
+
+TEST(Umon, MruHitCountsAtPositionZero)
+{
+    UmonMonitor m(32, 4);
+    const Addr line = sampledLine(32, 0);
+    m.access(line);
+    EXPECT_EQ(m.misses(), 1u);
+    m.access(line);
+    EXPECT_EQ(m.wayHits()[0], 1u);
+}
+
+TEST(Umon, StackDepthMatchesRecency)
+{
+    UmonMonitor m(32, 4);
+    // Four distinct lines in the same sampled set, then re-touch the
+    // first: it sits at LRU position 3.
+    std::vector<Addr> lines;
+    const int set0 = xorSetIndex(sampledLine(32, 0), 32);
+    for (Addr l = 0; lines.size() < 4; ++l)
+        if (xorSetIndex(l, 32) == set0 &&
+            (xorSetIndex(l, 32) & 3) == 0)
+            lines.push_back(l);
+    for (Addr l : lines)
+        m.access(l);
+    m.access(lines[0]);
+    EXPECT_EQ(m.wayHits()[3], 1u);
+}
+
+TEST(Umon, UnsampledSetsIgnored)
+{
+    UmonMonitor m(32, 4);
+    // A line in set 1 (not a multiple of 4) is ignored.
+    for (Addr l = 0; l < 10000; ++l) {
+        if (xorSetIndex(l, 32) == 1) {
+            m.access(l);
+            m.access(l);
+            break;
+        }
+    }
+    EXPECT_EQ(m.misses(), 0u);
+    EXPECT_EQ(m.utilityAt(4), 0u);
+}
+
+TEST(Umon, UtilityIsCumulativeAndMonotone)
+{
+    UmonMonitor m(32, 4);
+    const Addr a = sampledLine(32, 0);
+    m.access(a);
+    for (int i = 0; i < 5; ++i)
+        m.access(a);
+    EXPECT_EQ(m.utilityAt(1), 5u);
+    EXPECT_GE(m.utilityAt(2), m.utilityAt(1));
+    EXPECT_EQ(m.utilityAt(4), m.utilityAt(2));
+}
+
+TEST(Umon, AgeHalvesCounters)
+{
+    UmonMonitor m(32, 4);
+    const Addr a = sampledLine(32, 0);
+    m.access(a);
+    for (int i = 0; i < 8; ++i)
+        m.access(a);
+    m.age();
+    EXPECT_EQ(m.wayHits()[0], 4u);
+}
+
+TEST(UcpLookahead, EveryKernelGetsAtLeastOneWay)
+{
+    UmonMonitor a(32, 6), b(32, 6);
+    // Kernel a has all the utility.
+    const Addr line = sampledLine(32, 0);
+    a.access(line);
+    for (int i = 0; i < 50; ++i)
+        a.access(line);
+    const std::vector<int> alloc =
+        ucpLookaheadPartition({&a, &b}, 6);
+    EXPECT_EQ(alloc[0] + alloc[1], 6);
+    EXPECT_GE(alloc[1], 1);
+    EXPECT_GT(alloc[0], alloc[1]);
+}
+
+TEST(UcpLookahead, SymmetricUtilitySplitsEvenly)
+{
+    UmonMonitor a(32, 6), b(32, 6);
+    const std::vector<int> alloc =
+        ucpLookaheadPartition({&a, &b}, 6);
+    EXPECT_EQ(alloc[0] + alloc[1], 6);
+    EXPECT_LE(std::abs(alloc[0] - alloc[1]), 4);
+}
+
+TEST(UcpLookahead, FavoursDeepStackKernel)
+{
+    UmonMonitor deep(32, 6), shallow(32, 6);
+    // "deep" cycles 4 lines (needs 4 ways); "shallow" hammers 1.
+    std::vector<Addr> lines;
+    const int set0 = xorSetIndex(sampledLine(32, 0), 32);
+    for (Addr l = 0; lines.size() < 4; ++l)
+        if (xorSetIndex(l, 32) == set0 &&
+            (xorSetIndex(l, 32) & 3) == 0)
+            lines.push_back(l);
+    for (int round = 0; round < 20; ++round)
+        for (Addr l : lines)
+            deep.access(l);
+    const Addr s = sampledLine(32, 1);
+    shallow.access(s);
+    for (int i = 0; i < 20; ++i)
+        shallow.access(s);
+    const std::vector<int> alloc =
+        ucpLookaheadPartition({&deep, &shallow}, 6);
+    EXPECT_GE(alloc[0], 4);
+}
+
+TEST(UcpLookahead, ThreeKernels)
+{
+    UmonMonitor a(32, 6), b(32, 6), c(32, 6);
+    const std::vector<int> alloc =
+        ucpLookaheadPartition({&a, &b, &c}, 6);
+    EXPECT_EQ(alloc[0] + alloc[1] + alloc[2], 6);
+    for (int w : alloc)
+        EXPECT_GE(w, 1);
+}
+
+} // namespace
+} // namespace ckesim

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for Warped-Slicer: scalability-curve interpolation,
+ * sweet-point selection and profiling TB-count spacing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/warped_slicer.hpp"
+
+namespace ckesim {
+namespace {
+
+ScalabilityCurve
+linearCurve(int max_tbs, double slope)
+{
+    ScalabilityCurve c;
+    for (int t = 1; t <= max_tbs; ++t)
+        c.addPoint(t, slope * t);
+    return c;
+}
+
+ScalabilityCurve
+saturatingCurve(int max_tbs, int knee, double level)
+{
+    // Rises to `level` at `knee`, flat afterwards (the sv shape).
+    ScalabilityCurve c;
+    for (int t = 1; t <= max_tbs; ++t)
+        c.addPoint(t, level * std::min(t, knee) / knee);
+    return c;
+}
+
+TEST(ScalabilityCurve, InterpolatesLinearly)
+{
+    ScalabilityCurve c;
+    c.addPoint(2, 2.0);
+    c.addPoint(6, 6.0);
+    EXPECT_DOUBLE_EQ(c.at(4), 4.0);
+    EXPECT_DOUBLE_EQ(c.at(2), 2.0);
+    EXPECT_DOUBLE_EQ(c.at(6), 6.0);
+}
+
+TEST(ScalabilityCurve, ThroughOriginBelowFirstSample)
+{
+    ScalabilityCurve c;
+    c.addPoint(4, 8.0);
+    EXPECT_DOUBLE_EQ(c.at(1), 2.0);
+    EXPECT_DOUBLE_EQ(c.at(2), 4.0);
+}
+
+TEST(ScalabilityCurve, FlatBeyondLastSample)
+{
+    ScalabilityCurve c;
+    c.addPoint(3, 9.0);
+    EXPECT_DOUBLE_EQ(c.at(12), 9.0);
+    EXPECT_EQ(c.maxTbs(), 3);
+}
+
+TEST(ScalabilityCurve, ReplacesDuplicatePoints)
+{
+    ScalabilityCurve c;
+    c.addPoint(3, 1.0);
+    c.addPoint(3, 2.0);
+    EXPECT_DOUBLE_EQ(c.at(3), 2.0);
+    EXPECT_EQ(c.points().size(), 1u);
+}
+
+TEST(ScalabilityCurve, InsertionKeepsSorted)
+{
+    ScalabilityCurve c;
+    c.addPoint(5, 5.0);
+    c.addPoint(1, 1.0);
+    c.addPoint(3, 3.0);
+    EXPECT_DOUBLE_EQ(c.at(2), 2.0);
+    EXPECT_DOUBLE_EQ(c.at(4), 4.0);
+}
+
+TEST(SweetPoint, LinearVsSaturatingFavoursLinearKernel)
+{
+    // Kernel 0 scales linearly (bp-like), kernel 1 saturates at 4 TBs
+    // (sv-like): the sweet point gives most slots to kernel 0 while
+    // kernel 1 keeps ~its knee.
+    const auto kernels = std::vector<const KernelProfile *>{
+        &findProfile("bp"), &findProfile("sv")};
+    const SmConfig sm;
+    std::vector<ScalabilityCurve> curves = {
+        linearCurve(12, 1.0), saturatingCurve(16, 4, 3.0)};
+    const SweetPoint sp = findSweetPoint(curves, kernels, sm);
+    ASSERT_EQ(sp.tbs.size(), 2u);
+    EXPECT_GE(sp.tbs[0], 8);
+    EXPECT_GE(sp.tbs[1], 3);
+    EXPECT_TRUE(partitionFits(sp.tbs, kernels, sm));
+    EXPECT_GT(sp.theoretical_ws, 1.5);
+    EXPECT_LE(sp.theoretical_ws, 2.0 + 1e-9);
+}
+
+TEST(SweetPoint, PredictedNormIpcMatchesCurves)
+{
+    const auto kernels = std::vector<const KernelProfile *>{
+        &findProfile("bp"), &findProfile("sv")};
+    const SmConfig sm;
+    std::vector<ScalabilityCurve> curves = {
+        linearCurve(12, 2.0), saturatingCurve(16, 4, 5.0)};
+    const SweetPoint sp = findSweetPoint(curves, kernels, sm);
+    const double n0 =
+        curves[0].at(sp.tbs[0]) / curves[0].at(12);
+    EXPECT_NEAR(sp.predicted_norm_ipc[0], n0, 1e-12);
+    EXPECT_NEAR(sp.theoretical_ws,
+                sp.predicted_norm_ipc[0] + sp.predicted_norm_ipc[1],
+                1e-12);
+}
+
+TEST(SweetPoint, ThreeKernels)
+{
+    const auto kernels = std::vector<const KernelProfile *>{
+        &findProfile("bp"), &findProfile("sv"), &findProfile("pf")};
+    const SmConfig sm;
+    std::vector<ScalabilityCurve> curves = {
+        linearCurve(12, 1.0), saturatingCurve(16, 4, 2.0),
+        linearCurve(12, 1.0)};
+    const SweetPoint sp = findSweetPoint(curves, kernels, sm);
+    ASSERT_EQ(sp.tbs.size(), 3u);
+    EXPECT_TRUE(partitionFits(sp.tbs, kernels, sm));
+    for (int t : sp.tbs)
+        EXPECT_GE(t, 1);
+}
+
+TEST(ProfilingTbCounts, EvenlySpacedIncludingMax)
+{
+    EXPECT_EQ(profilingTbCounts(12, 4),
+              (std::vector<int>{3, 6, 9, 12}));
+    EXPECT_EQ(profilingTbCounts(16, 8),
+              (std::vector<int>{2, 4, 6, 8, 10, 12, 14, 16}));
+}
+
+TEST(ProfilingTbCounts, HandlesSmallMax)
+{
+    EXPECT_EQ(profilingTbCounts(1, 4), (std::vector<int>{1}));
+    EXPECT_EQ(profilingTbCounts(3, 8), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ProfilingTbCounts, SingleSample)
+{
+    EXPECT_EQ(profilingTbCounts(12, 1), (std::vector<int>{12}));
+}
+
+} // namespace
+} // namespace ckesim

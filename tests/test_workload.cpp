@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for workload construction and classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/workload.hpp"
+
+namespace ckesim {
+namespace {
+
+TEST(Workload, NameAndClass)
+{
+    const Workload w = makeWorkload({"bp", "sv"});
+    EXPECT_EQ(w.name(), "bp+sv");
+    EXPECT_EQ(w.cls(), WorkloadClass::CM);
+    EXPECT_EQ(makeWorkload({"pf", "bp"}).cls(), WorkloadClass::CC);
+    EXPECT_EQ(makeWorkload({"sv", "ks"}).cls(), WorkloadClass::MM);
+}
+
+TEST(Workload, ClassNames)
+{
+    EXPECT_EQ(workloadClassName(WorkloadClass::CC), "C+C");
+    EXPECT_EQ(workloadClassName(WorkloadClass::CM), "C+M");
+    EXPECT_EQ(workloadClassName(WorkloadClass::MM), "M+M");
+    EXPECT_EQ(workloadClassName(WorkloadClass::CC, 3), "C+C+C");
+    EXPECT_EQ(workloadClassName(WorkloadClass::MM, 3), "M+M+M");
+}
+
+TEST(Workload, AllSuitePairsCount)
+{
+    // 13 choose 2 = 78 workloads, as in the paper's "all
+    // combinations of 2 kernels".
+    const auto pairs = allSuitePairs();
+    EXPECT_EQ(pairs.size(), 78u);
+    // Class composition: C(7,2)=21 C+C, 7*6=42 C+M, C(6,2)=15 M+M.
+    EXPECT_EQ(filterByClass(pairs, WorkloadClass::CC).size(), 21u);
+    EXPECT_EQ(filterByClass(pairs, WorkloadClass::CM).size(), 42u);
+    EXPECT_EQ(filterByClass(pairs, WorkloadClass::MM).size(), 15u);
+}
+
+TEST(Workload, RepresentativePairsCoverPaperCases)
+{
+    const auto pairs = representativePairs();
+    auto has = [&](const std::string &name) {
+        for (const Workload &w : pairs)
+            if (w.name() == name)
+                return true;
+        return false;
+    };
+    // The six pairs examined individually in Figures 5 and 11.
+    EXPECT_TRUE(has("pf+bp"));
+    EXPECT_TRUE(has("bp+hs"));
+    EXPECT_TRUE(has("bp+sv"));
+    EXPECT_TRUE(has("bp+ks"));
+    EXPECT_TRUE(has("sv+ks"));
+    EXPECT_TRUE(has("sv+ax"));
+    // Every class represented (for geomeans).
+    EXPECT_GE(filterByClass(pairs, WorkloadClass::CC).size(), 3u);
+    EXPECT_GE(filterByClass(pairs, WorkloadClass::CM).size(), 3u);
+    EXPECT_GE(filterByClass(pairs, WorkloadClass::MM).size(), 3u);
+}
+
+TEST(Workload, TriplesSpanAllFourClasses)
+{
+    const auto triples = representativeTriples();
+    int ccc = 0, mmm = 0, mixed = 0;
+    for (const Workload &w : triples) {
+        ASSERT_EQ(w.numKernels(), 3);
+        int m = 0;
+        for (const KernelProfile *k : w.kernels)
+            m += k->isMemoryIntensive() ? 1 : 0;
+        if (m == 0)
+            ++ccc;
+        else if (m == 3)
+            ++mmm;
+        else
+            ++mixed;
+    }
+    EXPECT_GE(ccc, 1);
+    EXPECT_GE(mmm, 1);
+    EXPECT_GE(mixed, 2);
+}
+
+TEST(Workload, PairsPreserveSuiteOrder)
+{
+    const auto pairs = allSuitePairs();
+    EXPECT_EQ(pairs.front().name(), "cp+hs");
+    EXPECT_EQ(pairs.back().name(), "ks+ax");
+}
+
+} // namespace
+} // namespace ckesim
