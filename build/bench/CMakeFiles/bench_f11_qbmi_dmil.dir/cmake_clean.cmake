@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f11_qbmi_dmil.dir/bench_f11_qbmi_dmil.cpp.o"
+  "CMakeFiles/bench_f11_qbmi_dmil.dir/bench_f11_qbmi_dmil.cpp.o.d"
+  "bench_f11_qbmi_dmil"
+  "bench_f11_qbmi_dmil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f11_qbmi_dmil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

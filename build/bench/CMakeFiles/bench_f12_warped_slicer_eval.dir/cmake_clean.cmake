@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f12_warped_slicer_eval.dir/bench_f12_warped_slicer_eval.cpp.o"
+  "CMakeFiles/bench_f12_warped_slicer_eval.dir/bench_f12_warped_slicer_eval.cpp.o.d"
+  "bench_f12_warped_slicer_eval"
+  "bench_f12_warped_slicer_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f12_warped_slicer_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

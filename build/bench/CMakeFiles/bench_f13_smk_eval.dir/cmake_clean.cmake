@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f13_smk_eval.dir/bench_f13_smk_eval.cpp.o"
+  "CMakeFiles/bench_f13_smk_eval.dir/bench_f13_smk_eval.cpp.o.d"
+  "bench_f13_smk_eval"
+  "bench_f13_smk_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f13_smk_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f14_three_kernels.dir/bench_f14_three_kernels.cpp.o"
+  "CMakeFiles/bench_f14_three_kernels.dir/bench_f14_three_kernels.cpp.o.d"
+  "bench_f14_three_kernels"
+  "bench_f14_three_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f14_three_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_ws_gap.dir/bench_f4_ws_gap.cpp.o"
+  "CMakeFiles/bench_f4_ws_gap.dir/bench_f4_ws_gap.cpp.o.d"
+  "bench_f4_ws_gap"
+  "bench_f4_ws_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_ws_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

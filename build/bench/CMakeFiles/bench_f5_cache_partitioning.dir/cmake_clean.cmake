@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_cache_partitioning.dir/bench_f5_cache_partitioning.cpp.o"
+  "CMakeFiles/bench_f5_cache_partitioning.dir/bench_f5_cache_partitioning.cpp.o.d"
+  "bench_f5_cache_partitioning"
+  "bench_f5_cache_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_cache_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

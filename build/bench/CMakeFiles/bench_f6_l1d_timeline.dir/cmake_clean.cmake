@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_l1d_timeline.dir/bench_f6_l1d_timeline.cpp.o"
+  "CMakeFiles/bench_f6_l1d_timeline.dir/bench_f6_l1d_timeline.cpp.o.d"
+  "bench_f6_l1d_timeline"
+  "bench_f6_l1d_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_l1d_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

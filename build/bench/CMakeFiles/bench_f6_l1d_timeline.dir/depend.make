@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f6_l1d_timeline.
+# This may be replaced when dependencies are built.

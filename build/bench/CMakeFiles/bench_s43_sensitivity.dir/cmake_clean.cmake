@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s43_sensitivity.dir/bench_s43_sensitivity.cpp.o"
+  "CMakeFiles/bench_s43_sensitivity.dir/bench_s43_sensitivity.cpp.o.d"
+  "bench_s43_sensitivity"
+  "bench_s43_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s43_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

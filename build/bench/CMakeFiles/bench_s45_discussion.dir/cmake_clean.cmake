@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s45_discussion.dir/bench_s45_discussion.cpp.o"
+  "CMakeFiles/bench_s45_discussion.dir/bench_s45_discussion.cpp.o.d"
+  "bench_s45_discussion"
+  "bench_s45_discussion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s45_discussion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_kernel.dir/inspect_kernel.cpp.o"
+  "CMakeFiles/inspect_kernel.dir/inspect_kernel.cpp.o.d"
+  "inspect_kernel"
+  "inspect_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/issue_policy.cpp" "src/CMakeFiles/ckesim.dir/core/issue_policy.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/core/issue_policy.cpp.o.d"
+  "/root/repo/src/core/mil.cpp" "src/CMakeFiles/ckesim.dir/core/mil.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/core/mil.cpp.o.d"
+  "/root/repo/src/core/qbmi.cpp" "src/CMakeFiles/ckesim.dir/core/qbmi.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/core/qbmi.cpp.o.d"
+  "/root/repo/src/core/smk.cpp" "src/CMakeFiles/ckesim.dir/core/smk.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/core/smk.cpp.o.d"
+  "/root/repo/src/core/tb_partition.cpp" "src/CMakeFiles/ckesim.dir/core/tb_partition.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/core/tb_partition.cpp.o.d"
+  "/root/repo/src/core/ucp.cpp" "src/CMakeFiles/ckesim.dir/core/ucp.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/core/ucp.cpp.o.d"
+  "/root/repo/src/core/warped_slicer.cpp" "src/CMakeFiles/ckesim.dir/core/warped_slicer.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/core/warped_slicer.cpp.o.d"
+  "/root/repo/src/gpu.cpp" "src/CMakeFiles/ckesim.dir/gpu.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/gpu.cpp.o.d"
+  "/root/repo/src/kernels/addrgen.cpp" "src/CMakeFiles/ckesim.dir/kernels/addrgen.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/kernels/addrgen.cpp.o.d"
+  "/root/repo/src/kernels/instr_stream.cpp" "src/CMakeFiles/ckesim.dir/kernels/instr_stream.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/kernels/instr_stream.cpp.o.d"
+  "/root/repo/src/kernels/profile.cpp" "src/CMakeFiles/ckesim.dir/kernels/profile.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/kernels/profile.cpp.o.d"
+  "/root/repo/src/kernels/workload.cpp" "src/CMakeFiles/ckesim.dir/kernels/workload.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/kernels/workload.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/ckesim.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/coalescer.cpp" "src/CMakeFiles/ckesim.dir/mem/coalescer.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/mem/coalescer.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/CMakeFiles/ckesim.dir/mem/dram.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/mem/dram.cpp.o.d"
+  "/root/repo/src/mem/interconnect.cpp" "src/CMakeFiles/ckesim.dir/mem/interconnect.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/mem/interconnect.cpp.o.d"
+  "/root/repo/src/mem/l1d.cpp" "src/CMakeFiles/ckesim.dir/mem/l1d.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/mem/l1d.cpp.o.d"
+  "/root/repo/src/mem/l2cache.cpp" "src/CMakeFiles/ckesim.dir/mem/l2cache.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/mem/l2cache.cpp.o.d"
+  "/root/repo/src/mem/memsys.cpp" "src/CMakeFiles/ckesim.dir/mem/memsys.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/mem/memsys.cpp.o.d"
+  "/root/repo/src/metrics/experiment.cpp" "src/CMakeFiles/ckesim.dir/metrics/experiment.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/metrics/experiment.cpp.o.d"
+  "/root/repo/src/metrics/perf_metrics.cpp" "src/CMakeFiles/ckesim.dir/metrics/perf_metrics.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/metrics/perf_metrics.cpp.o.d"
+  "/root/repo/src/metrics/runner.cpp" "src/CMakeFiles/ckesim.dir/metrics/runner.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/metrics/runner.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/CMakeFiles/ckesim.dir/sim/config.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/sim/config.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/ckesim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/time_series.cpp" "src/CMakeFiles/ckesim.dir/sim/time_series.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/sim/time_series.cpp.o.d"
+  "/root/repo/src/sm/lsu.cpp" "src/CMakeFiles/ckesim.dir/sm/lsu.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/sm/lsu.cpp.o.d"
+  "/root/repo/src/sm/scheduler.cpp" "src/CMakeFiles/ckesim.dir/sm/scheduler.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/sm/scheduler.cpp.o.d"
+  "/root/repo/src/sm/sm.cpp" "src/CMakeFiles/ckesim.dir/sm/sm.cpp.o" "gcc" "src/CMakeFiles/ckesim.dir/sm/sm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_addrgen.dir/test_addrgen.cpp.o"
+  "CMakeFiles/test_addrgen.dir/test_addrgen.cpp.o.d"
+  "test_addrgen"
+  "test_addrgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_addrgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

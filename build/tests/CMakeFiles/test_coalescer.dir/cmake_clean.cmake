@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coalescer.dir/test_coalescer.cpp.o"
+  "CMakeFiles/test_coalescer.dir/test_coalescer.cpp.o.d"
+  "test_coalescer"
+  "test_coalescer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coalescer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

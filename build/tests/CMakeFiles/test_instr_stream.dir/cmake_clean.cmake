@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instr_stream.dir/test_instr_stream.cpp.o"
+  "CMakeFiles/test_instr_stream.dir/test_instr_stream.cpp.o.d"
+  "test_instr_stream"
+  "test_instr_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instr_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

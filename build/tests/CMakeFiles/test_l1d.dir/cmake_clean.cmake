@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l1d.dir/test_l1d.cpp.o"
+  "CMakeFiles/test_l1d.dir/test_l1d.cpp.o.d"
+  "test_l1d"
+  "test_l1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l1d_ablations.dir/test_l1d_ablations.cpp.o"
+  "CMakeFiles/test_l1d_ablations.dir/test_l1d_ablations.cpp.o.d"
+  "test_l1d_ablations"
+  "test_l1d_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l1d_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

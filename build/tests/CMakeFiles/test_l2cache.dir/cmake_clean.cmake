@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l2cache.dir/test_l2cache.cpp.o"
+  "CMakeFiles/test_l2cache.dir/test_l2cache.cpp.o.d"
+  "test_l2cache"
+  "test_l2cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l2cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsu.dir/test_lsu.cpp.o"
+  "CMakeFiles/test_lsu.dir/test_lsu.cpp.o.d"
+  "test_lsu"
+  "test_lsu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_milg.dir/test_milg.cpp.o"
+  "CMakeFiles/test_milg.dir/test_milg.cpp.o.d"
+  "test_milg"
+  "test_milg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_milg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

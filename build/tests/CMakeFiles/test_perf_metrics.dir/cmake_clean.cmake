@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_metrics.dir/test_perf_metrics.cpp.o"
+  "CMakeFiles/test_perf_metrics.dir/test_perf_metrics.cpp.o.d"
+  "test_perf_metrics"
+  "test_perf_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qbmi.dir/test_qbmi.cpp.o"
+  "CMakeFiles/test_qbmi.dir/test_qbmi.cpp.o.d"
+  "test_qbmi"
+  "test_qbmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qbmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

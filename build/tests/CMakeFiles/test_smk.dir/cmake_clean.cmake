@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smk.dir/test_smk.cpp.o"
+  "CMakeFiles/test_smk.dir/test_smk.cpp.o.d"
+  "test_smk"
+  "test_smk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ucp.dir/test_ucp.cpp.o"
+  "CMakeFiles/test_ucp.dir/test_ucp.cpp.o.d"
+  "test_ucp"
+  "test_ucp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ucp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

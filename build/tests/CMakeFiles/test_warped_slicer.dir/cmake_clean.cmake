@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_warped_slicer.dir/test_warped_slicer.cpp.o"
+  "CMakeFiles/test_warped_slicer.dir/test_warped_slicer.cpp.o.d"
+  "test_warped_slicer"
+  "test_warped_slicer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_warped_slicer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
