@@ -1,6 +1,6 @@
 #include "core/issue_policy.hpp"
 
-#include <cassert>
+#include "sim/check.hpp"
 
 namespace ckesim {
 
@@ -9,13 +9,26 @@ namespace {
 constexpr int kUnlimited = 1 << 20;
 /** SMK quota deadlock escape: replenish if nothing issued this long. */
 constexpr int kWarpQuotaStallReset = 256;
+
+SimCtx
+policyCtx(KernelId kernel = kInvalidKernel)
+{
+    SimCtx ctx;
+    ctx.kernel = kernel;
+    ctx.module = "issue_policy";
+    return ctx;
+}
 } // namespace
 
 IssueController::IssueController(const IssuePolicyConfig &cfg,
                                  int num_kernels)
     : cfg_(cfg), num_kernels_(num_kernels)
 {
-    assert(num_kernels >= 1 && num_kernels <= kMaxKernelsPerSm);
+    SIM_CHECK(num_kernels >= 1 && num_kernels <= kMaxKernelsPerSm,
+              policyCtx(),
+              "issue controller built for " << num_kernels
+                                            << " kernels (supported: 1.."
+                                            << kMaxKernelsPerSm << ")");
     replenishQuotas();
     for (int k = 0; k < num_kernels_; ++k) {
         warp_quota_left_[static_cast<std::size_t>(k)] =
@@ -53,6 +66,29 @@ IssueController::beginCycle(
                 depleted = true;
         if (depleted)
             replenishQuotas();
+
+        // QBMI x DMIL deadlock guard: a kernel frozen at its MIL
+        // limit must never hold issue priority over the others — its
+        // accumulated quota would starve every co-runner while it
+        // waits on fills that cannot arrive until someone issues.
+        // admitMemIssue skips frozen competitors, so whenever any
+        // MIL-admissible kernel has demand, at least one of them
+        // (the quota maximum) must be admitted.
+        bool demand = false;
+        bool admitted = false;
+        for (int k = 0; k < num_kernels_; ++k) {
+            if (!mem_demand_[static_cast<std::size_t>(k)])
+                continue;
+            if (inflight_[static_cast<std::size_t>(k)] >= milLimit(k))
+                continue;
+            demand = true;
+            if (admitMemIssue(k))
+                admitted = true;
+        }
+        SIM_INVARIANT(
+            !demand || admitted, policyCtx(),
+            "QBMI priority deadlock: every demanding MIL-admissible "
+            "kernel is blocked by a MIL-frozen competitor's quota");
     }
 
     if (cfg_.warp_quota_enabled) {
@@ -152,7 +188,9 @@ void
 IssueController::onMemInstrCompleted(KernelId k)
 {
     const auto i = static_cast<std::size_t>(k);
-    assert(inflight_[i] > 0);
+    SIM_INVARIANT(inflight_[i] > 0, policyCtx(k),
+                  "memory-instruction completion with zero in flight "
+                     "(duplicate completion or wrong kernel)");
     --inflight_[i];
 }
 

@@ -1,6 +1,6 @@
 #include "core/tb_partition.hpp"
 
-#include <cassert>
+#include "sim/check.hpp"
 
 namespace ckesim {
 
@@ -9,7 +9,11 @@ partitionFits(const std::vector<int> &tbs,
               const std::vector<const KernelProfile *> &kernels,
               const SmConfig &sm)
 {
-    assert(tbs.size() == kernels.size());
+    SimCtx ctx;
+    ctx.module = "tb_partition";
+    SIM_CHECK(tbs.size() == kernels.size(), ctx,
+              "partition vector has " << tbs.size() << " entries for "
+                                      << kernels.size() << " kernels");
     long regs = 0, smem = 0, threads = 0, tb_slots = 0, warps = 0;
     for (std::size_t i = 0; i < kernels.size(); ++i) {
         const KernelProfile &p = *kernels[i];

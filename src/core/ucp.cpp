@@ -1,7 +1,8 @@
 #include "core/ucp.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "sim/check.hpp"
 
 namespace ckesim {
 
@@ -60,10 +61,14 @@ ucpLookaheadPartition(const std::vector<const UmonMonitor *> &monitors,
                       int assoc)
 {
     const std::size_t n = monitors.size();
-    assert(n >= 1);
+    SimCtx ctx;
+    ctx.module = "ucp";
+    SIM_CHECK(n >= 1, ctx, "UCP partition over zero kernels");
     std::vector<int> alloc(n, 1); // every kernel keeps one way
     int remaining = assoc - static_cast<int>(n);
-    assert(remaining >= 0);
+    SIM_CHECK(remaining >= 0, ctx,
+              "associativity " << assoc << " cannot give each of " << n
+                               << " kernels a way");
 
     while (remaining > 0) {
         // Greedy: give the next way to the kernel with the highest

@@ -1,14 +1,27 @@
 #include "core/warped_slicer.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "sim/check.hpp"
 
 namespace ckesim {
+
+namespace {
+SimCtx
+wsCtx()
+{
+    SimCtx ctx;
+    ctx.module = "warped_slicer";
+    return ctx;
+}
+} // namespace
 
 void
 ScalabilityCurve::addPoint(int tbs, double ipc)
 {
-    assert(tbs >= 1);
+    SIM_CHECK(tbs >= 1, wsCtx(),
+              "scalability-curve sample at non-positive TB count "
+                  << tbs);
     auto it = std::lower_bound(
         points_.begin(), points_.end(), tbs,
         [](const auto &p, int t) { return p.first < t; });
@@ -51,7 +64,10 @@ findSweetPoint(const std::vector<ScalabilityCurve> &curves,
                const SmConfig &sm)
 {
     const std::size_t n = kernels.size();
-    assert(curves.size() == n && n >= 2 && n <= 3);
+    SIM_CHECK(curves.size() == n && n >= 2 && n <= 3, wsCtx(),
+              "sweet-point search over " << curves.size()
+                                         << " curves for " << n
+                                         << " kernels (need 2 or 3)");
 
     std::vector<double> iso(n);
     std::vector<int> iso_tbs(n);
@@ -114,7 +130,8 @@ findSweetPoint(const std::vector<ScalabilityCurve> &curves,
 std::vector<int>
 profilingTbCounts(int max_tbs, int samples)
 {
-    assert(max_tbs >= 1);
+    SIM_CHECK(max_tbs >= 1, wsCtx(),
+              "profiling a kernel that fits no TB on an SM");
     samples = std::max(1, std::min(samples, max_tbs));
     std::vector<int> counts;
     counts.reserve(static_cast<std::size_t>(samples));

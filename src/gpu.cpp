@@ -1,9 +1,63 @@
 #include "gpu.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <sstream>
+
+#include "sim/check.hpp"
 
 namespace ckesim {
+
+namespace {
+SimCtx
+gpuCtx(Cycle now = kNeverCycle)
+{
+    SimCtx ctx;
+    ctx.cycle = now;
+    ctx.module = "gpu";
+    return ctx;
+}
+
+void
+schemeFail(const std::string &field, const std::string &why)
+{
+    SimCtx ctx;
+    ctx.module = "scheme";
+    raiseSimError("ConfigError", ctx, field + ": " + why);
+}
+} // namespace
+
+void
+SchemeSpec::validate(const GpuConfig &cfg) const
+{
+    if (smk_warp_quota) {
+        if (smk_epoch_cycles < 1)
+            schemeFail("smk_epoch_cycles", "must be >= 1");
+        if (isolated_ipc_per_sm.empty())
+            schemeFail("isolated_ipc_per_sm",
+                       "required when smk_warp_quota is set");
+        for (double ipc : isolated_ipc_per_sm) {
+            if (!(ipc >= 0.0))
+                schemeFail("isolated_ipc_per_sm",
+                           "entries must be non-negative");
+        }
+    }
+    if (ucp && ucp_interval < 1)
+        schemeFail("ucp_interval", "must be >= 1");
+    if (partition == PartitionScheme::WarpedSlicer &&
+        oracle_curves.empty() && ws_profile_window < 1)
+        schemeFail("ws_profile_window",
+                   "dynamic Warped-Slicer needs a positive window");
+    if (global_dmil && global_dmil_interval < 1)
+        schemeFail("global_dmil_interval", "must be >= 1");
+    for (std::size_t k = 0; k < smil_limits.size(); ++k) {
+        if (smil_limits[k] < 0)
+            schemeFail("smil_limits",
+                       "negative SMIL limit for kernel " +
+                           std::to_string(k));
+    }
+    for (const FaultSpec &f : faults)
+        validateFaultSpec(f, cfg.num_sms, cfg.numL2Partitions());
+}
 
 SchemeSpec
 makeScheme(PartitionScheme partition, BmiMode bmi, MilMode mil)
@@ -19,7 +73,14 @@ Gpu::Gpu(const GpuConfig &cfg, const Workload &workload,
          const SchemeSpec &spec)
     : cfg_(cfg), workload_(workload), spec_(spec), mem_(cfg)
 {
-    assert(workload.numKernels() >= 1);
+    cfg.validate();
+    spec.validate(cfg);
+    SIM_CHECK(workload.numKernels() >= 1 &&
+                  workload.numKernels() <= kMaxKernelsPerSm,
+              gpuCtx(),
+              "workload has " << workload.numKernels()
+                              << " kernels (supported: 1.."
+                              << kMaxKernelsPerSm << ")");
 
     IssuePolicyConfig policy;
     policy.bmi = spec.bmi;
@@ -66,6 +127,13 @@ Gpu::Gpu(const GpuConfig &cfg, const Workload &workload,
         }
     }
 
+    if (!spec.faults.empty()) {
+        fault_injector_ = FaultInjector(spec.faults);
+        mem_.setFaultInjector(&fault_injector_);
+        for (auto &sm : sms_)
+            sm->setFaultInjector(&fault_injector_);
+    }
+
     setupInitialPartition();
 }
 
@@ -83,7 +151,10 @@ Gpu::accessTap(void *opaque, KernelId k, Addr line)
 void
 Gpu::applyQuotas(const QuotaMatrix &quotas)
 {
-    assert(static_cast<int>(quotas.size()) == numSms());
+    SIM_CHECK(static_cast<int>(quotas.size()) == numSms(),
+              gpuCtx(now_),
+              "quota matrix has " << quotas.size() << " rows for "
+                                  << numSms() << " SMs");
     for (int s = 0; s < numSms(); ++s)
         for (int k = 0; k < numKernels(); ++k)
             sms_[static_cast<std::size_t>(s)]->setTbQuota(
@@ -238,7 +309,117 @@ Gpu::run(Cycle cycles)
         for (auto &sm : sms_)
             sm->tick(now_);
         mem_.tick(now_);
+
+        const int interval = cfg_.integrity.check_interval;
+        if (interval > 0 && now_ % interval == 0) {
+            watchdogPoll();
+            if (cfg_.integrity.periodic_checks)
+                checkInvariants();
+        }
     }
+}
+
+std::uint64_t
+Gpu::progressSignature() const
+{
+    // Lifetime counters only: resetStats() at phase changes must not
+    // look like (or hide) progress.
+    std::uint64_t sig = mem_.deliveredFills();
+    for (const auto &sm : sms_)
+        sig += sm->progressCount();
+    return sig;
+}
+
+bool
+Gpu::hasPendingWork() const
+{
+    if (!mem_.quiescent())
+        return true;
+    for (const auto &sm : sms_)
+        if (sm->hasWork())
+            return true;
+    return false;
+}
+
+void
+Gpu::watchdogPoll()
+{
+    const std::uint64_t sig = progressSignature();
+    if (sig != last_progress_sig_) {
+        last_progress_sig_ = sig;
+        last_progress_cycle_ = now_;
+        return;
+    }
+    const int timeout = cfg_.integrity.watchdog_timeout;
+    if (timeout <= 0)
+        return;
+    if (now_ - last_progress_cycle_ < static_cast<Cycle>(timeout))
+        return;
+    // A machine with nothing resident or in flight is idle, not hung.
+    if (!hasPendingWork())
+        return;
+    raiseWatchdog();
+}
+
+void
+Gpu::raiseWatchdog()
+{
+    std::ostringstream os;
+    os << "no instruction issued, request returned or fill delivered "
+          "since cycle "
+       << last_progress_cycle_ << " ("
+       << (now_ - last_progress_cycle_) << " cycles) with work pending\n";
+    for (const auto &sm : sms_)
+        os << "  " << sm->describeState() << "\n";
+    os << mem_.describeState();
+    raiseSimError("Watchdog", gpuCtx(now_), os.str());
+}
+
+void
+Gpu::checkInvariants()
+{
+    mem_.checkInvariants(now_);
+    for (const auto &sm : sms_)
+        sm->checkInvariants(now_);
+}
+
+void
+Gpu::audit()
+{
+    // The audit proves conservation on a healthy pipeline; detach the
+    // injector so a still-armed fault cannot block the drain itself.
+    // State already corrupted by fired faults (leaked MSHRs, dropped
+    // fills) remains and is what checkDrained reports.
+    mem_.setFaultInjector(nullptr);
+    for (auto &sm : sms_)
+        sm->setFaultInjector(nullptr);
+
+    auto drained = [this] {
+        if (!mem_.quiescent())
+            return false;
+        for (const auto &sm : sms_)
+            if (!sm->memDrained())
+                return false;
+        return true;
+    };
+
+    Cycle spent = 0;
+    const Cycle limit =
+        static_cast<Cycle>(cfg_.integrity.audit_drain_limit);
+    while (spent < limit && !drained()) {
+        const Cycle t = now_ + spent;
+        for (auto &sm : sms_)
+            sm->drainTick(t);
+        mem_.tick(t);
+        ++spent;
+    }
+
+    // now_ stays put: the audit is bookkeeping, not simulated time,
+    // and must not distort measuredCycles().
+    const Cycle when = now_ + spent;
+    mem_.checkDrained(when);
+    for (auto &sm : sms_)
+        sm->checkDrained(when);
 }
 
 double

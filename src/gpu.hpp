@@ -10,6 +10,7 @@
 
 #include <array>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/issue_policy.hpp"
@@ -69,6 +70,16 @@ struct SchemeSpec
      *  (requires every SM to run the same kernel pair). */
     bool global_dmil = false;
     Cycle global_dmil_interval = 1024;
+
+    // ---- integrity layer --------------------------------------------
+    /** Injected memory-pipeline faults (see sim/fault.hpp). Used to
+     *  prove the watchdog/invariants fire and to study scheme
+     *  behaviour under degraded pipelines. */
+    std::vector<FaultSpec> faults;
+
+    /** Structured validation of scheme knobs against @p cfg; throws
+     *  SimError (kind "ConfigError") on nonsense. */
+    void validate(const GpuConfig &cfg) const;
 };
 
 /** One simulated GPU executing one CKE workload under one scheme. */
@@ -79,8 +90,30 @@ class Gpu
         const SchemeSpec &spec);
     ~Gpu();
 
-    /** Simulate @p cycles cycles (including any profiling window). */
+    /**
+     * Simulate @p cycles cycles (including any profiling window).
+     *
+     * Integrity: every `cfg.integrity.check_interval` cycles the
+     * forward-progress watchdog polls a monotonic progress signature
+     * (instructions issued + load requests returned + fills
+     * delivered). If the machine still has work but the signature has
+     * not moved for `cfg.integrity.watchdog_timeout` cycles, a
+     * SimError (kind "Watchdog") is raised carrying per-SM queue
+     * occupancies, in-flight counts, MIL limits and QBMI quotas.
+     * Periodic occupancy/conservation sweeps run on the same cadence.
+     */
     void run(Cycle cycles);
+
+    /**
+     * End-of-run conservation audit: drains all in-flight memory
+     * state (no new instructions issue) and then proves that every
+     * generated request retired — L1/L2 MSHR tables empty, miss and
+     * LSU queues empty, the read ledger balanced, every warp's
+     * pending-request count zero. Throws SimError on any leak.
+     * Runs with faults disabled; a run whose faults actually fired
+     * is expected to fail its audit (that is the point).
+     */
+    void audit();
 
     /** Cycles covered by the final measurement phase. */
     Cycle measuredCycles() const { return now_ - measured_start_; }
@@ -118,12 +151,25 @@ class Gpu
 
     const GpuConfig &config() const { return cfg_; }
 
+    /** The run's fault injector (counts how often faults fired). */
+    const FaultInjector &faultInjector() const
+    {
+        return fault_injector_;
+    }
+
   private:
     void setupInitialPartition();
     void applyQuotas(const QuotaMatrix &quotas);
     void finishProfiling();
     void ucpRepartition();
     static void accessTap(void *opaque, KernelId k, Addr line);
+
+    // Integrity layer.
+    std::uint64_t progressSignature() const;
+    bool hasPendingWork() const;
+    void watchdogPoll();
+    void checkInvariants();
+    [[noreturn]] void raiseWatchdog();
 
     GpuConfig cfg_;
     Workload workload_;
@@ -150,6 +196,11 @@ class Gpu
 
     Cycle now_ = 0;
     Cycle measured_start_ = 0;
+
+    // Integrity state.
+    FaultInjector fault_injector_;
+    std::uint64_t last_progress_sig_ = 0;
+    Cycle last_progress_cycle_ = 0;
 };
 
 /** Convenience: a standard spec for a named scheme combination. */

@@ -1,16 +1,29 @@
 #include "mem/cache.hpp"
 
-#include <cassert>
+#include "sim/check.hpp"
 
 namespace ckesim {
+
+namespace {
+SimCtx
+cacheCtx(KernelId kernel = kInvalidKernel)
+{
+    SimCtx ctx;
+    ctx.kernel = kernel;
+    ctx.module = "cache";
+    return ctx;
+}
+} // namespace
 
 CacheArray::CacheArray(int num_sets, int assoc)
     : num_sets_(num_sets), assoc_(assoc),
       sets_(static_cast<std::size_t>(num_sets) * assoc)
 {
-    assert(num_sets > 0 && (num_sets & (num_sets - 1)) == 0 &&
-           "num_sets must be a power of two");
-    assert(assoc > 0);
+    SIM_CHECK(num_sets > 0 && (num_sets & (num_sets - 1)) == 0,
+              cacheCtx(),
+              "num_sets " << num_sets << " is not a power of two");
+    SIM_CHECK(assoc > 0, cacheCtx(),
+              "non-positive associativity " << assoc);
 }
 
 int
@@ -100,7 +113,9 @@ void
 CacheArray::fill(int set, int way, bool dirty)
 {
     CacheLine &l = line(set, way);
-    assert(l.reserved && "fill on a non-reserved line");
+    SIM_INVARIANT(l.reserved, cacheCtx(l.owner),
+                  "fill on a non-reserved line (set " << set << " way "
+                                                      << way << ")");
     l.reserved = false;
     l.valid = true;
     l.dirty = dirty;
@@ -132,8 +147,12 @@ CacheArray::invalidate(int set, int way)
 void
 CacheArray::restrictToWays(KernelId kernel, int first, int count)
 {
-    assert(kernel >= 0);
-    assert(first >= 0 && count >= 0 && first + count <= assoc_);
+    SIM_CHECK(kernel >= 0, cacheCtx(kernel),
+              "way restriction for invalid kernel");
+    SIM_CHECK(first >= 0 && count >= 0 && first + count <= assoc_,
+              cacheCtx(kernel),
+              "way range [" << first << ", " << first + count
+                            << ") exceeds associativity " << assoc_);
     if (static_cast<std::size_t>(kernel) >= restrictions_.size())
         restrictions_.resize(static_cast<std::size_t>(kernel) + 1);
     if (count >= assoc_) {

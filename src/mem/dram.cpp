@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/check.hpp"
+
 namespace ckesim {
 
 namespace {
@@ -87,6 +89,18 @@ DramChannel::tick(Cycle now)
             busy_until_ + static_cast<Cycle>(cfg_.access_latency);
         fills_.push_back(Fill{ready, txn.req});
     }
+}
+
+void
+DramChannel::checkInvariants(Cycle now, int channel_id) const
+{
+    SimCtx ctx;
+    ctx.cycle = now;
+    ctx.module = "dram";
+    SIM_INVARIANT(queueLength() <= cfg_.queue_depth, ctx,
+                  "channel " << channel_id << " queue occupancy "
+                             << queueLength() << " exceeds depth "
+                             << cfg_.queue_depth);
 }
 
 std::vector<MemRequest>

@@ -47,6 +47,15 @@ class DramChannel
     /** No queued transaction and no fill awaiting pickup. */
     bool idle() const { return queue_.empty() && fills_.empty(); }
 
+    /** Completed reads awaiting drainFills() pickup. */
+    int fillsPending() const
+    {
+        return static_cast<int>(fills_.size());
+    }
+
+    /** Occupancy-bound invariants (integrity sweep). */
+    void checkInvariants(Cycle now, int channel_id) const;
+
     /** Row-buffer hit-rate observed so far (diagnostics). */
     double rowHitRate() const
     {

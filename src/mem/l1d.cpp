@@ -1,11 +1,28 @@
 #include "mem/l1d.hpp"
 
+#include <numeric>
+
+#include "sim/check.hpp"
+
 namespace ckesim {
+
+namespace {
+SimCtx
+l1dCtx(int sm_id, Cycle now = kNeverCycle)
+{
+    SimCtx ctx;
+    ctx.cycle = now;
+    ctx.sm_id = sm_id;
+    ctx.module = "l1d";
+    return ctx;
+}
+} // namespace
 
 L1Dcache::L1Dcache(const L1dConfig &cfg, int sm_id)
     : cfg_(cfg), sm_id_(sm_id), tags_(cfg.numSets(), cfg.assoc),
       mshrs_(cfg.num_mshrs, cfg.mshr_merge)
 {
+    mshrs_.setCheckContext(l1dCtx(sm_id));
 }
 
 bool
@@ -136,10 +153,57 @@ L1Dcache::fill(Addr line_number)
     // Bypassed misses have no reserved line: nothing is installed.
     auto owner = miss_owner_.find(line_number);
     if (owner != miss_owner_.end()) {
-        --mshr_held_[static_cast<std::size_t>(owner->second)];
+        int &held = mshr_held_[static_cast<std::size_t>(owner->second)];
+        SIM_INVARIANT(held > 0, l1dCtx(sm_id_),
+                      "MSHR holdings for kernel "
+                          << owner->second
+                          << " underflow on fill of line "
+                          << line_number);
+        --held;
         miss_owner_.erase(owner);
     }
     return mshrs_.release(line_number);
+}
+
+void
+L1Dcache::checkInvariants(Cycle now) const
+{
+    const SimCtx ctx = l1dCtx(sm_id_, now);
+    mshrs_.checkBalance(ctx);
+    SIM_INVARIANT(missQueueSize() <= cfg_.miss_queue_depth, ctx,
+                  "miss queue occupancy " << missQueueSize()
+                                          << " exceeds depth "
+                                          << cfg_.miss_queue_depth);
+    // Every tracked miss owner corresponds to one live MSHR entry.
+    SIM_INVARIANT(static_cast<int>(miss_owner_.size()) ==
+                      mshrs_.size(),
+                  ctx,
+                  "miss-owner map (" << miss_owner_.size()
+                                     << ") out of sync with MSHRs ("
+                                     << mshrs_.size() << ")");
+    const int held_total =
+        std::accumulate(mshr_held_.begin(), mshr_held_.end(), 0);
+    SIM_INVARIANT(held_total == mshrs_.size(), ctx,
+                  "per-kernel MSHR holdings sum "
+                      << held_total << " != MSHRs in use "
+                      << mshrs_.size());
+}
+
+void
+L1Dcache::checkDrained(Cycle now) const
+{
+    const SimCtx ctx = l1dCtx(sm_id_, now);
+    SIM_INVARIANT(mshrs_.empty(), ctx,
+                  "audit: " << mshrs_.size()
+                            << " MSHR(s) never filled (ledger: "
+                            << mshrs_.totalAllocated()
+                            << " allocated, "
+                            << mshrs_.totalReleased()
+                            << " released)");
+    SIM_INVARIANT(missQueueSize() == 0, ctx,
+                  "audit: " << missQueueSize()
+                            << " miss-queue entr(ies) never "
+                               "injected downstream");
 }
 
 } // namespace ckesim

@@ -138,6 +138,27 @@ class L1Dcache
         return static_cast<int>(miss_queue_.size());
     }
 
+    // ---- integrity layer ------------------------------------------------
+    /** Lifetime MSHR allocations (conservation ledger). */
+    std::uint64_t mshrAllocated() const
+    {
+        return mshrs_.totalAllocated();
+    }
+    /** Lifetime MSHR releases by fills (conservation ledger). */
+    std::uint64_t mshrReleased() const
+    {
+        return mshrs_.totalReleased();
+    }
+
+    /**
+     * Occupancy-bound and ledger invariants. Cheap enough to run
+     * every integrity sweep; throws SimError on violation.
+     */
+    void checkInvariants(Cycle now) const;
+
+    /** Drained-state check for Gpu::audit(): nothing outstanding. */
+    void checkDrained(Cycle now) const;
+
   private:
     bool bypassed(KernelId kernel) const
     {

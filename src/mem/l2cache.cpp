@@ -1,20 +1,36 @@
 #include "mem/l2cache.hpp"
 
-#include <cassert>
+#include "sim/check.hpp"
 
 namespace ckesim {
+
+namespace {
+SimCtx
+l2Ctx(Cycle now = kNeverCycle, KernelId kernel = kInvalidKernel)
+{
+    SimCtx ctx;
+    ctx.cycle = now;
+    ctx.kernel = kernel;
+    ctx.module = "l2";
+    return ctx;
+}
+} // namespace
 
 L2Partition::L2Partition(const L2Config &cfg, int partition_id)
     : cfg_(cfg), partition_id_(partition_id),
       tags_(cfg.numSetsPerPartition(), cfg.assoc),
       mshrs_(cfg.num_mshrs, /*max_merge=*/16)
 {
+    mshrs_.setCheckContext(l2Ctx());
 }
 
 void
 L2Partition::acceptInput(const MemRequest &req)
 {
-    assert(inputRoom() > 0);
+    SIM_CHECK(inputRoom() > 0, l2Ctx(req.birth, req.kernel),
+              "partition " << partition_id_
+                           << " input queue overflow (depth "
+                           << cfg_.miss_queue_depth << ")");
     input_.push_back(req);
 }
 
@@ -75,8 +91,10 @@ L2Partition::tick(Cycle now, DramChannel &dram)
         wb.kind = ReqKind::Writeback;
         wb.birth = now;
         const bool ok = dram.tryEnqueue(wb, now);
-        assert(ok);
-        (void)ok;
+        SIM_INVARIANT(ok, l2Ctx(now, req.kernel),
+                      "partition " << partition_id_
+                                   << ": DRAM refused writeback after "
+                                      "freeSlots() promised room");
     }
 
     tags_.reserve(tags_.setIndex(req.line_addr), victim.way,
@@ -86,8 +104,10 @@ L2Partition::tick(Cycle now, DramChannel &dram)
     MemRequest fetch = req;
     fetch.kind = ReqKind::ReadMiss; // WBWA: writes fetch the line too
     const bool ok = dram.tryEnqueue(fetch, now);
-    assert(ok);
-    (void)ok;
+    SIM_INVARIANT(ok, l2Ctx(now, req.kernel),
+                  "partition " << partition_id_
+                               << ": DRAM refused fetch after "
+                                  "freeSlots() promised room");
 
     input_.pop_front();
 }
@@ -103,9 +123,16 @@ L2Partition::onDramFill(const MemRequest &fill, Cycle now)
             dirty = true;
 
     const int way = tags_.probe(fill.line_addr);
-    assert(way >= 0 && "fill for a line that lost its reservation");
+    SIM_INVARIANT(way >= 0, l2Ctx(now, fill.kernel),
+                  "partition " << partition_id_ << ": fill for line "
+                               << fill.line_addr
+                               << " that lost its reservation");
     const int set = tags_.setIndex(fill.line_addr);
-    assert(tags_.line(set, way).reserved);
+    SIM_INVARIANT(tags_.line(set, way).reserved,
+                  l2Ctx(now, fill.kernel),
+                  "partition " << partition_id_ << ": fill for line "
+                               << fill.line_addr
+                               << " whose way is not reserved");
     tags_.fill(set, way, dirty);
 
     for (const MemRequest &t : targets) {
@@ -114,6 +141,18 @@ L2Partition::onDramFill(const MemRequest &fill, Cycle now)
                 Reply{now + static_cast<Cycle>(cfg_.latency), t});
         }
     }
+}
+
+void
+L2Partition::checkInvariants(Cycle now) const
+{
+    const SimCtx ctx = l2Ctx(now);
+    SIM_INVARIANT(inputSize() <= cfg_.miss_queue_depth, ctx,
+                  "partition " << partition_id_
+                               << " input occupancy " << inputSize()
+                               << " exceeds depth "
+                               << cfg_.miss_queue_depth);
+    mshrs_.checkBalance(ctx);
 }
 
 std::vector<MemRequest>

@@ -62,6 +62,16 @@ class L2Partition
     }
 
     const CacheArray &tags() const { return tags_; }
+    int inputSize() const { return static_cast<int>(input_.size()); }
+    int mshrsInUse() const { return mshrs_.size(); }
+    int repliesPending() const
+    {
+        return static_cast<int>(replies_.size());
+    }
+
+    /** Occupancy-bound and MSHR-ledger invariants (integrity sweep). */
+    void checkInvariants(Cycle now) const;
+
     std::uint64_t accesses() const { return accesses_; }
     std::uint64_t misses() const { return misses_; }
     double missRate() const

@@ -1,5 +1,9 @@
 #include "mem/memsys.hpp"
 
+#include <sstream>
+
+#include "sim/check.hpp"
+
 namespace ckesim {
 
 namespace {
@@ -11,13 +15,23 @@ namespace {
 constexpr int kReadReqFlits = 1;
 constexpr int kWriteReqFlits = 1;
 constexpr int kReplyFlits = 2;
+
+SimCtx
+memCtx(Cycle now = kNeverCycle)
+{
+    SimCtx ctx;
+    ctx.cycle = now;
+    ctx.module = "memsys";
+    return ctx;
+}
 } // namespace
 
 MemorySystem::MemorySystem(const GpuConfig &cfg)
     : cfg_(cfg),
       fwd_(cfg.numL2Partitions(), cfg.icnt),
       reply_(cfg.num_sms, cfg.icnt),
-      reply_retry_(static_cast<std::size_t>(cfg.numL2Partitions()))
+      reply_retry_(static_cast<std::size_t>(cfg.numL2Partitions())),
+      delayed_(static_cast<std::size_t>(cfg.num_sms))
 {
     partitions_.reserve(static_cast<std::size_t>(cfg.numL2Partitions()));
     channels_.reserve(static_cast<std::size_t>(cfg.numL2Partitions()));
@@ -32,9 +46,19 @@ bool
 MemorySystem::injectFromSm(const MemRequest &req, Cycle now)
 {
     const int dest = linePartition(req.line_addr, numPartitions());
+    if (faults_ && faults_->stallCrossbarPort(dest, now))
+        return false;
     const int flits =
         req.kind == ReqKind::WriteThru ? kWriteReqFlits : kReadReqFlits;
-    return fwd_.tryInject(dest, flits, req, now);
+    if (!fwd_.tryInject(dest, flits, req, now))
+        return false;
+    if (req.kind == ReqKind::ReadMiss) {
+        ++injected_reads_;
+        ++inflight_;
+    } else {
+        ++injected_writes_;
+    }
+    return true;
 }
 
 void
@@ -51,8 +75,10 @@ MemorySystem::tick(Cycle now)
                 part.acceptInput(req);
         }
 
+        const bool frozen = faults_ && faults_->dramFrozen(p, now);
         part.tick(now, chan);
-        chan.tick(now);
+        if (!frozen)
+            chan.tick(now);
 
         for (const MemRequest &fill : chan.drainFills(now))
             part.onDramFill(fill, now);
@@ -74,7 +100,51 @@ MemorySystem::tick(Cycle now)
 std::vector<MemRequest>
 MemorySystem::drainRepliesForSm(int sm_id, Cycle now)
 {
-    return reply_.drain(sm_id, now, /*max_count=*/64);
+    std::vector<MemRequest> out =
+        reply_.drain(sm_id, now, /*max_count=*/64);
+
+    if (faults_ && !faults_->empty()) {
+        std::vector<MemRequest> kept;
+        kept.reserve(out.size());
+        for (const MemRequest &r : out) {
+            if (faults_->dropFill(sm_id, now)) {
+                // The read leaves the system without a delivery: the
+                // L1 MSHR is never released — a hard fault the
+                // watchdog (or audit) must report, not mask.
+                ++dropped_fills_;
+                SIM_INVARIANT(inflight_ > 0, memCtx(now),
+                              "dropped a fill for sm "
+                                  << sm_id
+                                  << " with no read in flight");
+                --inflight_;
+                continue;
+            }
+            const Cycle delay = faults_->fillDelay(sm_id, now);
+            if (delay > 0) {
+                delayed_[static_cast<std::size_t>(sm_id)].push_back(
+                    DelayedFill{now + delay, r});
+                continue;
+            }
+            kept.push_back(r);
+        }
+        out = std::move(kept);
+    }
+
+    std::deque<DelayedFill> &held =
+        delayed_[static_cast<std::size_t>(sm_id)];
+    while (!held.empty() && held.front().ready <= now) {
+        out.push_back(held.front().req);
+        held.pop_front();
+    }
+
+    const std::uint64_t n = static_cast<std::uint64_t>(out.size());
+    delivered_fills_ += n;
+    SIM_INVARIANT(inflight_ >= n, memCtx(now),
+                  "delivered " << n << " fill(s) to sm " << sm_id
+                               << " with only " << inflight_
+                               << " read(s) in flight");
+    inflight_ -= n;
+    return out;
 }
 
 double
@@ -103,10 +173,95 @@ MemorySystem::quiescent() const
         if (!reply_retry_[static_cast<std::size_t>(p)].empty())
             return false;
     }
-    for (int s = 0; s < cfg_.num_sms; ++s)
+    for (int s = 0; s < cfg_.num_sms; ++s) {
         if (reply_.queueLength(s) > 0)
             return false;
+        if (!delayed_[static_cast<std::size_t>(s)].empty())
+            return false;
+    }
     return true;
+}
+
+void
+MemorySystem::checkInvariants(Cycle now) const
+{
+    const SimCtx ctx = memCtx(now);
+    for (int p = 0; p < numPartitions(); ++p) {
+        partitions_[static_cast<std::size_t>(p)]->checkInvariants(now);
+        channels_[static_cast<std::size_t>(p)]->checkInvariants(now, p);
+        SIM_INVARIANT(fwd_.queueLength(p) <=
+                          cfg_.icnt.input_queue_depth,
+                      ctx,
+                      "forward crossbar port " << p << " occupancy "
+                          << fwd_.queueLength(p) << " exceeds depth "
+                          << cfg_.icnt.input_queue_depth);
+    }
+    for (int s = 0; s < cfg_.num_sms; ++s) {
+        SIM_INVARIANT(reply_.queueLength(s) <=
+                          cfg_.icnt.input_queue_depth,
+                      ctx,
+                      "reply crossbar port " << s << " occupancy "
+                          << reply_.queueLength(s) << " exceeds depth "
+                          << cfg_.icnt.input_queue_depth);
+    }
+    SIM_INVARIANT(delivered_fills_ + dropped_fills_ + inflight_ ==
+                      injected_reads_,
+                  ctx,
+                  "read ledger imbalance: injected="
+                      << injected_reads_ << " delivered="
+                      << delivered_fills_ << " dropped="
+                      << dropped_fills_ << " inflight=" << inflight_);
+}
+
+void
+MemorySystem::checkDrained(Cycle now) const
+{
+    const SimCtx ctx = memCtx(now);
+    SIM_INVARIANT(quiescent(), ctx,
+                  "audit: memory system not quiescent after drain\n"
+                      << describeState());
+    SIM_INVARIANT(inflight_ == 0, ctx,
+                  "audit: " << inflight_
+                            << " injected read(s) never produced a "
+                               "fill (ledger: injected="
+                            << injected_reads_ << " delivered="
+                            << delivered_fills_ << " dropped="
+                            << dropped_fills_ << ")");
+}
+
+std::string
+MemorySystem::describeState() const
+{
+    std::ostringstream os;
+    os << "memsys: inflight_reads=" << inflight_
+       << " injected=" << injected_reads_
+       << " delivered=" << delivered_fills_
+       << " dropped=" << dropped_fills_ << "\n";
+    for (int p = 0; p < numPartitions(); ++p) {
+        const L2Partition &part =
+            *partitions_[static_cast<std::size_t>(p)];
+        const DramChannel &chan =
+            *channels_[static_cast<std::size_t>(p)];
+        if (fwd_.queueLength(p) == 0 && part.idle() && chan.idle() &&
+            reply_retry_[static_cast<std::size_t>(p)].empty())
+            continue;
+        os << "  part " << p << ": xbar_in=" << fwd_.queueLength(p)
+           << " l2_in=" << part.inputSize()
+           << " l2_mshr=" << part.mshrsInUse()
+           << " l2_replies=" << part.repliesPending()
+           << " dram_q=" << chan.queueLength()
+           << " dram_fills=" << chan.fillsPending() << " reply_retry="
+           << reply_retry_[static_cast<std::size_t>(p)].size()
+           << "\n";
+    }
+    for (int s = 0; s < cfg_.num_sms; ++s) {
+        const auto held = delayed_[static_cast<std::size_t>(s)].size();
+        if (reply_.queueLength(s) == 0 && held == 0)
+            continue;
+        os << "  sm " << s << ": reply_q=" << reply_.queueLength(s)
+           << " delayed_fills=" << held << "\n";
+    }
+    return os.str();
 }
 
 } // namespace ckesim

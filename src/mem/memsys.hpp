@@ -9,6 +9,7 @@
 
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mem/address.hpp"
@@ -17,6 +18,7 @@
 #include "mem/l2cache.hpp"
 #include "mem/request.hpp"
 #include "sim/config.hpp"
+#include "sim/fault.hpp"
 #include "sim/types.hpp"
 
 namespace ckesim {
@@ -62,6 +64,29 @@ class MemorySystem
     /** True when no request is anywhere in flight below the L1s. */
     bool quiescent() const;
 
+    // ---- integrity layer ------------------------------------------------
+    /** Attach a fault injector (nullptr = fault-free operation). */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
+    /** Read requests injected below the L1s (conservation ledger). */
+    std::uint64_t injectedReads() const { return injected_reads_; }
+    /** Read fills handed back to SMs (conservation ledger). */
+    std::uint64_t deliveredFills() const { return delivered_fills_; }
+    /** Fills discarded by an injected DropFill fault. */
+    std::uint64_t droppedFills() const { return dropped_fills_; }
+    /** Read requests still below the L1s. */
+    std::uint64_t inflightReads() const { return inflight_; }
+
+    /** Occupancy-bound + conservation invariants (integrity sweep). */
+    void checkInvariants(Cycle now) const;
+
+    /** Drained-state check for Gpu::audit(): every injected read
+     *  retired and every queue empty. */
+    void checkDrained(Cycle now) const;
+
+    /** Multi-line occupancy dump for watchdog diagnostics. */
+    std::string describeState() const;
+
   private:
     GpuConfig cfg_;
     Crossbar fwd_;   ///< SM -> partition
@@ -70,7 +95,19 @@ class MemorySystem
     std::vector<std::unique_ptr<DramChannel>> channels_;
     /** Replies an overloaded reply port refused; retried each cycle. */
     std::vector<std::deque<MemRequest>> reply_retry_;
-    std::uint64_t inflight_ = 0; ///< requests below the L1s
+    /** Fills held back by an injected DelayFill fault, per SM. */
+    struct DelayedFill
+    {
+        Cycle ready = 0;
+        MemRequest req;
+    };
+    std::vector<std::deque<DelayedFill>> delayed_;
+    FaultInjector *faults_ = nullptr;
+    std::uint64_t inflight_ = 0; ///< read requests below the L1s
+    std::uint64_t injected_reads_ = 0;
+    std::uint64_t injected_writes_ = 0;
+    std::uint64_t delivered_fills_ = 0;
+    std::uint64_t dropped_fills_ = 0;
 };
 
 } // namespace ckesim

@@ -11,11 +11,11 @@
 #ifndef CKESIM_MEM_MSHR_HPP
 #define CKESIM_MEM_MSHR_HPP
 
-#include <cassert>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/check.hpp"
 #include "sim/types.hpp"
 
 namespace ckesim {
@@ -50,7 +50,9 @@ class MshrTable
     canMerge(Addr line_number) const
     {
         auto it = entries_.find(line_number);
-        assert(it != entries_.end());
+        SIM_CHECK(it != entries_.end(), ctx_,
+                  "canMerge on line " << line_number
+                                      << " with no outstanding miss");
         return static_cast<int>(it->second.size()) < max_merge_;
     }
 
@@ -64,10 +66,15 @@ class MshrTable
     void
     allocate(Addr line_number, Target target)
     {
-        assert(hasFree());
-        assert(!pending(line_number));
+        SIM_CHECK(hasFree(), ctx_,
+                  "MSHR allocate with table full ("
+                      << capacity_ << " entries)");
+        SIM_CHECK(!pending(line_number), ctx_,
+                  "duplicate MSHR allocation for line "
+                      << line_number);
         entries_.emplace(line_number,
                          std::vector<Target>{std::move(target)});
+        ++allocated_;
     }
 
     /** Merge another request into an existing entry. */
@@ -75,8 +82,13 @@ class MshrTable
     merge(Addr line_number, Target target)
     {
         auto it = entries_.find(line_number);
-        assert(it != entries_.end());
-        assert(canMerge(line_number));
+        SIM_CHECK(it != entries_.end(), ctx_,
+                  "merge into line " << line_number
+                                     << " with no outstanding miss");
+        SIM_CHECK(static_cast<int>(it->second.size()) < max_merge_,
+                  ctx_,
+                  "merge list overflow on line "
+                      << line_number << " (max " << max_merge_ << ")");
         it->second.push_back(std::move(target));
     }
 
@@ -88,9 +100,13 @@ class MshrTable
     release(Addr line_number)
     {
         auto it = entries_.find(line_number);
-        assert(it != entries_.end());
+        SIM_CHECK(it != entries_.end(), ctx_,
+                  "fill for line " << line_number
+                                   << " with no outstanding miss "
+                                      "(dropped or duplicated fill)");
         std::vector<Target> out = std::move(it->second);
         entries_.erase(it);
+        ++released_;
         return out;
     }
 
@@ -99,10 +115,42 @@ class MshrTable
     int maxMerge() const { return max_merge_; }
     bool empty() const { return entries_.empty(); }
 
+    // ---- integrity layer ------------------------------------------------
+    /** Attach failure context (owner's SM/module identity). */
+    void setCheckContext(const SimCtx &ctx) { ctx_ = ctx; }
+
+    /** Lifetime allocation / release totals (conservation ledger). */
+    std::uint64_t totalAllocated() const { return allocated_; }
+    std::uint64_t totalReleased() const { return released_; }
+
+    /** Alloc/free balance: outstanding entries match the ledger. */
+    void
+    checkBalance(const SimCtx &ctx) const
+    {
+        SIM_INVARIANT(released_ <= allocated_, ctx,
+                      "MSHR released " << released_
+                                       << " exceeds allocated "
+                                       << allocated_);
+        SIM_INVARIANT(allocated_ - released_ ==
+                          static_cast<std::uint64_t>(entries_.size()),
+                      ctx,
+                      "MSHR ledger imbalance: allocated="
+                          << allocated_ << " released=" << released_
+                          << " outstanding=" << entries_.size());
+        SIM_INVARIANT(static_cast<int>(entries_.size()) <= capacity_,
+                      ctx,
+                      "MSHR occupancy " << entries_.size()
+                                        << " exceeds capacity "
+                                        << capacity_);
+    }
+
   private:
     int capacity_;
     int max_merge_;
     std::unordered_map<Addr, std::vector<Target>> entries_;
+    std::uint64_t allocated_ = 0;
+    std::uint64_t released_ = 0;
+    SimCtx ctx_;
 };
 
 } // namespace ckesim

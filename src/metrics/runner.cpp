@@ -1,7 +1,5 @@
 #include "metrics/runner.hpp"
 
-#include <cassert>
-
 #include "metrics/perf_metrics.hpp"
 
 namespace ckesim {
@@ -39,6 +37,9 @@ schemeName(NamedScheme scheme)
 Runner::Runner(const GpuConfig &cfg, Cycle cycles)
     : cfg_(cfg), cycles_(cycles)
 {
+    // Fail here, with the offending field named, rather than cycles
+    // into the first simulation.
+    cfg_.validate();
 }
 
 const IsolatedResult &
@@ -67,6 +68,7 @@ Runner::isolated(const KernelProfile &prof, int tb_limit)
     res.stats = gpu.kernelStatsTotal(0);
     res.sm_stats = gpu.smStatsTotal();
     res.max_tbs = quota;
+    gpu.audit();
     return iso_cache_.emplace(key, std::move(res)).first->second;
 }
 
@@ -167,6 +169,12 @@ Runner::run(const Workload &workload, const SchemeSpec &spec)
     res.weighted_speedup = weightedSpeedup(res.norm_ipc);
     res.antt_value = antt(res.norm_ipc);
     res.fairness = fairnessIndex(res.norm_ipc);
+
+    // Conservation audit: prove every generated request retired.
+    // Fault-injection runs deliberately corrupt the pipeline; their
+    // leaks are the experiment, not a simulator bug.
+    if (spec.faults.empty())
+        gpu.audit();
     return res;
 }
 

@@ -1,0 +1,59 @@
+#include "sim/check.hpp"
+
+namespace ckesim {
+
+std::string
+formatSimCtx(const SimCtx &ctx)
+{
+    std::ostringstream os;
+    os << "[cycle=";
+    if (ctx.cycle == kNeverCycle)
+        os << "?";
+    else
+        os << ctx.cycle;
+    os << " sm=";
+    if (ctx.sm_id < 0)
+        os << "-";
+    else
+        os << ctx.sm_id;
+    os << " kernel=";
+    if (ctx.kernel == kInvalidKernel)
+        os << "-";
+    else
+        os << ctx.kernel;
+    os << " module=" << (ctx.module ? ctx.module : "") << "]";
+    return os.str();
+}
+
+namespace {
+
+std::string
+formatWhat(const char *kind, const char *expr, const SimCtx &ctx,
+           const std::string &detail)
+{
+    std::ostringstream os;
+    os << kind << " failed " << formatSimCtx(ctx);
+    if (expr && expr[0] != '\0')
+        os << " condition: " << expr;
+    if (!detail.empty())
+        os << "\n  " << detail;
+    return os.str();
+}
+
+} // namespace
+
+SimError::SimError(const char *kind, const char *expr, const SimCtx &ctx,
+                   const std::string &detail)
+    : std::runtime_error(formatWhat(kind, expr, ctx, detail)),
+      ctx_(ctx), kind_(kind), expr_(expr ? expr : ""), detail_(detail)
+{
+}
+
+void
+raiseSimError(const char *kind, const SimCtx &ctx,
+              const std::string &detail)
+{
+    throw SimError(kind, "", ctx, detail);
+}
+
+} // namespace ckesim

@@ -104,6 +104,26 @@ struct DramConfig
 };
 
 /**
+ * Simulation integrity layer knobs: periodic invariant sweeps and the
+ * forward-progress watchdog. All checks stay active in release builds;
+ * they are sized to cost well under 10% of simulation time.
+ */
+struct IntegrityConfig
+{
+    /** Periodic occupancy-bound / conservation sweeps. */
+    bool periodic_checks = true;
+    /** Cycles between watchdog polls and invariant sweeps. */
+    int check_interval = 256;
+    /** No-progress cycles before the watchdog raises (0 = disabled).
+     *  Must stay well under 10k so injected deadlocks are caught
+     *  within the detection budget. */
+    int watchdog_timeout = 4096;
+    /** Max extra drain cycles Gpu::audit() spends reaching
+     *  quiescence before declaring a leak. */
+    int audit_drain_limit = 100000;
+};
+
+/**
  * Complete GPU configuration. Defaults reproduce the paper's Table 1
  * baseline: 16 SMs at 1.4GHz, 4 GTO schedulers, 24KB 6-way L1D with
  * 128 MSHRs, 2048KB L2 in 128KB partitions, 16x16 crossbar, 16 DRAM
@@ -117,6 +137,7 @@ struct GpuConfig
     L2Config l2;
     IcntConfig icnt;
     DramConfig dram;
+    IntegrityConfig integrity;
 
     /** Number of L2 partitions == number of DRAM channels. */
     int numL2Partitions() const { return dram.num_channels; }
@@ -126,6 +147,15 @@ struct GpuConfig
 
     /** A short human-readable digest for cache keys / logs. */
     std::string digest() const;
+
+    /**
+     * Reject nonsensical configurations with a structured SimError
+     * (kind "ConfigError") naming the offending field, instead of
+     * letting zero-depth queues or mismatched cache geometry corrupt
+     * a run thousands of cycles in. Called by the Gpu constructor
+     * and the experiment Runner.
+     */
+    void validate() const;
 };
 
 /**

@@ -35,6 +35,51 @@ SmStats::operator+=(const SmStats &o)
     return *this;
 }
 
+namespace {
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (value >> (i * 8)) & 0xffULL;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+} // namespace
+
+std::uint64_t
+fingerprint(const KernelStats &s, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    h = fnv1a(h, s.issued_instructions);
+    h = fnv1a(h, s.alu_instructions);
+    h = fnv1a(h, s.sfu_instructions);
+    h = fnv1a(h, s.smem_instructions);
+    h = fnv1a(h, s.mem_instructions);
+    h = fnv1a(h, s.mem_requests);
+    h = fnv1a(h, s.l1d_accesses);
+    h = fnv1a(h, s.l1d_hits);
+    h = fnv1a(h, s.l1d_misses);
+    h = fnv1a(h, s.l1d_rsfails);
+    h = fnv1a(h, s.l1d_rsfail_line);
+    h = fnv1a(h, s.l1d_rsfail_mshr);
+    h = fnv1a(h, s.l1d_rsfail_missq);
+    h = fnv1a(h, s.tbs_completed);
+    return h;
+}
+
+std::uint64_t
+fingerprint(const SmStats &s, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    h = fnv1a(h, s.cycles);
+    h = fnv1a(h, s.lsu_stall_cycles);
+    h = fnv1a(h, s.alu_issue_slots);
+    h = fnv1a(h, s.sfu_issue_slots);
+    h = fnv1a(h, s.issue_slots_used);
+    return h;
+}
+
 double
 geomean(const std::vector<double> &xs)
 {

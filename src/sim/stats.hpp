@@ -118,6 +118,16 @@ struct SmStats
 /** Geometric mean of a non-empty vector of positive values. */
 double geomean(const std::vector<double> &xs);
 
+/**
+ * Order-sensitive FNV-1a digest of every counter, for determinism
+ * checks: two runs with the same config and seed must produce the
+ * same fingerprint.
+ */
+std::uint64_t fingerprint(const KernelStats &s,
+                          std::uint64_t seed = 0xcbf29ce484222325ULL);
+std::uint64_t fingerprint(const SmStats &s,
+                          std::uint64_t seed = 0xcbf29ce484222325ULL);
+
 } // namespace ckesim
 
 #endif // CKESIM_SIM_STATS_HPP

@@ -1,11 +1,11 @@
 #include "sm/lsu.hpp"
 
-#include <cassert>
+#include "sim/check.hpp"
 
 namespace ckesim {
 
-Lsu::Lsu(int queue_depth, int hit_latency)
-    : depth_(queue_depth), hit_latency_(hit_latency)
+Lsu::Lsu(int queue_depth, int hit_latency, int sm_id)
+    : depth_(queue_depth), hit_latency_(hit_latency), sm_id_(sm_id)
 {
 }
 
@@ -13,8 +13,14 @@ void
 Lsu::enqueue(int warp_slot, KernelId kernel, bool is_store,
              const std::vector<Addr> &lines)
 {
-    assert(hasRoom());
-    assert(!lines.empty());
+    SimCtx ctx;
+    ctx.sm_id = sm_id_;
+    ctx.kernel = kernel;
+    ctx.module = "lsu";
+    SIM_CHECK(hasRoom(), ctx,
+              "enqueue into full LSU queue (depth " << depth_ << ")");
+    SIM_CHECK(!lines.empty(), ctx,
+              "memory instruction with no coalesced lines");
     Entry e;
     e.warp_slot = warp_slot;
     e.kernel = kernel;

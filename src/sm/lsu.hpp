@@ -44,7 +44,8 @@ class LsuHost
 class Lsu
 {
   public:
-    Lsu(int queue_depth, int hit_latency);
+    /** @p sm_id is diagnostic context only (-1 = standalone). */
+    Lsu(int queue_depth, int hit_latency, int sm_id = -1);
 
     bool hasRoom() const
     {
@@ -64,6 +65,12 @@ class Lsu
     bool empty() const { return queue_.empty(); }
     int size() const { return static_cast<int>(queue_.size()); }
 
+    /** Kernel owning the head entry (kInvalidKernel when empty). */
+    KernelId headKernel() const
+    {
+        return queue_.empty() ? kInvalidKernel : queue_.front().kernel;
+    }
+
   private:
     struct Entry
     {
@@ -76,6 +83,7 @@ class Lsu
 
     int depth_;
     int hit_latency_;
+    int sm_id_;
     std::deque<Entry> queue_;
 };
 

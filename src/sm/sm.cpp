@@ -1,10 +1,25 @@
 #include "sm/sm.hpp"
 
-#include <cassert>
+#include <sstream>
 
 #include "mem/coalescer.hpp"
+#include "sim/check.hpp"
 
 namespace ckesim {
+
+namespace {
+SimCtx
+smCtx(int sm_id, Cycle now = kNeverCycle,
+      KernelId kernel = kInvalidKernel)
+{
+    SimCtx ctx;
+    ctx.cycle = now;
+    ctx.sm_id = sm_id;
+    ctx.kernel = kernel;
+    ctx.module = "sm";
+    return ctx;
+}
+} // namespace
 
 Sm::Sm(const GpuConfig &cfg, int sm_id, MemorySystem &mem,
        std::vector<const KernelProfile *> kernels,
@@ -12,12 +27,16 @@ Sm::Sm(const GpuConfig &cfg, int sm_id, MemorySystem &mem,
     : cfg_(cfg), sm_id_(sm_id), mem_(mem),
       controller_(policy, static_cast<int>(kernels.size())),
       l1d_(cfg.l1d, sm_id),
-      lsu_(cfg.sm.lsu_queue_depth, cfg.l1d.hit_latency),
+      lsu_(cfg.sm.lsu_queue_depth, cfg.l1d.hit_latency, sm_id),
       warps_(static_cast<std::size_t>(cfg.sm.max_warps)),
       tbs_(static_cast<std::size_t>(cfg.sm.max_tbs))
 {
-    assert(!kernels.empty() &&
-           static_cast<int>(kernels.size()) <= kMaxKernelsPerSm);
+    SIM_CHECK(!kernels.empty() &&
+                  static_cast<int>(kernels.size()) <= kMaxKernelsPerSm,
+              smCtx(sm_id),
+              "SM built with " << kernels.size()
+                               << " kernels (max " << kMaxKernelsPerSm
+                               << ")");
     ctx_.resize(kernels.size());
     for (std::size_t k = 0; k < kernels.size(); ++k)
         ctx_[k].prof = kernels[k];
@@ -68,9 +87,14 @@ Sm::processWakes(Cycle now)
 void
 Sm::requestReturned(int warp_slot, Cycle now)
 {
-    (void)now;
     Warp &w = warps_[static_cast<std::size_t>(warp_slot)];
-    assert(w.pending_requests > 0);
+    SIM_INVARIANT(w.pending_requests > 0,
+                  smCtx(sm_id_, now, w.kernel),
+                  "wake for warp slot "
+                      << warp_slot
+                      << " with no pending request (duplicate or "
+                         "misrouted fill)");
+    ++lifetime_returns_;
     const bool load_done = w.retireRequest();
     if (load_done)
         controller_.onMemInstrCompleted(w.kernel);
@@ -97,7 +121,11 @@ Sm::retireWarp(int slot)
     Warp &w = warps_[static_cast<std::size_t>(slot)];
     w.state = WarpState::Done;
     ThreadBlock &tb = tbs_[static_cast<std::size_t>(w.tb_index)];
-    assert(tb.active && tb.warps_left > 0);
+    SIM_INVARIANT(tb.active && tb.warps_left > 0,
+                  smCtx(sm_id_, now_, w.kernel),
+                  "warp retirement into inactive TB slot "
+                      << w.tb_index << " (active=" << tb.active
+                      << " warps_left=" << tb.warps_left << ")");
     if (--tb.warps_left > 0)
         return;
 
@@ -268,6 +296,7 @@ Sm::issueFrom(int slot, Cycle now)
 
     ++c.stats.issued_instructions;
     ++sm_stats_.issue_slots_used;
+    ++lifetime_issued_;
     controller_.onInstrIssued(w.kernel);
     if (c.issue_series)
         c.issue_series->record(now);
@@ -344,8 +373,14 @@ Sm::tick(Cycle now)
         sched.onIssue(slot);
     }
 
-    if (lsu_.tick(now, l1d_, *this))
+    // Injected fault: the head access fails reservation regardless
+    // of actual resource availability (degraded-pipeline study).
+    if (faults_ && !lsu_.empty() && faults_->forceRsFail(sm_id_, now)) {
+        lsuReservationFailure(lsu_.headKernel(), RsFailReason::Mshr);
         ++sm_stats_.lsu_stall_cycles;
+    } else if (lsu_.tick(now, l1d_, *this)) {
+        ++sm_stats_.lsu_stall_cycles;
+    }
 
     // Drain at most one miss-queue entry into the interconnect.
     if (const MemRequest *head = l1d_.peekMissQueue()) {
@@ -354,6 +389,129 @@ Sm::tick(Cycle now)
     }
 
     ++sm_stats_.cycles;
+}
+
+void
+Sm::drainTick(Cycle now)
+{
+    now_ = now;
+    drainFills(now);
+    processWakes(now);
+    lsu_.tick(now, l1d_, *this);
+    if (const MemRequest *head = l1d_.peekMissQueue()) {
+        if (mem_.injectFromSm(*head, now))
+            l1d_.popMissQueue();
+    }
+}
+
+bool
+Sm::hasWork() const
+{
+    if (!lsu_.empty() || l1d_.mshrsInUse() > 0 ||
+        l1d_.missQueueSize() > 0 || !wakes_.empty())
+        return true;
+    for (const ThreadBlock &tb : tbs_)
+        if (tb.active)
+            return true;
+    return false;
+}
+
+bool
+Sm::memDrained() const
+{
+    if (!lsu_.empty() || l1d_.mshrsInUse() > 0 ||
+        l1d_.missQueueSize() > 0 || !wakes_.empty())
+        return false;
+    for (const Warp &w : warps_) {
+        if (w.state != WarpState::Invalid && w.pending_requests > 0)
+            return false;
+    }
+    return true;
+}
+
+void
+Sm::checkInvariants(Cycle now) const
+{
+    l1d_.checkInvariants(now);
+    const SimCtx ctx = smCtx(sm_id_, now);
+    SIM_INVARIANT(lsu_.size() <= cfg_.sm.lsu_queue_depth, ctx,
+                  "LSU queue occupancy " << lsu_.size()
+                                         << " exceeds depth "
+                                         << cfg_.sm.lsu_queue_depth);
+    SIM_INVARIANT(used_.tbs >= 0 && used_.tbs <= cfg_.sm.max_tbs, ctx,
+                  "TB slot accounting out of range: " << used_.tbs);
+    SIM_INVARIANT(used_.warps >= 0 && used_.warps <= cfg_.sm.max_warps,
+                  ctx,
+                  "warp slot accounting out of range: " << used_.warps);
+    SIM_INVARIANT(used_.regs >= 0 &&
+                      used_.regs <= cfg_.sm.register_file,
+                  ctx, "register accounting out of range: "
+                           << used_.regs);
+    SIM_INVARIANT(used_.smem >= 0 && used_.smem <= cfg_.sm.smem_bytes,
+                  ctx,
+                  "shared-memory accounting out of range: "
+                      << used_.smem);
+    int resident = 0;
+    for (const KernelCtx &c : ctx_) {
+        SIM_INVARIANT(c.resident >= 0,
+                      smCtx(sm_id_, now,
+                            static_cast<KernelId>(&c - ctx_.data())),
+                      "negative resident TB count " << c.resident);
+        resident += c.resident;
+    }
+    SIM_INVARIANT(resident == used_.tbs, ctx,
+                  "per-kernel resident TBs sum "
+                      << resident << " != TB slots in use "
+                      << used_.tbs);
+    for (int k = 0; k < numKernels(); ++k) {
+        SIM_INVARIANT(controller_.inflight(k) >= 0,
+                      smCtx(sm_id_, now, k),
+                      "negative in-flight memory instruction count "
+                          << controller_.inflight(k));
+    }
+}
+
+void
+Sm::checkDrained(Cycle now) const
+{
+    l1d_.checkDrained(now);
+    const SimCtx ctx = smCtx(sm_id_, now);
+    SIM_INVARIANT(lsu_.empty(), ctx,
+                  "audit: LSU queue still holds " << lsu_.size()
+                                                  << " entr(ies)");
+    SIM_INVARIANT(wakes_.empty(), ctx,
+                  "audit: " << wakes_.size()
+                            << " hit-return wake(s) never processed");
+    for (std::size_t s = 0; s < warps_.size(); ++s) {
+        const Warp &w = warps_[s];
+        if (w.state == WarpState::Invalid)
+            continue;
+        SIM_INVARIANT(w.pending_requests == 0,
+                      smCtx(sm_id_, now, w.kernel),
+                      "audit: warp slot "
+                          << s << " still has " << w.pending_requests
+                          << " pending request(s) after drain");
+    }
+}
+
+std::string
+Sm::describeState() const
+{
+    std::ostringstream os;
+    os << "sm " << sm_id_ << ": lsu_q=" << lsu_.size();
+    if (!lsu_.empty())
+        os << " (head kernel " << lsu_.headKernel() << ")";
+    os << " l1_mshr=" << l1d_.mshrsInUse()
+       << " l1_missq=" << l1d_.missQueueSize()
+       << " wakes=" << wakes_.size();
+    for (int k = 0; k < numKernels(); ++k) {
+        const KernelCtx &c = ctx_[static_cast<std::size_t>(k)];
+        os << " | k" << k << ": tbs=" << c.resident << "/" << c.quota
+           << " inflight=" << controller_.inflight(k)
+           << " mil=" << controller_.milLimit(k)
+           << " quota=" << controller_.qbmiQuota(k);
+    }
+    return os.str();
 }
 
 // ---- LsuHost ------------------------------------------------------------

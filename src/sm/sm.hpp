@@ -47,6 +47,14 @@ class Sm : public LsuHost
     /** Advance one core cycle. */
     void tick(Cycle now);
 
+    /**
+     * Audit-drain cycle: deliver fills, process wakes, service the
+     * LSU and inject queued misses, but dispatch no TB and issue no
+     * instruction. Used by Gpu::audit() to retire outstanding state
+     * without creating new work. Does not advance stats counters.
+     */
+    void drainTick(Cycle now);
+
     /** Zero all counters (phase changes keep warp/cache state). */
     void resetStats();
 
@@ -69,7 +77,35 @@ class Sm : public LsuHost
     const IssueController &controller() const { return controller_; }
     L1Dcache &l1d() { return l1d_; }
     const L1Dcache &l1d() const { return l1d_; }
+    const Lsu &lsu() const { return lsu_; }
     int smId() const { return sm_id_; }
+
+    // ---- integrity layer ------------------------------------------------
+    /** Attach a fault injector (nullptr = fault-free operation). */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
+    /** Lifetime progress events: instructions issued + load requests
+     *  returned. Monotonic (never reset); the watchdog's signal. */
+    std::uint64_t progressCount() const
+    {
+        return lifetime_issued_ + lifetime_returns_;
+    }
+
+    /** Anything resident, queued or in flight on this SM? */
+    bool hasWork() const;
+
+    /** Memory-side quiescence: no LSU entries, allocated MSHRs,
+     *  queued misses, pending wakes or outstanding warp requests. */
+    bool memDrained() const;
+
+    /** Occupancy-bound and accounting invariants (integrity sweep). */
+    void checkInvariants(Cycle now) const;
+
+    /** Drained-state check for Gpu::audit(). */
+    void checkDrained(Cycle now) const;
+
+    /** One-line occupancy dump for watchdog diagnostics. */
+    std::string describeState() const;
 
     /** Attach per-kernel samplers (Figures 6 and 8); may be null. */
     void setIssueSeries(KernelId k, TimeSeries *ts)
@@ -159,6 +195,10 @@ class Sm : public LsuHost
 
     AccessObserver access_observer_ = nullptr;
     void *access_observer_opaque_ = nullptr;
+
+    FaultInjector *faults_ = nullptr;
+    std::uint64_t lifetime_issued_ = 0;
+    std::uint64_t lifetime_returns_ = 0;
 };
 
 } // namespace ckesim

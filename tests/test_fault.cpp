@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Fault-injection proving ground: every injected hard fault in the
+ * memory pipeline (dropped L1D fills, a jammed crossbar, frozen DRAM
+ * channels) must be detected — by the forward-progress watchdog or by
+ * the end-of-run conservation audit — within 10k cycles and reported
+ * with machine context. Recoverable faults (delayed fills, transient
+ * stalls, forced reservation failures) must degrade, not corrupt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gpu.hpp"
+#include "kernels/workload.hpp"
+#include "metrics/runner.hpp"
+#include "sim/check.hpp"
+#include "sim/fault.hpp"
+
+namespace ckesim {
+namespace {
+
+GpuConfig
+faultCfg()
+{
+    GpuConfig cfg = makeSmallConfig(2, 2);
+    // Bound the audit drain so leak tests fail fast.
+    cfg.integrity.audit_drain_limit = 3000;
+    return cfg;
+}
+
+/** Memory-heavy pair: deadlocks bite quickly. */
+Workload
+memWorkload()
+{
+    return makeWorkload({"sv", "ks"});
+}
+
+SchemeSpec
+spatialSpec()
+{
+    return makeScheme(PartitionScheme::Spatial, BmiMode::None,
+                      MilMode::None);
+}
+
+// ---- FaultInjector unit behaviour --------------------------------------
+
+TEST(FaultInjector, RespectsWindowTargetAndBudget)
+{
+    FaultInjector inj({{FaultKind::DropFill, 100, 200, 1, 2, 0}});
+    EXPECT_FALSE(inj.dropFill(1, 99));   // before window
+    EXPECT_FALSE(inj.dropFill(0, 150));  // wrong SM
+    EXPECT_TRUE(inj.dropFill(1, 150));   // budget 2 -> 1
+    EXPECT_TRUE(inj.dropFill(1, 151));   // budget 1 -> 0
+    EXPECT_FALSE(inj.dropFill(1, 152));  // exhausted
+    EXPECT_FALSE(inj.dropFill(1, 200));  // window end is exclusive
+    EXPECT_EQ(inj.firedCount(FaultKind::DropFill), 2u);
+    EXPECT_TRUE(inj.anyFired());
+}
+
+TEST(FaultInjector, WildcardTargetHitsEveryInstance)
+{
+    FaultInjector inj(
+        {{FaultKind::StallCrossbar, 0, kNeverCycle, -1, -1, 0}});
+    EXPECT_TRUE(inj.stallCrossbarPort(0, 5));
+    EXPECT_TRUE(inj.stallCrossbarPort(3, 5));
+    EXPECT_FALSE(inj.dramFrozen(0, 5)); // different kind
+}
+
+TEST(FaultInjector, FillDelayReturnsConfiguredDelay)
+{
+    FaultInjector inj(
+        {{FaultKind::DelayFill, 0, kNeverCycle, -1, -1, 75}});
+    EXPECT_EQ(inj.fillDelay(0, 10), 75u);
+    FaultInjector none;
+    EXPECT_TRUE(none.empty());
+    EXPECT_EQ(none.fillDelay(0, 10), 0u);
+    EXPECT_FALSE(none.anyFired());
+}
+
+// ---- hard faults: the watchdog must fire with context ------------------
+
+/** Run @p spec expecting a watchdog trip; return the error. */
+SimError
+expectWatchdog(const SchemeSpec &spec, Cycle run_cycles = 16000)
+{
+    Gpu gpu(faultCfg(), memWorkload(), spec);
+    try {
+        gpu.run(run_cycles);
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), "Watchdog") << e.what();
+        return e;
+    }
+    ADD_FAILURE() << "watchdog never fired";
+    return SimError("none", "", SimCtx{}, "");
+}
+
+TEST(FaultDetection, DroppedL1FillsTripTheWatchdogWithin10k)
+{
+    SchemeSpec spec = spatialSpec();
+    spec.faults.push_back(
+        {FaultKind::DropFill, 0, kNeverCycle, -1, -1, 0});
+    const SimError e = expectWatchdog(spec);
+    // Detection budget: the fault is active from cycle 0.
+    EXPECT_LE(e.ctx().cycle, 10000u);
+    // Diagnostics carry per-SM occupancies and the memsys ledger.
+    const std::string d = e.detail();
+    EXPECT_NE(d.find("sm 0:"), std::string::npos) << d;
+    EXPECT_NE(d.find("sm 1:"), std::string::npos) << d;
+    EXPECT_NE(d.find("l1_mshr="), std::string::npos) << d;
+    EXPECT_NE(d.find("memsys"), std::string::npos) << d;
+    EXPECT_NE(d.find("mil="), std::string::npos) << d;
+    EXPECT_NE(d.find("quota="), std::string::npos) << d;
+}
+
+TEST(FaultDetection, JammedCrossbarTripsTheWatchdogWithin10k)
+{
+    SchemeSpec spec = spatialSpec();
+    spec.faults.push_back(
+        {FaultKind::StallCrossbar, 0, kNeverCycle, -1, -1, 0});
+    const SimError e = expectWatchdog(spec);
+    EXPECT_LE(e.ctx().cycle, 10000u);
+    EXPECT_NE(e.detail().find("l1_missq="), std::string::npos)
+        << e.detail();
+}
+
+TEST(FaultDetection, FrozenDramChannelsTripTheWatchdogWithin10k)
+{
+    SchemeSpec spec = spatialSpec();
+    spec.faults.push_back(
+        {FaultKind::FreezeDram, 0, kNeverCycle, -1, -1, 0});
+    const SimError e = expectWatchdog(spec);
+    EXPECT_LE(e.ctx().cycle, 10000u);
+}
+
+// ---- hard faults without deadlock: the audit must report the leak ------
+
+TEST(FaultDetection, PartialFillDropFailsTheConservationAudit)
+{
+    // Two dropped fills leak two L1 MSHRs but the machine keeps
+    // running on other warps — only the audit can prove the loss.
+    SchemeSpec spec = spatialSpec();
+    spec.faults.push_back({FaultKind::DropFill, 500, 600, 0, 2, 0});
+    Gpu gpu(faultCfg(), memWorkload(), spec);
+    gpu.run(4000);
+    EXPECT_EQ(gpu.faultInjector().firedCount(FaultKind::DropFill), 2u);
+    try {
+        gpu.audit();
+        FAIL() << "audit passed despite dropped fills";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.ctx().sm_id, 0); // the targeted SM is named
+        EXPECT_NE(std::string(e.what()).find("mshr"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// ---- recoverable faults: degrade without corruption --------------------
+
+TEST(FaultRecovery, DelayedFillsCompleteAndPassTheAudit)
+{
+    SchemeSpec spec = spatialSpec();
+    spec.faults.push_back(
+        {FaultKind::DelayFill, 0, kNeverCycle, -1, -1, 200});
+    Gpu gpu(faultCfg(), memWorkload(), spec);
+    EXPECT_NO_THROW(gpu.run(8000));
+    EXPECT_GT(gpu.faultInjector().firedCount(FaultKind::DelayFill), 0u);
+    EXPECT_NO_THROW(gpu.audit());
+}
+
+TEST(FaultRecovery, TransientCrossbarStallRecovers)
+{
+    SchemeSpec spec = spatialSpec();
+    spec.faults.push_back({FaultKind::StallCrossbar, 1000, 1400, -1,
+                           -1, 0});
+    Gpu gpu(faultCfg(), memWorkload(), spec);
+    EXPECT_NO_THROW(gpu.run(8000));
+    EXPECT_NO_THROW(gpu.audit());
+}
+
+TEST(FaultRecovery, ForcedRsFailsStallButRetire)
+{
+    SchemeSpec spec = spatialSpec();
+    spec.faults.push_back(
+        {FaultKind::ForceRsFail, 100, kNeverCycle, 0, 500, 0});
+    Gpu gpu(faultCfg(), memWorkload(), spec);
+    EXPECT_NO_THROW(gpu.run(8000));
+    EXPECT_EQ(gpu.faultInjector().firedCount(FaultKind::ForceRsFail),
+              500u);
+    EXPECT_GT(gpu.smStatsTotal().lsu_stall_cycles, 500u);
+    EXPECT_NO_THROW(gpu.audit());
+}
+
+// ---- clean runs: the audit must pass ----------------------------------
+
+TEST(Audit, CleanConcurrentRunsDrainCompletely)
+{
+    // Spans compute-heavy, memory-heavy and mixed pairs; Runner::run
+    // audits internally after collecting metrics.
+    Runner runner(faultCfg(), 8000);
+    const Workload mixed = makeWorkload({"bp", "sv"});
+    EXPECT_NO_THROW(runner.run(mixed, NamedScheme::WS_QBMI_DMIL));
+    EXPECT_NO_THROW(runner.run(memWorkload(), NamedScheme::WS));
+    EXPECT_NO_THROW(runner.run(mixed, NamedScheme::SMK_PW));
+}
+
+TEST(Audit, ExplicitAuditPassesAndPreservesMetrics)
+{
+    Gpu gpu(faultCfg(), memWorkload(), spatialSpec());
+    gpu.run(5000);
+    const Cycle measured = gpu.measuredCycles();
+    const double ipc0 = gpu.ipc(0);
+    EXPECT_NO_THROW(gpu.audit());
+    // Audit drain is bookkeeping, not simulated time.
+    EXPECT_EQ(gpu.measuredCycles(), measured);
+    EXPECT_DOUBLE_EQ(gpu.ipc(0), ipc0);
+    EXPECT_EQ(gpu.memsys().injectedReads(),
+              gpu.memsys().deliveredFills());
+    EXPECT_EQ(gpu.memsys().inflightReads(), 0u);
+}
+
+// ---- watchdog must stay quiet on healthy and idle machines -------------
+
+TEST(Watchdog, DoesNotFireOnHealthyRuns)
+{
+    Gpu gpu(faultCfg(), memWorkload(), spatialSpec());
+    EXPECT_NO_THROW(gpu.run(20000));
+}
+
+TEST(Watchdog, DoesNotFireOnAnIdleMachine)
+{
+    // Zero TB quotas: nothing is resident or in flight, so a silent
+    // machine is idle, not hung.
+    Gpu gpu(faultCfg(), memWorkload(), spatialSpec());
+    for (int s = 0; s < gpu.numSms(); ++s)
+        for (int k = 0; k < gpu.numKernels(); ++k)
+            gpu.sm(s).setTbQuota(k, 0);
+    EXPECT_NO_THROW(gpu.run(20000));
+}
+
+} // namespace
+} // namespace ckesim

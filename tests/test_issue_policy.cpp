@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/issue_policy.hpp"
+#include "sim/check.hpp"
 
 namespace ckesim {
 namespace {
@@ -164,6 +165,37 @@ TEST(IssueController, QbmiIgnoresMilFrozenCompetitors)
     c.beginCycle(demand(true, true));
     EXPECT_FALSE(c.admitMemIssue(1));
     EXPECT_TRUE(c.admitMemIssue(0)); // 1 is frozen: 0 may go
+}
+
+TEST(IssueController, QbmiFrozenKernelNeverDeadlocksCoRunner)
+{
+    // Regression for the QBMI x MIL deadlock class (DESIGN.md's
+    // scheme-interaction hazard): kernel 1 sits frozen at a MIL limit
+    // of 1 while its quota replenishes every depletion; kernel 0 must
+    // stay admitted through hundreds of cycles, and beginCycle's
+    // internal deadlock guard must hold throughout.
+    IssuePolicyConfig cfg;
+    cfg.bmi = BmiMode::QBMI;
+    cfg.mil = MilMode::Static;
+    cfg.static_limits[1] = 1;
+    IssueController c(cfg, 2);
+    c.beginCycle(demand(true, true));
+    c.onMemInstrIssued(1); // kernel 1 frozen from here on
+    for (int cycle = 0; cycle < 500; ++cycle) {
+        ASSERT_NO_THROW(c.beginCycle(demand(true, true)));
+        ASSERT_FALSE(c.admitMemIssue(1));
+        ASSERT_TRUE(c.admitMemIssue(0)) << "cycle " << cycle;
+        c.onMemInstrIssued(0);
+        if (cycle % 3 == 0)
+            c.onMemInstrCompleted(0);
+    }
+}
+
+TEST(IssueController, CompletionUnderflowIsReported)
+{
+    IssuePolicyConfig cfg;
+    IssueController c(cfg, 2);
+    EXPECT_THROW(c.onMemInstrCompleted(0), SimError);
 }
 
 TEST(IssueController, SmkWarpQuotaGatesAllIssue)

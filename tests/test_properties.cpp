@@ -141,6 +141,37 @@ TEST(Determinism, IdenticalRunsProduceIdenticalStats)
     EXPECT_EQ(a.partition, b.partition);
 }
 
+TEST(Determinism, SameSeedAndConfigProduceIdenticalFingerprints)
+{
+    const Workload w = makeWorkload({"sv", "ks"});
+    auto hash_once = [&] {
+        Runner runner(smallCfg(), 6000);
+        const ConcurrentResult res =
+            runner.run(w, NamedScheme::WS_QBMI_DMIL);
+        std::uint64_t h = fingerprint(res.sm_stats);
+        for (const KernelStats &s : res.stats)
+            h = fingerprint(s, h);
+        return h;
+    };
+    EXPECT_EQ(hash_once(), hash_once());
+}
+
+TEST(Determinism, FingerprintSeparatesDifferentStats)
+{
+    KernelStats a;
+    KernelStats b;
+    b.l1d_hits = 1;
+    EXPECT_NE(fingerprint(a), fingerprint(b));
+    // Order-sensitive: swapping counter values must change the hash.
+    KernelStats c;
+    c.l1d_hits = 2;
+    c.l1d_misses = 3;
+    KernelStats d;
+    d.l1d_hits = 3;
+    d.l1d_misses = 2;
+    EXPECT_NE(fingerprint(c), fingerprint(d));
+}
+
 TEST(Determinism, SeedChangesChangeOutcome)
 {
     const Workload w = makeWorkload({"bp", "sv"});
