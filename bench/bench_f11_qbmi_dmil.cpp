@@ -25,32 +25,34 @@ const NamedScheme kSchemes[] = {NamedScheme::WS_QBMI,
                                 NamedScheme::WS_QBMI_DMIL};
 
 void
-runFigure11(benchmark::State &state)
+runFigure11(BenchReport &report)
 {
-    Runner runner(benchConfig(), benchCycles());
+    SweepEngine &engine = benchEngine();
+    const GpuConfig cfg = benchConfig();
+    const Cycle cycles = benchCycles();
 
-    printHeader("Figure 11(a): Weighted Speedup (class geomeans)");
-    std::printf("%-8s", "class");
+    std::vector<std::string> scheme_names;
     for (NamedScheme s : kSchemes)
-        std::printf(" %14s", schemeName(s).c_str());
-    std::printf("\n");
+        scheme_names.push_back(schemeName(s));
 
-    std::map<NamedScheme, ClassAggregate> agg;
-    for (const Workload &w : benchPairs())
+    // One sweep over all (pair, scheme) jobs; isolated baselines are
+    // memoized and shared across the three schemes of each pair.
+    const std::vector<Workload> pairs = benchPairs();
+    std::vector<SimJob> jobs;
+    for (const Workload &w : pairs)
         for (NamedScheme s : kSchemes)
-            agg[s].add(w.cls(),
-                       runner.run(w, s).weighted_speedup);
-    for (WorkloadClass cls :
-         {WorkloadClass::CC, WorkloadClass::CM, WorkloadClass::MM}) {
-        std::printf("%-8s", classLabel(cls));
-        for (NamedScheme s : kSchemes)
-            std::printf(" %14.3f", agg[s].geomean(cls));
-        std::printf("\n");
-    }
-    std::printf("%-8s", "ALL");
-    for (NamedScheme s : kSchemes)
-        std::printf(" %14.3f", agg[s].geomeanAll());
-    std::printf("\n");
+            jobs.push_back(SimJob::concurrent(cfg, cycles, w, s));
+    const std::vector<SimResult> results = engine.sweep(jobs);
+
+    ClassTable table(
+        "Figure 11(a): Weighted Speedup (class geomeans)",
+        scheme_names, 14);
+    std::size_t idx = 0;
+    for (const Workload &w : pairs)
+        for (std::size_t s = 0; s < std::size(kSchemes); ++s)
+            table.add(w.cls(), s,
+                      results[idx++].concurrent->weighted_speedup);
+    table.print();
 
     printHeader("Figure 11(a-c): six case pairs, per-kernel detail");
     std::printf("%-8s %-14s %8s %9s %9s %11s %11s\n", "pair",
@@ -59,7 +61,10 @@ runFigure11(benchmark::State &state)
     for (const auto &names : kCasePairs) {
         const Workload w = makeWorkload(names);
         for (NamedScheme s : kSchemes) {
-            const ConcurrentResult r = runner.run(w, s);
+            // Case pairs are part of benchPairs(): memo hits, no
+            // extra simulations.
+            const ConcurrentResult &r =
+                *engine.concurrent(cfg, cycles, w, s);
             std::printf(
                 "%-8s %-14s %8.3f %9.3f %9.3f %11.3f %11.3f\n",
                 w.name().c_str(), schemeName(s).c_str(),
@@ -73,12 +78,9 @@ runFigure11(benchmark::State &state)
                 "WS-QBMI on C+M and M+M; the combination is only "
                 "marginally different from DMIL\n");
 
-    state.counters["qbmi_all"] =
-        agg[NamedScheme::WS_QBMI].geomeanAll();
-    state.counters["dmil_all"] =
-        agg[NamedScheme::WS_DMIL].geomeanAll();
-    state.counters["combo_all"] =
-        agg[NamedScheme::WS_QBMI_DMIL].geomeanAll();
+    report.counters["qbmi_all"] = table.geomeanAll(0);
+    report.counters["dmil_all"] = table.geomeanAll(1);
+    report.counters["combo_all"] = table.geomeanAll(2);
 }
 
 } // namespace

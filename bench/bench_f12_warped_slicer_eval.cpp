@@ -13,6 +13,8 @@
 
 #include "bench_util.hpp"
 
+#include <algorithm>
+
 namespace {
 
 using namespace ckesim;
@@ -20,119 +22,89 @@ using namespace ckesim;
 const NamedScheme kSchemes[] = {NamedScheme::Spatial, NamedScheme::WS,
                                 NamedScheme::WS_QBMI,
                                 NamedScheme::WS_DMIL};
-
-struct Metrics
-{
-    ClassAggregate ws, antt_v, fairness, miss, rsfail, lsu_stall,
-        util;
-};
+constexpr std::size_t kWsCol = 1; ///< normalization base column
 
 void
-runFigure12(benchmark::State &state)
+runFigure12(BenchReport &report)
 {
+    SweepEngine &engine = benchEngine();
     const GpuConfig cfg = benchConfig();
-    Runner runner(cfg, benchCycles());
+    const Cycle cycles = benchCycles();
 
-    std::map<NamedScheme, Metrics> m;
-    for (const Workload &w : benchPairs()) {
-        for (NamedScheme s : kSchemes) {
-            const ConcurrentResult r = runner.run(w, s);
-            Metrics &mm = m[s];
-            mm.ws.add(w.cls(), r.weighted_speedup);
-            mm.antt_v.add(w.cls(), r.antt_value);
-            mm.fairness.add(w.cls(), r.fairness);
+    std::vector<std::string> names;
+    for (NamedScheme s : kSchemes)
+        names.push_back(schemeName(s));
+
+    const std::vector<Workload> pairs = benchPairs();
+    std::vector<SimJob> jobs;
+    for (const Workload &w : pairs)
+        for (NamedScheme s : kSchemes)
+            jobs.push_back(SimJob::concurrent(cfg, cycles, w, s));
+    const std::vector<SimResult> results = engine.sweep(jobs);
+
+    ClassTable ws("Figure 12(a): Weighted Speedup", names);
+    ClassTable antt_t(
+        "Figure 12(b): ANTT normalized to WS (lower is better)",
+        names);
+    ClassTable fair("Figure 12(c): fairness normalized to WS "
+                    "(higher is better)",
+                    names);
+    ClassTable miss("Figure 12(d): L1D miss rate", names);
+    ClassTable rsfail("Figure 12(e): L1D rsfail rate", names);
+    ClassTable lsu("Figure 12(f): LSU stall fraction", names);
+    ClassTable util("Figure 12(g): computing resource utilization",
+                    names);
+
+    std::size_t idx = 0;
+    for (const Workload &w : pairs) {
+        for (std::size_t s = 0; s < std::size(kSchemes); ++s) {
+            const ConcurrentResult &r = *results[idx++].concurrent;
+            ws.add(w.cls(), s, r.weighted_speedup);
+            antt_t.add(w.cls(), s, r.antt_value);
+            fair.add(w.cls(), s, r.fairness);
             KernelStats total;
             for (const KernelStats &k : r.stats)
                 total += k;
-            mm.miss.add(w.cls(), total.l1dMissRate());
-            mm.rsfail.add(w.cls(),
-                          std::max(total.l1dRsFailRate(), 1e-6));
-            mm.lsu_stall.add(
-                w.cls(),
-                std::max(r.sm_stats.lsuStallFraction(), 1e-6));
+            miss.add(w.cls(), s, total.l1dMissRate());
+            rsfail.add(w.cls(), s,
+                       std::max(total.l1dRsFailRate(), 1e-6));
+            lsu.add(w.cls(), s,
+                    std::max(r.sm_stats.lsuStallFraction(), 1e-6));
             const double slots =
                 static_cast<double>(cfg.sm.num_schedulers) *
                 r.sm_stats.cycles;
-            mm.util.add(w.cls(),
-                        (r.sm_stats.alu_issue_slots +
-                         r.sm_stats.sfu_issue_slots) /
-                            std::max(slots, 1.0));
+            util.add(w.cls(), s,
+                     (r.sm_stats.alu_issue_slots +
+                      r.sm_stats.sfu_issue_slots) /
+                         std::max(slots, 1.0));
         }
     }
 
-    auto table = [&](const char *title, auto pick,
-                     bool normalize_to_ws = false) {
-        printHeader(title);
-        std::printf("%-8s", "class");
-        for (NamedScheme s : kSchemes)
-            std::printf(" %10s", schemeName(s).c_str());
-        std::printf("\n");
-        for (WorkloadClass cls : {WorkloadClass::CC, WorkloadClass::CM,
-                                  WorkloadClass::MM}) {
-            std::printf("%-8s", classLabel(cls));
-            const double base =
-                pick(m[NamedScheme::WS]).geomean(cls);
-            for (NamedScheme s : kSchemes) {
-                double v = pick(m[s]).geomean(cls);
-                if (normalize_to_ws && base > 0)
-                    v /= base;
-                std::printf(" %10.3f", v);
-            }
-            std::printf("\n");
-        }
-        std::printf("%-8s", "ALL");
-        const double base_all =
-            pick(m[NamedScheme::WS]).geomeanAll();
-        for (NamedScheme s : kSchemes) {
-            double v = pick(m[s]).geomeanAll();
-            if (normalize_to_ws && base_all > 0)
-                v /= base_all;
-            std::printf(" %10.3f", v);
-        }
-        std::printf("\n");
-    };
+    ws.print();
+    antt_t.print(kWsCol);
+    fair.print(kWsCol);
+    miss.print();
+    rsfail.print();
+    lsu.print();
+    util.print();
 
-    table("Figure 12(a): Weighted Speedup",
-          [](Metrics &x) -> ClassAggregate & { return x.ws; });
-    table("Figure 12(b): ANTT normalized to WS (lower is better)",
-          [](Metrics &x) -> ClassAggregate & { return x.antt_v; },
-          true);
-    table("Figure 12(c): fairness normalized to WS "
-          "(higher is better)",
-          [](Metrics &x) -> ClassAggregate & { return x.fairness; },
-          true);
-    table("Figure 12(d): L1D miss rate",
-          [](Metrics &x) -> ClassAggregate & { return x.miss; });
-    table("Figure 12(e): L1D rsfail rate",
-          [](Metrics &x) -> ClassAggregate & { return x.rsfail; });
-    table("Figure 12(f): LSU stall fraction",
-          [](Metrics &x) -> ClassAggregate & { return x.lsu_stall; });
-    table("Figure 12(g): computing resource utilization",
-          [](Metrics &x) -> ClassAggregate & { return x.util; });
-
-    const double ws = m[NamedScheme::WS].ws.geomeanAll();
-    const double qbmi = m[NamedScheme::WS_QBMI].ws.geomeanAll();
-    const double dmil = m[NamedScheme::WS_DMIL].ws.geomeanAll();
+    const double ws_all = ws.geomeanAll(1);
+    const double qbmi = ws.geomeanAll(2);
+    const double dmil = ws.geomeanAll(3);
     std::printf("\nWS improvement over WS: QBMI %+.1f%%, DMIL "
                 "%+.1f%%  (paper: +1.5%%, +24.6%%)\n",
-                100.0 * (qbmi / ws - 1.0),
-                100.0 * (dmil / ws - 1.0));
-    const double antt_ws =
-        m[NamedScheme::WS].antt_v.geomeanAll();
+                100.0 * (qbmi / ws_all - 1.0),
+                100.0 * (dmil / ws_all - 1.0));
+    const double antt_ws = antt_t.geomeanAll(1);
     std::printf("ANTT improvement over WS: QBMI %+.1f%%, DMIL "
                 "%+.1f%%  (paper: 40.5%%, 56.1%% better)\n",
-                100.0 * (1.0 - m[NamedScheme::WS_QBMI]
-                                   .antt_v.geomeanAll() /
-                                   antt_ws),
-                100.0 * (1.0 - m[NamedScheme::WS_DMIL]
-                                   .antt_v.geomeanAll() /
-                                   antt_ws));
+                100.0 * (1.0 - antt_t.geomeanAll(2) / antt_ws),
+                100.0 * (1.0 - antt_t.geomeanAll(3) / antt_ws));
 
-    state.counters["ws"] = ws;
-    state.counters["ws_qbmi"] = qbmi;
-    state.counters["ws_dmil"] = dmil;
-    state.counters["spatial"] =
-        m[NamedScheme::Spatial].ws.geomeanAll();
+    report.counters["ws"] = ws_all;
+    report.counters["ws_qbmi"] = qbmi;
+    report.counters["ws_dmil"] = dmil;
+    report.counters["spatial"] = ws.geomeanAll(0);
 }
 
 } // namespace

@@ -19,65 +19,50 @@ const NamedScheme kSchemes[] = {NamedScheme::SMK_PW,
                                 NamedScheme::SMK_P_DMIL};
 
 void
-runFigure13(benchmark::State &state)
+runFigure13(BenchReport &report)
 {
-    Runner runner(benchConfig(), benchCycles());
+    SweepEngine &engine = benchEngine();
+    const GpuConfig cfg = benchConfig();
+    const Cycle cycles = benchCycles();
 
-    std::map<NamedScheme, ClassAggregate> ws, antt_v;
-    for (const Workload &w : benchPairs()) {
-        for (NamedScheme s : kSchemes) {
-            const ConcurrentResult r = runner.run(w, s);
-            ws[s].add(w.cls(), r.weighted_speedup);
-            antt_v[s].add(w.cls(), r.antt_value);
+    std::vector<std::string> names;
+    for (NamedScheme s : kSchemes)
+        names.push_back(schemeName(s));
+
+    const std::vector<Workload> pairs = benchPairs();
+    std::vector<SimJob> jobs;
+    for (const Workload &w : pairs)
+        for (NamedScheme s : kSchemes)
+            jobs.push_back(SimJob::concurrent(cfg, cycles, w, s));
+    const std::vector<SimResult> results = engine.sweep(jobs);
+
+    ClassTable ws("Figure 13(a): Weighted Speedup on SMK partition",
+                  names, 14);
+    ClassTable antt_t("Figure 13(b): ANTT normalized to SMK-(P+W) "
+                      "(lower is better)",
+                      names, 14);
+    std::size_t idx = 0;
+    for (const Workload &w : pairs) {
+        for (std::size_t s = 0; s < std::size(kSchemes); ++s) {
+            const ConcurrentResult &r = *results[idx++].concurrent;
+            ws.add(w.cls(), s, r.weighted_speedup);
+            antt_t.add(w.cls(), s, r.antt_value);
         }
     }
+    ws.print();
+    antt_t.print(0);
 
-    printHeader("Figure 13(a): Weighted Speedup on SMK partition");
-    std::printf("%-8s", "class");
-    for (NamedScheme s : kSchemes)
-        std::printf(" %14s", schemeName(s).c_str());
-    std::printf("\n");
-    for (WorkloadClass cls :
-         {WorkloadClass::CC, WorkloadClass::CM, WorkloadClass::MM}) {
-        std::printf("%-8s", classLabel(cls));
-        for (NamedScheme s : kSchemes)
-            std::printf(" %14.3f", ws[s].geomean(cls));
-        std::printf("\n");
-    }
-    std::printf("%-8s", "ALL");
-    for (NamedScheme s : kSchemes)
-        std::printf(" %14.3f", ws[s].geomeanAll());
-    std::printf("\n");
-
-    printHeader("Figure 13(b): ANTT normalized to SMK-(P+W) "
-                "(lower is better)");
-    std::printf("%-8s", "class");
-    for (NamedScheme s : kSchemes)
-        std::printf(" %14s", schemeName(s).c_str());
-    std::printf("\n");
-    for (WorkloadClass cls :
-         {WorkloadClass::CC, WorkloadClass::CM, WorkloadClass::MM}) {
-        std::printf("%-8s", classLabel(cls));
-        const double base =
-            antt_v[NamedScheme::SMK_PW].geomean(cls);
-        for (NamedScheme s : kSchemes)
-            std::printf(" %14.3f",
-                        base > 0 ? antt_v[s].geomean(cls) / base
-                                 : 0.0);
-        std::printf("\n");
-    }
-
-    const double base = ws[NamedScheme::SMK_PW].geomeanAll();
-    const double qbmi = ws[NamedScheme::SMK_P_QBMI].geomeanAll();
-    const double dmil = ws[NamedScheme::SMK_P_DMIL].geomeanAll();
+    const double base = ws.geomeanAll(0);
+    const double qbmi = ws.geomeanAll(1);
+    const double dmil = ws.geomeanAll(2);
     std::printf("\nWS improvement over SMK-(P+W): QBMI %+.1f%%, "
                 "DMIL %+.1f%%  (paper: +4.4%%, +27.2%%)\n",
                 100.0 * (qbmi / base - 1.0),
                 100.0 * (dmil / base - 1.0));
 
-    state.counters["smk_pw"] = base;
-    state.counters["smk_qbmi"] = qbmi;
-    state.counters["smk_dmil"] = dmil;
+    report.counters["smk_pw"] = base;
+    report.counters["smk_qbmi"] = qbmi;
+    report.counters["smk_dmil"] = dmil;
 }
 
 } // namespace

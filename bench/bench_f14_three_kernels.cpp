@@ -10,6 +10,9 @@
 
 #include "bench_util.hpp"
 
+#include <algorithm>
+#include <map>
+
 namespace {
 
 using namespace ckesim;
@@ -36,16 +39,26 @@ tripleClass(const Workload &w)
 }
 
 void
-runFigure14(benchmark::State &state)
+runFigure14(BenchReport &report)
 {
-    Runner runner(benchConfig(), benchCycles());
+    SweepEngine &engine = benchEngine();
+    const GpuConfig cfg = benchConfig();
+    const Cycle cycles = benchCycles();
+
+    const std::vector<Workload> triples = representativeTriples();
+    std::vector<SimJob> jobs;
+    for (const Workload &w : triples)
+        for (NamedScheme s : kSchemes)
+            jobs.push_back(SimJob::concurrent(cfg, cycles, w, s));
+    const std::vector<SimResult> results = engine.sweep(jobs);
 
     std::map<NamedScheme, std::map<std::string, std::vector<double>>>
         ws, antt_v;
-    for (const Workload &w : representativeTriples()) {
+    std::size_t idx = 0;
+    for (const Workload &w : triples) {
         const std::string cls = tripleClass(w);
         for (NamedScheme s : kSchemes) {
-            const ConcurrentResult r = runner.run(w, s);
+            const ConcurrentResult &r = *results[idx++].concurrent;
             ws[s][cls].push_back(std::max(r.weighted_speedup, 1e-9));
             antt_v[s][cls].push_back(std::max(r.antt_value, 1e-9));
         }
@@ -95,9 +108,9 @@ runFigure14(benchmark::State &state)
                 geomean(all_ws[0]), geomean(all_ws[1]),
                 geomean(all_ws[2]));
 
-    state.counters["ws"] = geomean(all_ws[0]);
-    state.counters["ws_qbmi"] = geomean(all_ws[1]);
-    state.counters["ws_dmil"] = geomean(all_ws[2]);
+    report.counters["ws"] = geomean(all_ws[0]);
+    report.counters["ws_qbmi"] = geomean(all_ws[1]);
+    report.counters["ws_dmil"] = geomean(all_ws[2]);
 }
 
 } // namespace

@@ -18,10 +18,17 @@ namespace {
 using namespace ckesim;
 
 void
-runFigure2(benchmark::State &state)
+runFigure2(BenchReport &report)
 {
+    SweepEngine &engine = benchEngine();
     const GpuConfig cfg = benchConfig();
-    Runner runner(cfg, benchCycles());
+    const Cycle cycles = benchCycles();
+
+    // One isolated job per benchmark, fanned out across the engine.
+    std::vector<SimJob> jobs;
+    for (const KernelProfile &p : benchmarkSuite())
+        jobs.push_back(SimJob::isolated(cfg, cycles, p));
+    const std::vector<SimResult> results = engine.sweep(jobs);
 
     struct Row
     {
@@ -30,8 +37,9 @@ runFigure2(benchmark::State &state)
         bool memory;
     };
     std::vector<Row> rows;
+    std::size_t idx = 0;
     for (const KernelProfile &p : benchmarkSuite()) {
-        const IsolatedResult &res = runner.isolated(p);
+        const IsolatedResult &res = *results[idx++].isolated;
         const SmStats &sm = res.sm_stats;
         const double slots =
             static_cast<double>(cfg.sm.num_schedulers) * sm.cycles;
@@ -74,8 +82,8 @@ runFigure2(benchmark::State &state)
     std::printf("inverse utilization/stall relationship: %s\n",
                 inverse_holds ? "yes" : "NO");
 
-    state.counters["mean_c_stall"] = mean_c_stall;
-    state.counters["mean_m_stall"] = mean_m_stall;
+    report.counters["mean_c_stall"] = mean_c_stall;
+    report.counters["mean_m_stall"] = mean_m_stall;
 }
 
 } // namespace

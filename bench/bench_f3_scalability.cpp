@@ -16,14 +16,20 @@ namespace {
 using namespace ckesim;
 
 void
-runScalability(benchmark::State &state)
+runScalability(BenchReport &report)
 {
-    Runner runner(benchConfig(), benchCycles());
+    SweepEngine &engine = benchEngine();
+    const GpuConfig cfg = benchConfig();
+    const Cycle cycles = benchCycles();
     const KernelProfile &bp = findProfile("bp");
     const KernelProfile &sv = findProfile("sv");
 
-    const ScalabilityCurve bp_curve = runner.scalability(bp);
-    const ScalabilityCurve sv_curve = runner.scalability(sv);
+    // The engine fans the per-TB-quota isolated runs of both curves
+    // out in parallel and memoizes each point.
+    const ScalabilityCurve bp_curve =
+        engine.scalability(cfg, cycles, bp);
+    const ScalabilityCurve sv_curve =
+        engine.scalability(cfg, cycles, sv);
 
     printHeader("Figure 3(a): normalized IPC vs TBs per SM "
                 "(isolated)");
@@ -53,8 +59,8 @@ runScalability(benchmark::State &state)
 
     printHeader("Figure 3(b): Warped-Slicer sweet point for bp+sv");
     const Workload wl = makeWorkload({"bp", "sv"});
-    const SweetPoint sweet = findSweetPoint(
-        {bp_curve, sv_curve}, wl.kernels, runner.config().sm);
+    const SweetPoint sweet =
+        findSweetPoint({bp_curve, sv_curve}, wl.kernels, cfg.sm);
     std::printf("sweet point: (%d, %d)   theoretical WS: %s\n",
                 sweet.tbs[0], sweet.tbs[1],
                 fmt(sweet.theoretical_ws).c_str());
@@ -64,10 +70,10 @@ runScalability(benchmark::State &state)
                 bp_monotonic_ish ? "yes" : "NO",
                 sv_peaks_early ? "yes" : "NO", sv_peak_tb);
 
-    state.counters["sweet_bp"] = sweet.tbs[0];
-    state.counters["sweet_sv"] = sweet.tbs[1];
-    state.counters["theoretical_ws"] = sweet.theoretical_ws;
-    state.counters["sv_peak_tb"] = sv_peak_tb;
+    report.counters["sweet_bp"] = sweet.tbs[0];
+    report.counters["sweet_sv"] = sweet.tbs[1];
+    report.counters["theoretical_ws"] = sweet.theoretical_ws;
+    report.counters["sv_peak_tb"] = sv_peak_tb;
 }
 
 } // namespace

@@ -13,13 +13,23 @@ namespace {
 using namespace ckesim;
 
 void
-runFigure4(benchmark::State &state)
+runFigure4(BenchReport &report)
 {
-    Runner runner(benchConfig(), benchCycles());
+    SweepEngine &engine = benchEngine();
+    const GpuConfig cfg = benchConfig();
+    const Cycle cycles = benchCycles();
+
+    const std::vector<Workload> pairs = benchPairs();
+    std::vector<SimJob> jobs;
+    for (const Workload &w : pairs)
+        jobs.push_back(
+            SimJob::concurrent(cfg, cycles, w, NamedScheme::WS));
+    const std::vector<SimResult> results = engine.sweep(jobs);
 
     ClassAggregate theoretical, achieved;
-    for (const Workload &w : benchPairs()) {
-        const ConcurrentResult res = runner.run(w, NamedScheme::WS);
+    std::size_t idx = 0;
+    for (const Workload &w : pairs) {
+        const ConcurrentResult &res = *results[idx++].concurrent;
         theoretical.add(w.cls(), res.theoretical_ws);
         achieved.add(w.cls(), res.weighted_speedup);
     }
@@ -42,8 +52,8 @@ runFigure4(benchmark::State &state)
     std::printf("\npaper: C+C nearly closes the gap; C+M and M+M "
                 "fall far short of theoretical\n");
 
-    state.counters["theoretical_all"] = t_all;
-    state.counters["achieved_all"] = a_all;
+    report.counters["theoretical_all"] = t_all;
+    report.counters["achieved_all"] = a_all;
 }
 
 } // namespace

@@ -9,15 +9,14 @@
 
 #include "bench_util.hpp"
 
-#include "gpu.hpp"
-
 namespace {
 
 using namespace ckesim;
 
 void
-runFigure6(benchmark::State &state)
+runFigure6(BenchReport &report)
 {
+    SweepEngine &engine = benchEngine();
     const GpuConfig cfg = benchConfig();
     const Cycle cycles = benchCycles();
     const Cycle interval = 1000;
@@ -45,53 +44,44 @@ runFigure6(benchmark::State &state)
         }
     };
 
-    // (a)/(b) isolated runs.
-    TimeSeries bp_iso(interval), sv_iso(interval);
-    {
-        Workload w;
-        w.kernels = {&findProfile("bp")};
-        Gpu gpu(cfg, w,
-                makeScheme(PartitionScheme::Leftover, BmiMode::None,
-                           MilMode::None));
-        gpu.attachSeries(0, nullptr, &bp_iso);
-        gpu.run(cycles);
-    }
-    {
-        Workload w;
-        w.kernels = {&findProfile("sv")};
-        Gpu gpu(cfg, w,
-                makeScheme(PartitionScheme::Leftover, BmiMode::None,
-                           MilMode::None));
-        gpu.attachSeries(0, nullptr, &sv_iso);
-        gpu.run(cycles);
-    }
+    // (a)/(b) isolated and (c) concurrent, as one engine sweep. The
+    // series request is part of each job's content hash, so these do
+    // not collide with series-free isolated baselines elsewhere.
+    SimJob bp_job = SimJob::isolated(cfg, cycles, findProfile("bp"));
+    SimJob sv_job = SimJob::isolated(cfg, cycles, findProfile("sv"));
+    bp_job.series.l1d = sv_job.series.l1d = true;
+    bp_job.series.interval = sv_job.series.interval = interval;
+
+    const Workload pair = makeWorkload({"bp", "sv"});
+    const SchemeSpec ws_spec = makeScheme(
+        PartitionScheme::WarpedSlicer, BmiMode::None, MilMode::None);
+    SimJob cke_job = SimJob::concurrent(cfg, cycles, pair, ws_spec);
+    cke_job.series.l1d = true;
+    cke_job.series.interval = interval;
+
+    const std::vector<SimResult> results =
+        engine.sweep({bp_job, sv_job, cke_job});
+    const TimeSeries &bp_iso = results[0].isolated->l1d_series[0];
+    const TimeSeries &sv_iso = results[1].isolated->l1d_series[0];
+    const TimeSeries &bp_cke = results[2].concurrent->l1d_series[0];
+    const TimeSeries &sv_cke = results[2].concurrent->l1d_series[1];
+
     print_series("Figure 6(a,b): L1D accesses / 1K cycles, isolated",
                  {&bp_iso, &sv_iso}, {"bp", "sv"}, 0);
-
-    // (c) concurrent under WS.
-    TimeSeries bp_cke(interval), sv_cke(interval);
-    {
-        const Workload w = makeWorkload({"bp", "sv"});
-        SchemeSpec spec = makeScheme(PartitionScheme::WarpedSlicer,
-                                     BmiMode::None, MilMode::None);
-        Gpu gpu(cfg, w, spec);
-        gpu.attachSeries(0, nullptr, &bp_cke);
-        gpu.attachSeries(1, nullptr, &sv_cke);
-        gpu.run(spec.ws_profile_window + cycles);
-    }
     print_series("Figure 6(c): L1D accesses / 1K cycles, bp+sv "
                  "concurrent (WS)",
                  {&bp_cke, &sv_cke}, {"bp", "sv"}, 0);
 
     // Aggregate starvation statistic over the measurement phase.
+    const Cycle window = ws_spec.ws_profile_window;
     const std::size_t first =
-        static_cast<std::size_t>(20000 / interval) + 1;
+        static_cast<std::size_t>(window / interval) + 1;
     const std::size_t last_iso =
         static_cast<std::size_t>(cycles / interval);
     const double bp_alone = bp_iso.meanOver(1, last_iso);
     const double sv_alone = sv_iso.meanOver(1, last_iso);
-    const std::size_t last_cke = static_cast<std::size_t>(
-        (20000 + cycles) / interval);
+    const std::size_t last_cke =
+        static_cast<std::size_t>((window + cycles) / interval);
     const double bp_shared = bp_cke.meanOver(first, last_cke);
     const double sv_shared = sv_cke.meanOver(first, last_cke);
 
@@ -103,8 +93,8 @@ runFigure6(benchmark::State &state)
     std::printf("paper: sv dominates the shared L1D while bp "
                 "starves (Figure 6(c))\n");
 
-    state.counters["bp_retention"] = bp_shared / bp_alone;
-    state.counters["sv_retention"] = sv_shared / sv_alone;
+    report.counters["bp_retention"] = bp_shared / bp_alone;
+    report.counters["sv_retention"] = sv_shared / sv_alone;
 }
 
 } // namespace

@@ -10,75 +10,72 @@
 
 #include "bench_util.hpp"
 
-#include "gpu.hpp"
-
 namespace {
 
 using namespace ckesim;
 
+const NamedScheme kSchemes[] = {NamedScheme::WS, NamedScheme::WS_RBMI,
+                                NamedScheme::WS_QBMI};
+
 void
-runFigure8(benchmark::State &state)
+runFigure8(BenchReport &report)
 {
-    Runner runner(benchConfig(), benchCycles());
+    SweepEngine &engine = benchEngine();
+    const GpuConfig cfg = benchConfig();
+    const Cycle cycles = benchCycles();
     const Workload w = makeWorkload({"bp", "sv"});
     const Cycle interval = 1000;
 
-    struct SchemeRun
-    {
-        NamedScheme scheme;
-        TimeSeries bp{1000}, sv{1000};
-        ConcurrentResult res;
-    };
-    std::vector<SchemeRun> runs;
-    for (NamedScheme s : {NamedScheme::WS, NamedScheme::WS_RBMI,
-                          NamedScheme::WS_QBMI}) {
-        SchemeRun r;
-        r.scheme = s;
-        SchemeSpec spec = runner.scheme(s, w);
-        Gpu gpu(runner.config(), w, spec);
-        gpu.attachSeries(0, &r.bp, nullptr);
-        gpu.attachSeries(1, &r.sv, nullptr);
-        gpu.run(spec.ws_profile_window + runner.cycles());
-        // Metrics via the runner for isolated-baseline consistency.
-        r.res = runner.run(w, s);
-        runs.push_back(std::move(r));
+    // One job per scheme captures the issue series AND the metrics in
+    // a single simulation (the pre-engine code ran each scheme twice).
+    std::vector<SimJob> jobs;
+    for (NamedScheme s : kSchemes) {
+        SimJob job = SimJob::concurrent(cfg, cycles, w, s);
+        job.series.issue = true;
+        job.series.interval = interval;
+        jobs.push_back(job);
     }
+    const std::vector<SimResult> results = engine.sweep(jobs);
 
     printHeader("Figure 8(a-c): warp instructions issued / 1K "
                 "cycles, bp+sv");
     std::printf("%8s", "cycle(k)");
-    for (const SchemeRun &r : runs)
-        std::printf(" %9s:bp %9s:sv",
-                    schemeName(r.scheme).c_str(),
-                    schemeName(r.scheme).c_str());
+    for (NamedScheme s : kSchemes)
+        std::printf(" %9s:bp %9s:sv", schemeName(s).c_str(),
+                    schemeName(s).c_str());
     std::printf("\n");
-    const std::size_t bins = static_cast<std::size_t>(
-        (20000 + runner.cycles()) / interval);
+    const Cycle window = makeScheme(PartitionScheme::WarpedSlicer,
+                                    BmiMode::None, MilMode::None)
+                             .ws_profile_window;
+    const std::size_t bins =
+        static_cast<std::size_t>((window + cycles) / interval);
     const std::size_t step = std::max<std::size_t>(bins / 16, 1);
     for (std::size_t b = 0; b < bins; b += step) {
         std::printf("%8zu", b);
-        for (const SchemeRun &r : runs)
+        for (const SimResult &r : results)
             std::printf(" %12llu %12llu",
                         static_cast<unsigned long long>(
-                            r.bp.binCount(b)),
+                            r.concurrent->issue_series[0].binCount(b)),
                         static_cast<unsigned long long>(
-                            r.sv.binCount(b)));
+                            r.concurrent->issue_series[1].binCount(
+                                b)));
         std::printf("\n");
     }
 
     printHeader("Figure 8(d): normalized IPC");
     std::printf("%-10s %8s %8s\n", "scheme", "bp", "sv");
-    for (const SchemeRun &r : runs) {
+    for (std::size_t i = 0; i < std::size(kSchemes); ++i) {
+        const ConcurrentResult &r = *results[i].concurrent;
         std::printf("%-10s %8.3f %8.3f\n",
-                    schemeName(r.scheme).c_str(), r.res.norm_ipc[0],
-                    r.res.norm_ipc[1]);
+                    schemeName(kSchemes[i]).c_str(), r.norm_ipc[0],
+                    r.norm_ipc[1]);
     }
     std::printf("\npaper: bp 0.39 (WS) -> 0.45 (WS-RBMI) -> 0.48 "
                 "(WS-QBMI); sv roughly stable\n");
 
-    state.counters["bp_ws"] = runs[0].res.norm_ipc[0];
-    state.counters["bp_rbmi"] = runs[1].res.norm_ipc[0];
-    state.counters["bp_qbmi"] = runs[2].res.norm_ipc[0];
+    report.counters["bp_ws"] = results[0].concurrent->norm_ipc[0];
+    report.counters["bp_rbmi"] = results[1].concurrent->norm_ipc[0];
+    report.counters["bp_qbmi"] = results[2].concurrent->norm_ipc[0];
 }
 
 } // namespace

@@ -16,57 +16,73 @@ namespace {
 
 using namespace ckesim;
 
-void
-sweepPair(Runner &runner, const Workload &w, benchmark::State &state)
+std::string
+label(int l)
 {
-    const std::vector<int> grid = smilLimitGrid(fullMode());
-
-    auto label = [](int l) {
-        return l == kSmilInf ? std::string("Inf")
-                             : std::to_string(l);
-    };
-
-    printHeader("Figure 9: SMIL sweep for " + w.name() + " (" +
-                workloadClassName(w.cls()) + "), Weighted Speedup");
-    std::printf("%10s", "k0\\k1");
-    for (int l1 : grid)
-        std::printf(" %6s", label(l1).c_str());
-    std::printf("\n");
-
-    double best = 0.0;
-    int best_l0 = kSmilInf, best_l1 = kSmilInf;
-    for (int l0 : grid) {
-        std::printf("%10s", label(l0).c_str());
-        for (int l1 : grid) {
-            SchemeSpec spec =
-                makeScheme(PartitionScheme::WarpedSlicer,
-                           BmiMode::None, MilMode::Static);
-            spec.smil_limits[0] = l0;
-            spec.smil_limits[1] = l1;
-            const ConcurrentResult res = runner.run(w, spec);
-            std::printf(" %6.3f", res.weighted_speedup);
-            if (res.weighted_speedup > best) {
-                best = res.weighted_speedup;
-                best_l0 = l0;
-                best_l1 = l1;
-            }
-        }
-        std::printf("\n");
-    }
-    std::printf("optimum: (%s, %s) with WS %.3f\n",
-                label(best_l0).c_str(), label(best_l1).c_str(),
-                best);
-    const std::string key = "best_ws_" + w.name();
-    state.counters[key] = best;
+    return l == kSmilInf ? std::string("Inf") : std::to_string(l);
 }
 
 void
-runFigure9(benchmark::State &state)
+runFigure9(BenchReport &report)
 {
-    Runner runner(benchConfig(), benchCycles());
-    sweepPair(runner, makeWorkload({"pf", "bp"}), state);
-    sweepPair(runner, makeWorkload({"bp", "ks"}), state);
-    sweepPair(runner, makeWorkload({"sv", "ks"}), state);
+    SweepEngine &engine = benchEngine();
+    const GpuConfig cfg = benchConfig();
+    const Cycle cycles = benchCycles();
+    const std::vector<int> grid = smilLimitGrid(fullMode());
+    const std::vector<Workload> pairs = {makeWorkload({"pf", "bp"}),
+                                         makeWorkload({"bp", "ks"}),
+                                         makeWorkload({"sv", "ks"})};
+
+    // One job per (pair, limit, limit) grid point; the whole sweep
+    // fans out across the engine and the per-kernel isolated
+    // baselines are simulated once and shared by all grid points.
+    std::vector<SimJob> jobs;
+    for (const Workload &w : pairs) {
+        for (int l0 : grid) {
+            for (int l1 : grid) {
+                SchemeSpec spec =
+                    makeScheme(PartitionScheme::WarpedSlicer,
+                               BmiMode::None, MilMode::Static);
+                spec.smil_limits[0] = l0;
+                spec.smil_limits[1] = l1;
+                jobs.push_back(
+                    SimJob::concurrent(cfg, cycles, w, spec));
+            }
+        }
+    }
+    const std::vector<SimResult> results = engine.sweep(jobs);
+
+    std::size_t idx = 0;
+    for (const Workload &w : pairs) {
+        printHeader("Figure 9: SMIL sweep for " + w.name() + " (" +
+                    workloadClassName(w.cls()) +
+                    "), Weighted Speedup");
+        std::printf("%10s", "k0\\k1");
+        for (int l1 : grid)
+            std::printf(" %6s", label(l1).c_str());
+        std::printf("\n");
+
+        double best = 0.0;
+        int best_l0 = kSmilInf, best_l1 = kSmilInf;
+        for (int l0 : grid) {
+            std::printf("%10s", label(l0).c_str());
+            for (int l1 : grid) {
+                const ConcurrentResult &res =
+                    *results[idx++].concurrent;
+                std::printf(" %6.3f", res.weighted_speedup);
+                if (res.weighted_speedup > best) {
+                    best = res.weighted_speedup;
+                    best_l0 = l0;
+                    best_l1 = l1;
+                }
+            }
+            std::printf("\n");
+        }
+        std::printf("optimum: (%s, %s) with WS %.3f\n",
+                    label(best_l0).c_str(), label(best_l1).c_str(),
+                    best);
+        report.counters["best_ws_" + w.name()] = best;
+    }
     std::printf("\npaper: pf+bp monotone in both limits (no "
                 "throttling wanted); bp+ks best with small Limit_k1; "
                 "sv+ks interior optimum near (3,1)\n");

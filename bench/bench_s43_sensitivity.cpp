@@ -12,6 +12,8 @@
 
 #include "bench_util.hpp"
 
+#include <map>
+
 namespace {
 
 using namespace ckesim;
@@ -20,23 +22,23 @@ const NamedScheme kSchemes[] = {NamedScheme::WS, NamedScheme::WS_QBMI,
                                 NamedScheme::WS_DMIL};
 
 void
-evalConfig(const std::string &label, const GpuConfig &cfg,
-           benchmark::State &state)
+printConfigRow(const std::string &label, const Workload *pairs,
+               std::size_t num_pairs, const SimResult *results,
+               BenchReport &report)
 {
-    Runner runner(cfg, benchCycles());
     std::map<NamedScheme, ClassAggregate> ws, antt_v;
-    for (const Workload &w : benchPairs()) {
+    std::size_t idx = 0;
+    for (std::size_t p = 0; p < num_pairs; ++p) {
         for (NamedScheme s : kSchemes) {
-            const ConcurrentResult r = runner.run(w, s);
-            ws[s].add(w.cls(), r.weighted_speedup);
-            antt_v[s].add(w.cls(), r.antt_value);
+            const ConcurrentResult &r = *results[idx++].concurrent;
+            ws[s].add(pairs[p].cls(), r.weighted_speedup);
+            antt_v[s].add(pairs[p].cls(), r.antt_value);
         }
     }
     const double base = ws[NamedScheme::WS].geomeanAll();
     const double qbmi = ws[NamedScheme::WS_QBMI].geomeanAll();
     const double dmil = ws[NamedScheme::WS_DMIL].geomeanAll();
-    const double base_antt =
-        antt_v[NamedScheme::WS].geomeanAll();
+    const double base_antt = antt_v[NamedScheme::WS].geomeanAll();
     std::printf("%-14s %8.3f %8.3f (%+5.1f%%) %8.3f (%+5.1f%%)   "
                 "ANTT: %+5.1f%% / %+5.1f%%\n",
                 label.c_str(), base, qbmi,
@@ -48,36 +50,53 @@ evalConfig(const std::string &label, const GpuConfig &cfg,
                 100.0 * (1.0 - antt_v[NamedScheme::WS_DMIL]
                                    .geomeanAll() /
                                    base_antt));
-    state.counters[label + "_ws_gain_dmil"] = dmil / base - 1.0;
+    report.counters[label + "_ws_gain_dmil"] = dmil / base - 1.0;
 }
 
 void
-runSensitivity(benchmark::State &state)
+runSensitivity(BenchReport &report)
 {
-    printHeader("Section 4.3: sensitivity — Weighted Speedup "
-                "geomeans (WS / WS-QBMI / WS-DMIL)");
-    std::printf("%-14s %8s %8s %10s %8s %10s\n", "config", "WS",
-                "QBMI", "gain", "DMIL", "gain");
+    SweepEngine &engine = benchEngine();
+    const Cycle cycles = benchCycles();
 
-    {
-        GpuConfig cfg = benchConfig();
-        evalConfig("L1D-24KB", cfg, state);
-    }
+    std::vector<std::pair<std::string, GpuConfig>> configs;
+    configs.emplace_back("L1D-24KB", benchConfig());
     {
         GpuConfig cfg = benchConfig();
         cfg.l1d.size_bytes = 48 * 1024;
-        evalConfig("L1D-48KB", cfg, state);
+        configs.emplace_back("L1D-48KB", cfg);
     }
     {
         GpuConfig cfg = benchConfig();
         cfg.l1d.size_bytes = 96 * 1024;
-        evalConfig("L1D-96KB", cfg, state);
+        configs.emplace_back("L1D-96KB", cfg);
     }
     {
         GpuConfig cfg = benchConfig();
         cfg.sm.sched_policy = SchedPolicy::LRR;
-        evalConfig("LRR-sched", cfg, state);
+        configs.emplace_back("LRR-sched", cfg);
     }
+
+    // All four configurations fan out as one sweep; isolated
+    // baselines are memoized per configuration.
+    const std::vector<Workload> pairs = benchPairs();
+    std::vector<SimJob> jobs;
+    for (const auto &[label, cfg] : configs)
+        for (const Workload &w : pairs)
+            for (NamedScheme s : kSchemes)
+                jobs.push_back(SimJob::concurrent(cfg, cycles, w, s));
+    const std::vector<SimResult> results = engine.sweep(jobs);
+
+    printHeader("Section 4.3: sensitivity — Weighted Speedup "
+                "geomeans (WS / WS-QBMI / WS-DMIL)");
+    std::printf("%-14s %8s %8s %10s %8s %10s\n", "config", "WS",
+                "QBMI", "gain", "DMIL", "gain");
+    const std::size_t per_config =
+        pairs.size() * std::size(kSchemes);
+    for (std::size_t c = 0; c < configs.size(); ++c)
+        printConfigRow(configs[c].first, pairs.data(), pairs.size(),
+                       results.data() + c * per_config, report);
+
     std::printf("\npaper: gains persist but shrink with larger L1D "
                 "(DMIL +24.6%% at 24KB -> +18.5%% at 48KB -> +3.5%% "
                 "at 96KB); under LRR, QBMI +3.2%% / DMIL +25.8%%\n");

@@ -18,7 +18,7 @@ namespace {
 using namespace ckesim;
 
 void
-printOverheadTable(benchmark::State &state)
+printOverheadTable(BenchReport &report)
 {
     printHeader("Section 4.4: hardware overhead per SM (2 concurrent "
                 "kernels)");
@@ -42,7 +42,7 @@ printOverheadTable(benchmark::State &state)
     std::printf("total: %d bits (~%d bytes) per SM — negligible "
                 "against a multi-mm^2 SM (paper Section 4.4)\n",
                 total_bits, (total_bits + 7) / 8);
-    state.counters["bits_per_sm"] = total_bits;
+    report.counters["bits_per_sm"] = total_bits;
 }
 
 void

@@ -26,21 +26,21 @@ const std::vector<std::vector<std::string>> kPairs = {
     {"bp", "sv"}, {"bp", "ks"}, {"sv", "ks"}, {"pf", "bp"}};
 
 void
-runDiscussion(benchmark::State &state)
+runDiscussion(BenchReport &report)
 {
-    Runner runner(benchConfig(), benchCycles());
+    SweepEngine &engine = benchEngine();
+    const GpuConfig cfg = benchConfig();
+    const Cycle cycles = benchCycles();
 
-    printHeader("Section 4.5: MSHR partitioning / L1D bypassing / "
-                "global DMIL (Weighted Speedup)");
-    std::printf("%-8s %8s %10s %10s %8s %10s %10s\n", "pair", "WS",
-                "MSHRpart", "bypass(M)", "DMIL", "DMIL+byp",
-                "globDMIL");
-
-    double g[6] = {0, 0, 0, 0, 0, 0};
+    // Six spec variants per pair, all swept at once.
+    std::vector<Workload> workloads;
+    std::vector<SimJob> jobs;
     for (const auto &names : kPairs) {
         const Workload w = makeWorkload(names);
+        workloads.push_back(w);
 
-        const SchemeSpec base = runner.scheme(NamedScheme::WS, w);
+        const SchemeSpec base =
+            engine.makeNamedScheme(cfg, cycles, NamedScheme::WS, w);
 
         SchemeSpec mshr = base;
         mshr.mshr_partition = true;
@@ -53,8 +53,8 @@ runDiscussion(benchmark::State &state)
                 bypass.bypass_l1d[static_cast<std::size_t>(k)] =
                     true;
 
-        const SchemeSpec dmil =
-            runner.scheme(NamedScheme::WS_DMIL, w);
+        const SchemeSpec dmil = engine.makeNamedScheme(
+            cfg, cycles, NamedScheme::WS_DMIL, w);
 
         SchemeSpec dmil_bypass = dmil;
         dmil_bypass.bypass_l1d = bypass.bypass_l1d;
@@ -62,14 +62,24 @@ runDiscussion(benchmark::State &state)
         SchemeSpec global = dmil;
         global.global_dmil = true;
 
-        const double v[6] = {
-            runner.run(w, base).weighted_speedup,
-            runner.run(w, mshr).weighted_speedup,
-            runner.run(w, bypass).weighted_speedup,
-            runner.run(w, dmil).weighted_speedup,
-            runner.run(w, dmil_bypass).weighted_speedup,
-            runner.run(w, global).weighted_speedup,
-        };
+        for (const SchemeSpec &spec :
+             {base, mshr, bypass, dmil, dmil_bypass, global})
+            jobs.push_back(SimJob::concurrent(cfg, cycles, w, spec));
+    }
+    const std::vector<SimResult> results = engine.sweep(jobs);
+
+    printHeader("Section 4.5: MSHR partitioning / L1D bypassing / "
+                "global DMIL (Weighted Speedup)");
+    std::printf("%-8s %8s %10s %10s %8s %10s %10s\n", "pair", "WS",
+                "MSHRpart", "bypass(M)", "DMIL", "DMIL+byp",
+                "globDMIL");
+
+    double g[6] = {0, 0, 0, 0, 0, 0};
+    std::size_t idx = 0;
+    for (const Workload &w : workloads) {
+        double v[6];
+        for (double &x : v)
+            x = results[idx++].concurrent->weighted_speedup;
         std::printf("%-8s %8.3f %10.3f %10.3f %8.3f %10.3f %10.3f\n",
                     w.name().c_str(), v[0], v[1], v[2], v[3], v[4],
                     v[5]);
@@ -87,10 +97,10 @@ runDiscussion(benchmark::State &state)
                 "and global DMIL tracks local DMIL when all SMs run "
                 "the same pair\n");
 
-    state.counters["ws"] = g[0];
-    state.counters["mshr_partition"] = g[1];
-    state.counters["dmil"] = g[3];
-    state.counters["global_dmil"] = g[5];
+    report.counters["ws"] = g[0];
+    report.counters["mshr_partition"] = g[1];
+    report.counters["dmil"] = g[3];
+    report.counters["global_dmil"] = g[5];
 }
 
 } // namespace

@@ -15,10 +15,16 @@ namespace {
 using namespace ckesim;
 
 void
-runTable2(benchmark::State &state)
+runTable2(BenchReport &report)
 {
+    SweepEngine &engine = benchEngine();
     const GpuConfig cfg = benchConfig();
-    Runner runner(cfg, benchCycles());
+    const Cycle cycles = benchCycles();
+
+    std::vector<SimJob> jobs;
+    for (const KernelProfile &p : benchmarkSuite())
+        jobs.push_back(SimJob::isolated(cfg, cycles, p));
+    const std::vector<SimResult> results = engine.sweep(jobs);
 
     printHeader("Table 2: Benchmark characterization "
                 "(isolated execution)");
@@ -28,8 +34,9 @@ runTable2(benchmark::State &state)
                 "type");
 
     int classified_memory = 0;
+    std::size_t idx = 0;
     for (const KernelProfile &p : benchmarkSuite()) {
-        const IsolatedResult &res = runner.isolated(p);
+        const IsolatedResult &res = *results[idx++].isolated;
         const SmStats &sm = res.sm_stats;
         const double lsu_stall = sm.lsuStallFraction();
         const bool memory_type = lsu_stall > 0.20;
@@ -49,7 +56,7 @@ runTable2(benchmark::State &state)
 
     std::printf("\npaper: 7 compute-intensive (C), "
                 "6 memory-intensive (M)\n");
-    state.counters["memory_kernels"] = classified_memory;
+    report.counters["memory_kernels"] = classified_memory;
 }
 
 } // namespace

@@ -1,9 +1,12 @@
 /**
  * @file
- * Shared scaffolding for the per-figure bench binaries: every bench
- * prints its paper-style table from inside a google-benchmark case so
- * `bench_*` runs standalone and also reports wall time + headline
- * counters through the benchmark framework.
+ * google-benchmark adapter for the per-figure bench binaries. The
+ * experiments themselves live in the shared ExperimentRegistry
+ * (src/metrics/experiment.hpp) and know nothing about the benchmark
+ * framework; this header wires the registry into benchmark cases and
+ * handles the shared --jobs/--list/--filter/--tables CLI knobs, so
+ * every bench runs standalone, supports parallel sweeps, and also
+ * reports wall time + headline counters through the framework.
  */
 
 #ifndef CKESIM_BENCH_BENCH_UTIL_HPP
@@ -20,31 +23,65 @@
 
 namespace ckesim::benchutil {
 
-/**
- * Register a one-iteration benchmark that runs @p body. The body
- * receives the State so it can export counters.
- */
+/** Register a named experiment into the shared registry. */
 inline void
-registerExperiment(const std::string &name,
-                   std::function<void(benchmark::State &)> body)
+registerExperiment(const std::string &name, ExperimentFn body)
 {
-    benchmark::RegisterBenchmark(
-        name.c_str(),
-        [body](benchmark::State &state) {
-            for (auto _ : state)
-                body(state);
-        })
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(1);
+    ExperimentRegistry::instance().add(name, std::move(body));
 }
 
-/** Standard main body: initialize, register via @p setup, run. */
+/**
+ * Standard main body: parse shared flags, register experiments via
+ * @p setup, then run — through google-benchmark by default, or
+ * directly in --tables mode (stable stdout for diffing; engine stats
+ * go to stderr).
+ */
 inline int
 benchMain(int argc, char **argv, const std::function<void()> &setup)
 {
-    benchmark::Initialize(&argc, argv);
+    BenchOptions opts = parseBenchArgs(argc, argv);
+    setBenchJobs(opts.jobs);
     setup();
+
+    const auto &entries = ExperimentRegistry::instance().entries();
+    if (opts.list) {
+        for (const auto &e : entries)
+            std::printf("%s\n", e.name.c_str());
+        return 0;
+    }
+
+    if (opts.tables_only) {
+        for (const auto &e : entries) {
+            if (!opts.matches(e.name))
+                continue;
+            BenchReport report;
+            e.fn(report);
+        }
+        printSweepStats(stderr);
+        return 0;
+    }
+
+    for (const auto &e : entries) {
+        if (!opts.matches(e.name))
+            continue;
+        benchmark::RegisterBenchmark(
+            e.name.c_str(),
+            [fn = e.fn](benchmark::State &state) {
+                for (auto _ : state) {
+                    BenchReport report;
+                    fn(report);
+                    exportSweepStats(report);
+                    for (const auto &[key, value] : report.counters)
+                        state.counters[key] = value;
+                }
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+
+    benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    printSweepStats(stderr);
     benchmark::Shutdown();
     return 0;
 }

@@ -11,16 +11,19 @@
  * Prints the microarchitectural signals the paper's mechanisms react
  * to: IPC, instruction mix, L1D behaviour with the reservation-failure
  * breakdown (line / MSHR / miss-queue), LSU stall fraction, compute
- * utilization, L2 miss rate and DRAM row-buffer locality.
+ * utilization, L2 miss rate and DRAM row-buffer locality — all read
+ * off a SimJob result, including the memory-side summary the engine
+ * attaches to every run.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
-#include "gpu.hpp"
 #include "kernels/profile.hpp"
 #include "kernels/workload.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/sweep_engine.hpp"
 
 using namespace ckesim;
 
@@ -37,20 +40,34 @@ main(int argc, char **argv)
     cfg.dram.num_channels = num_sms;
 
     const KernelProfile &prof = findProfile(name);
-    Workload wl;
-    wl.kernels = {&prof};
+    SweepEngine engine(jobsFromEnv());
 
-    SchemeSpec spec = makeScheme(PartitionScheme::Leftover,
-                                 BmiMode::None, MilMode::None);
+    double ipc = 0.0;
+    KernelStats k;
+    SmStats s;
+    MemSideStats mem;
     if (argc > 4) {
-        spec.mil = MilMode::Static;
+        // Throttled variant: a single-kernel workload under Leftover
+        // with a static in-flight memory instruction limit.
+        Workload wl;
+        wl.kernels = {&prof};
+        SchemeSpec spec = makeScheme(PartitionScheme::Leftover,
+                                     BmiMode::None, MilMode::Static);
         spec.smil_limits[0] = std::atoi(argv[4]);
+        const ConcurrentResult &r =
+            *engine.concurrent(cfg, cycles, wl, spec);
+        ipc = r.ipc[0];
+        k = r.stats[0];
+        s = r.sm_stats;
+        mem = r.mem;
+    } else {
+        const IsolatedResult &r =
+            *engine.isolated(cfg, cycles, prof);
+        ipc = r.ipc;
+        k = r.stats;
+        s = r.sm_stats;
+        mem = r.mem;
     }
-    Gpu gpu(cfg, wl, spec);
-    gpu.run(cycles);
-
-    const KernelStats k = gpu.kernelStatsTotal(0);
-    const SmStats s = gpu.smStatsTotal();
 
     std::printf("kernel %s: %d TBs/SM, %d warps/TB, %d regs/thread, "
                 "%dB smem/TB\n",
@@ -59,7 +76,7 @@ main(int argc, char **argv)
                 prof.regs_per_thread, prof.smem_per_tb);
     std::printf("cycles %llu  sms %d\n",
                 static_cast<unsigned long long>(cycles), num_sms);
-    std::printf("IPC (gpu-wide)        %8.3f\n", gpu.ipc(0));
+    std::printf("IPC (gpu-wide)        %8.3f\n", ipc);
     std::printf("instr mix: alu %llu sfu %llu smem %llu mem %llu\n",
                 (unsigned long long)k.alu_instructions,
                 (unsigned long long)k.sfu_instructions,
@@ -82,13 +99,9 @@ main(int argc, char **argv)
                     (cfg.sm.num_schedulers * s.cycles),
                 static_cast<double>(s.sfu_issue_slots) /
                     (cfg.sm.num_schedulers * s.cycles));
-    std::printf("L2 miss rate          %8.3f\n",
-                gpu.memsys().l2MissRate());
-    double row_hit = 0.0;
-    for (int c = 0; c < cfg.dram.num_channels; ++c)
-        row_hit += gpu.memsys().channel(c).rowHitRate();
+    std::printf("L2 miss rate          %8.3f\n", mem.l2_miss_rate);
     std::printf("DRAM row-hit rate     %8.3f\n",
-                row_hit / cfg.dram.num_channels);
+                mem.dram_row_hit_rate);
     std::printf("TBs completed         %8llu\n",
                 (unsigned long long)k.tbs_completed);
     return 0;

@@ -9,7 +9,9 @@
  * (Warped-Slicer partition + DMIL) and ranks the partners by
  * Weighted Speedup — the "which kernels should share an SM?"
  * question that motivates intra-SM CKE (Section 1: kernels with
- * complementary characteristics gain the most).
+ * complementary characteristics gain the most). All twelve candidate
+ * pairings run as one parallel sweep; the anchor kernel's isolated
+ * baseline is simulated once and shared by every pairing.
  */
 
 #include <algorithm>
@@ -19,7 +21,8 @@
 #include <vector>
 
 #include "kernels/workload.hpp"
-#include "metrics/runner.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/sweep_engine.hpp"
 
 using namespace ckesim;
 
@@ -31,31 +34,38 @@ main(int argc, char **argv)
         argc > 2 ? static_cast<Cycle>(std::atol(argv[2])) : 40000;
 
     GpuConfig cfg; // the paper's Table 1 machine
-    Runner runner(cfg, cycles);
+    SweepEngine engine(jobsFromEnv());
     const KernelProfile &anchor = findProfile(base);
 
-    struct Entry
-    {
-        std::string partner;
-        std::string cls;
-        ConcurrentResult res;
-    };
-    std::vector<Entry> entries;
+    std::vector<std::string> partners;
+    std::vector<std::string> classes;
+    std::vector<SimJob> jobs;
     for (const KernelProfile &p : benchmarkSuite()) {
         if (p.name == anchor.name)
             continue;
         Workload w;
         w.kernels = {&anchor, &p};
-        Entry e;
-        e.partner = p.name;
-        e.cls = workloadClassName(w.cls());
-        e.res = runner.run(w, NamedScheme::WS_DMIL);
-        entries.push_back(std::move(e));
+        partners.push_back(p.name);
+        classes.push_back(workloadClassName(w.cls()));
+        jobs.push_back(
+            SimJob::concurrent(cfg, cycles, w, NamedScheme::WS_DMIL));
     }
+    const std::vector<SimResult> results = engine.sweep(jobs);
+
+    struct Entry
+    {
+        std::string partner;
+        std::string cls;
+        std::shared_ptr<const ConcurrentResult> res;
+    };
+    std::vector<Entry> entries;
+    for (std::size_t i = 0; i < partners.size(); ++i)
+        entries.push_back(
+            Entry{partners[i], classes[i], results[i].concurrent});
     std::sort(entries.begin(), entries.end(),
               [](const Entry &a, const Entry &b) {
-                  return a.res.weighted_speedup >
-                         b.res.weighted_speedup;
+                  return a.res->weighted_speedup >
+                         b.res->weighted_speedup;
               });
 
     std::printf("co-run partners for '%s' under WS-DMIL, best "
@@ -68,10 +78,10 @@ main(int argc, char **argv)
     for (const Entry &e : entries) {
         std::printf("%-8s %-5s %8.3f %8.3f %8.3f   (",
                     e.partner.c_str(), e.cls.c_str(),
-                    e.res.weighted_speedup, e.res.antt_value,
-                    e.res.fairness);
-        for (std::size_t i = 0; i < e.res.partition.size(); ++i)
-            std::printf("%s%d", i ? "," : "", e.res.partition[i]);
+                    e.res->weighted_speedup, e.res->antt_value,
+                    e.res->fairness);
+        for (std::size_t i = 0; i < e.res->partition.size(); ++i)
+            std::printf("%s%d", i ? "," : "", e.res->partition[i]);
         std::printf(")\n");
     }
     std::printf("\nrule of thumb from the paper: complementary "

@@ -10,7 +10,9 @@
  * with Warped-Slicer TB partitioning, then add the paper's QBMI
  * (balanced memory request issuing) and DMIL (dynamic memory
  * instruction limiting) and watch the memory-pipeline interference
- * drop.
+ * drop. The five schemes run in parallel on a SweepEngine (set
+ * CKESIM_JOBS to bound the worker count) and share one pair of
+ * memoized isolated baselines.
  */
 
 #include <cstdio>
@@ -19,7 +21,8 @@
 #include <vector>
 
 #include "kernels/workload.hpp"
-#include "metrics/runner.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/sweep_engine.hpp"
 
 using namespace ckesim;
 
@@ -35,7 +38,7 @@ main(int argc, char **argv)
     GpuConfig cfg;
     cfg.num_sms = num_sms;
     cfg.dram.num_channels = num_sms;
-    Runner runner(cfg, cycles);
+    SweepEngine engine(jobsFromEnv());
 
     const Workload wl = makeWorkload({ka, kb});
     std::printf("workload %s (%s)\n\n", wl.name().c_str(),
@@ -46,13 +49,18 @@ main(int argc, char **argv)
         NamedScheme::WS_QBMI,     NamedScheme::WS_DMIL,
         NamedScheme::WS_QBMI_DMIL};
 
+    std::vector<SimJob> jobs;
+    for (NamedScheme s : schemes)
+        jobs.push_back(SimJob::concurrent(cfg, cycles, wl, s));
+    const std::vector<SimResult> results = engine.sweep(jobs);
+
     std::printf("%-14s %8s %8s %8s   %s\n", "scheme", "WS", "ANTT",
                 "fair", "norm IPC per kernel");
-    for (NamedScheme s : schemes) {
-        const ConcurrentResult r = runner.run(wl, s);
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const ConcurrentResult &r = *results[i].concurrent;
         std::printf("%-14s %8.3f %8.3f %8.3f   [",
-                    schemeName(s).c_str(), r.weighted_speedup,
-                    r.antt_value, r.fairness);
+                    schemeName(schemes[i]).c_str(),
+                    r.weighted_speedup, r.antt_value, r.fairness);
         for (std::size_t k = 0; k < r.norm_ipc.size(); ++k)
             std::printf("%s%.3f", k ? ", " : "", r.norm_ipc[k]);
         std::printf("]  miss[");

@@ -7,44 +7,22 @@
  * Replays one CKE workload across the Section 4.3 sensitivity axes —
  * GTO vs LRR warp scheduling and 24/48/96KB L1 D-caches — reporting
  * how much of DMIL's benefit survives each change. Demonstrates how
- * to customize GpuConfig and drive the Runner directly.
+ * to customize GpuConfig and fan a multi-configuration study out on
+ * the SweepEngine: all ten simulations (5 configs x 2 schemes) run
+ * as one sweep.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "kernels/workload.hpp"
-#include "metrics/runner.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/sweep_engine.hpp"
 
 using namespace ckesim;
-
-namespace {
-
-void
-evaluate(const char *label, const GpuConfig &cfg, const Workload &w,
-         Cycle cycles)
-{
-    Runner runner(cfg, cycles);
-    const ConcurrentResult base = runner.run(w, NamedScheme::WS);
-    const ConcurrentResult dmil =
-        runner.run(w, NamedScheme::WS_DMIL);
-    std::printf("%-22s WS %6.3f -> %6.3f (%+5.1f%%)   ANTT %6.3f "
-                "-> %6.3f   rsfail %5.2f -> %5.2f\n",
-                label, base.weighted_speedup, dmil.weighted_speedup,
-                100.0 * (dmil.weighted_speedup /
-                             base.weighted_speedup -
-                         1.0),
-                base.antt_value, dmil.antt_value,
-                (base.stats[0].l1dRsFailRate() +
-                 base.stats[1].l1dRsFailRate()) /
-                    2,
-                (dmil.stats[0].l1dRsFailRate() +
-                 dmil.stats[1].l1dRsFailRate()) /
-                    2);
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -59,29 +37,54 @@ main(int argc, char **argv)
                 "axes\n\n",
                 w.name().c_str());
 
-    {
-        GpuConfig cfg;
-        evaluate("GTO, 24KB L1D (base)", cfg, w, cycles);
-    }
+    std::vector<std::pair<std::string, GpuConfig>> configs;
+    configs.emplace_back("GTO, 24KB L1D (base)", GpuConfig{});
     {
         GpuConfig cfg;
         cfg.sm.sched_policy = SchedPolicy::LRR;
-        evaluate("LRR, 24KB L1D", cfg, w, cycles);
+        configs.emplace_back("LRR, 24KB L1D", cfg);
     }
     {
         GpuConfig cfg;
         cfg.l1d.size_bytes = 48 * 1024;
-        evaluate("GTO, 48KB L1D", cfg, w, cycles);
+        configs.emplace_back("GTO, 48KB L1D", cfg);
     }
     {
         GpuConfig cfg;
         cfg.l1d.size_bytes = 96 * 1024;
-        evaluate("GTO, 96KB L1D", cfg, w, cycles);
+        configs.emplace_back("GTO, 96KB L1D", cfg);
     }
     {
         GpuConfig cfg;
         cfg.l1d.num_mshrs = 256;
-        evaluate("GTO, 256 MSHRs", cfg, w, cycles);
+        configs.emplace_back("GTO, 256 MSHRs", cfg);
+    }
+
+    SweepEngine engine(jobsFromEnv());
+    std::vector<SimJob> jobs;
+    for (const auto &[label, cfg] : configs)
+        for (NamedScheme s : {NamedScheme::WS, NamedScheme::WS_DMIL})
+            jobs.push_back(SimJob::concurrent(cfg, cycles, w, s));
+    const std::vector<SimResult> results = engine.sweep(jobs);
+
+    std::size_t idx = 0;
+    for (const auto &[label, cfg] : configs) {
+        const ConcurrentResult &base = *results[idx++].concurrent;
+        const ConcurrentResult &dmil = *results[idx++].concurrent;
+        std::printf("%-22s WS %6.3f -> %6.3f (%+5.1f%%)   ANTT "
+                    "%6.3f -> %6.3f   rsfail %5.2f -> %5.2f\n",
+                    label.c_str(), base.weighted_speedup,
+                    dmil.weighted_speedup,
+                    100.0 * (dmil.weighted_speedup /
+                                 base.weighted_speedup -
+                             1.0),
+                    base.antt_value, dmil.antt_value,
+                    (base.stats[0].l1dRsFailRate() +
+                     base.stats[1].l1dRsFailRate()) /
+                        2,
+                    (dmil.stats[0].l1dRsFailRate() +
+                     dmil.stats[1].l1dRsFailRate()) /
+                        2);
     }
 
     std::printf("\npaper (Section 4.3): the schemes stay effective "

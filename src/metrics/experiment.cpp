@@ -1,60 +1,10 @@
 #include "metrics/experiment.hpp"
 
-#include <cstdio>
 #include <cstdlib>
-
-#include "sim/stats.hpp"
+#include <cstring>
+#include <memory>
 
 namespace ckesim {
-
-void
-ClassAggregate::add(WorkloadClass cls, double value)
-{
-    // Geomeans need positive values; clamp degenerate runs.
-    const double v = value > 1e-9 ? value : 1e-9;
-    by_class_[cls].push_back(v);
-    all_.push_back(v);
-}
-
-double
-ClassAggregate::geomean(WorkloadClass cls) const
-{
-    auto it = by_class_.find(cls);
-    if (it == by_class_.end() || it->second.empty())
-        return 0.0;
-    return ckesim::geomean(it->second);
-}
-
-double
-ClassAggregate::geomeanAll() const
-{
-    if (all_.empty())
-        return 0.0;
-    return ckesim::geomean(all_);
-}
-
-int
-ClassAggregate::count(WorkloadClass cls) const
-{
-    auto it = by_class_.find(cls);
-    return it == by_class_.end()
-               ? 0
-               : static_cast<int>(it->second.size());
-}
-
-const char *
-classLabel(WorkloadClass cls)
-{
-    switch (cls) {
-      case WorkloadClass::CC:
-        return "C+C";
-      case WorkloadClass::CM:
-        return "C+M";
-      case WorkloadClass::MM:
-        return "M+M";
-    }
-    return "?";
-}
 
 bool
 fullMode()
@@ -90,21 +40,145 @@ benchPairs()
     return fullMode() ? allSuitePairs() : representativePairs();
 }
 
-std::string
-fmt(double v, int width, int precision)
+// ---- CLI knobs ---------------------------------------------------------
+
+bool
+BenchOptions::matches(const std::string &name) const
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%*.*f", width, precision, v);
-    return buf;
+    return filter.empty() || name.find(filter) != std::string::npos;
+}
+
+int
+jobsFromEnv()
+{
+    if (const char *env = std::getenv("CKESIM_JOBS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<int>(v);
+    }
+    return 0;
+}
+
+namespace {
+
+/** "--flag=value" or "--flag value"; empty when @p arg isn't flag. */
+bool
+takeValueFlag(const char *flag, int &argc, char **argv, int &i,
+              std::string &out)
+{
+    const std::size_t len = std::strlen(flag);
+    if (std::strncmp(argv[i], flag, len) != 0)
+        return false;
+    if (argv[i][len] == '=') {
+        out = argv[i] + len + 1;
+        return true;
+    }
+    if (argv[i][len] == '\0' && i + 1 < argc) {
+        out = argv[i + 1];
+        ++i; // consume the value too
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+BenchOptions
+parseBenchArgs(int &argc, char **argv)
+{
+    BenchOptions opts;
+    opts.jobs = jobsFromEnv();
+
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string value;
+        if (std::strcmp(argv[i], "--list") == 0) {
+            opts.list = true;
+        } else if (std::strcmp(argv[i], "--tables") == 0) {
+            opts.tables_only = true;
+        } else if (takeValueFlag("--jobs", argc, argv, i, value)) {
+            const long v = std::atol(value.c_str());
+            if (v > 0)
+                opts.jobs = static_cast<int>(v);
+        } else if (takeValueFlag("--filter", argc, argv, i, value)) {
+            opts.filter = value;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return opts;
+}
+
+// ---- experiment registry ----------------------------------------------
+
+ExperimentRegistry &
+ExperimentRegistry::instance()
+{
+    static ExperimentRegistry registry;
+    return registry;
 }
 
 void
-printHeader(const std::string &title)
+ExperimentRegistry::add(std::string name, ExperimentFn fn)
 {
-    std::printf("\n%s\n", title.c_str());
-    for (std::size_t i = 0; i < title.size(); ++i)
-        std::printf("-");
-    std::printf("\n");
+    entries_.push_back(Entry{std::move(name), std::move(fn)});
+}
+
+// ---- shared engine -----------------------------------------------------
+
+namespace {
+
+int &
+benchJobsSlot()
+{
+    static int jobs = 0;
+    return jobs;
+}
+
+} // namespace
+
+void
+setBenchJobs(int jobs)
+{
+    benchJobsSlot() = jobs;
+}
+
+SweepEngine &
+benchEngine()
+{
+    static SweepEngine engine(benchJobsSlot() > 0 ? benchJobsSlot()
+                                                  : jobsFromEnv());
+    return engine;
+}
+
+void
+printSweepStats(std::FILE *out)
+{
+    const SweepStats s = benchEngine().stats();
+    std::fprintf(out,
+                 "sweep engine: %d jobs, %llu sims executed, %llu "
+                 "memo hits (%.0f%% hit rate), isolated runs %llu "
+                 "executed / %llu reused\n",
+                 benchEngine().jobs(),
+                 static_cast<unsigned long long>(s.sims_executed),
+                 static_cast<unsigned long long>(s.memo_hits),
+                 100.0 * s.hitRate(),
+                 static_cast<unsigned long long>(s.isolated_runs),
+                 static_cast<unsigned long long>(s.isolated_hits));
+}
+
+void
+exportSweepStats(BenchReport &report)
+{
+    const SweepStats s = benchEngine().stats();
+    report.counters["sweep_sims_executed"] =
+        static_cast<double>(s.sims_executed);
+    report.counters["sweep_memo_hits"] =
+        static_cast<double>(s.memo_hits);
+    report.counters["sweep_iso_reused"] =
+        static_cast<double>(s.isolated_hits);
 }
 
 } // namespace ckesim

@@ -1,181 +1,42 @@
 #include "metrics/runner.hpp"
 
-#include "metrics/perf_metrics.hpp"
-
 namespace ckesim {
 
-std::string
-schemeName(NamedScheme scheme)
-{
-    switch (scheme) {
-      case NamedScheme::Spatial:
-        return "Spatial";
-      case NamedScheme::Leftover:
-        return "Leftover";
-      case NamedScheme::WS:
-        return "WS";
-      case NamedScheme::WS_RBMI:
-        return "WS-RBMI";
-      case NamedScheme::WS_QBMI:
-        return "WS-QBMI";
-      case NamedScheme::WS_DMIL:
-        return "WS-DMIL";
-      case NamedScheme::WS_QBMI_DMIL:
-        return "WS-QBMI+DMIL";
-      case NamedScheme::WS_UCP:
-        return "WS-L1DPartition";
-      case NamedScheme::SMK_PW:
-        return "SMK-(P+W)";
-      case NamedScheme::SMK_P_QBMI:
-        return "SMK-(P+QBMI)";
-      case NamedScheme::SMK_P_DMIL:
-        return "SMK-(P+DMIL)";
-    }
-    return "?";
-}
-
-Runner::Runner(const GpuConfig &cfg, Cycle cycles)
-    : cfg_(cfg), cycles_(cycles)
+Runner::Runner(const GpuConfig &cfg, Cycle cycles,
+               std::shared_ptr<SweepEngine> engine)
+    : cfg_(cfg), cycles_(cycles), engine_(std::move(engine))
 {
     // Fail here, with the offending field named, rather than cycles
     // into the first simulation.
     cfg_.validate();
+    if (!engine_)
+        engine_ = std::make_shared<SweepEngine>(1);
 }
 
 const IsolatedResult &
 Runner::isolated(const KernelProfile &prof, int tb_limit)
 {
-    const std::string key =
-        prof.name + "#" + std::to_string(tb_limit);
-    auto it = iso_cache_.find(key);
-    if (it != iso_cache_.end())
-        return it->second;
-
-    Workload wl;
-    wl.kernels = {&prof};
-    SchemeSpec spec = makeScheme(PartitionScheme::Leftover,
-                                 BmiMode::None, MilMode::None);
-    Gpu gpu(cfg_, wl, spec);
-    const int quota =
-        tb_limit > 0 ? tb_limit : prof.maxTbsPerSm(cfg_.sm);
-    for (int s = 0; s < gpu.numSms(); ++s)
-        gpu.sm(s).setTbQuota(0, quota);
-    gpu.run(cycles_);
-
-    IsolatedResult res;
-    res.ipc = gpu.ipc(0);
-    res.ipc_per_sm = res.ipc / cfg_.num_sms;
-    res.stats = gpu.kernelStatsTotal(0);
-    res.sm_stats = gpu.smStatsTotal();
-    res.max_tbs = quota;
-    gpu.audit();
-    return iso_cache_.emplace(key, std::move(res)).first->second;
+    // The memo cache pins the shared_ptr for the engine's lifetime,
+    // which the runner shares — the reference stays valid.
+    return *engine_->isolated(cfg_, cycles_, prof, tb_limit);
 }
 
 ScalabilityCurve
 Runner::scalability(const KernelProfile &prof)
 {
-    ScalabilityCurve curve;
-    const int max_tbs = prof.maxTbsPerSm(cfg_.sm);
-    for (int tb = 1; tb <= max_tbs; ++tb)
-        curve.addPoint(tb, isolated(prof, tb).ipc_per_sm);
-    return curve;
+    return engine_->scalability(cfg_, cycles_, prof);
 }
 
 SchemeSpec
 Runner::scheme(NamedScheme named, const Workload &workload)
 {
-    SchemeSpec spec;
-    switch (named) {
-      case NamedScheme::Spatial:
-        spec.partition = PartitionScheme::Spatial;
-        break;
-      case NamedScheme::Leftover:
-        spec.partition = PartitionScheme::Leftover;
-        break;
-      case NamedScheme::WS:
-        spec.partition = PartitionScheme::WarpedSlicer;
-        break;
-      case NamedScheme::WS_RBMI:
-        spec.partition = PartitionScheme::WarpedSlicer;
-        spec.bmi = BmiMode::RBMI;
-        break;
-      case NamedScheme::WS_QBMI:
-        spec.partition = PartitionScheme::WarpedSlicer;
-        spec.bmi = BmiMode::QBMI;
-        break;
-      case NamedScheme::WS_DMIL:
-        spec.partition = PartitionScheme::WarpedSlicer;
-        spec.mil = MilMode::Dynamic;
-        break;
-      case NamedScheme::WS_QBMI_DMIL:
-        spec.partition = PartitionScheme::WarpedSlicer;
-        spec.bmi = BmiMode::QBMI;
-        spec.mil = MilMode::Dynamic;
-        break;
-      case NamedScheme::WS_UCP:
-        spec.partition = PartitionScheme::WarpedSlicer;
-        spec.ucp = true;
-        break;
-      case NamedScheme::SMK_PW:
-        spec.partition = PartitionScheme::SmkDrf;
-        spec.smk_warp_quota = true;
-        break;
-      case NamedScheme::SMK_P_QBMI:
-        spec.partition = PartitionScheme::SmkDrf;
-        spec.bmi = BmiMode::QBMI;
-        break;
-      case NamedScheme::SMK_P_DMIL:
-        spec.partition = PartitionScheme::SmkDrf;
-        spec.mil = MilMode::Dynamic;
-        break;
-    }
-    if (spec.smk_warp_quota) {
-        for (const KernelProfile *k : workload.kernels)
-            spec.isolated_ipc_per_sm.push_back(
-                isolated(*k).ipc_per_sm);
-    }
-    return spec;
+    return engine_->makeNamedScheme(cfg_, cycles_, named, workload);
 }
 
 ConcurrentResult
 Runner::run(const Workload &workload, const SchemeSpec &spec)
 {
-    // Dynamic Warped-Slicer spends a profiling window first; extend
-    // the run so the measurement phase always covers cycles_.
-    Cycle total = cycles_;
-    if (spec.partition == PartitionScheme::WarpedSlicer &&
-        spec.oracle_curves.empty())
-        total += spec.ws_profile_window;
-
-    Gpu gpu(cfg_, workload, spec);
-    gpu.run(total);
-
-    ConcurrentResult res;
-    res.workload_name = workload.name();
-    res.theoretical_ws = gpu.theoreticalWs();
-    res.partition = gpu.chosenPartition();
-    res.sm_stats = gpu.smStatsTotal();
-    for (int k = 0; k < workload.numKernels(); ++k) {
-        const double shared_ipc = gpu.ipc(k);
-        const double iso_ipc =
-            isolated(*workload.kernels[static_cast<std::size_t>(k)])
-                .ipc;
-        res.ipc.push_back(shared_ipc);
-        res.norm_ipc.push_back(
-            iso_ipc > 0 ? shared_ipc / iso_ipc : 0.0);
-        res.stats.push_back(gpu.kernelStatsTotal(k));
-    }
-    res.weighted_speedup = weightedSpeedup(res.norm_ipc);
-    res.antt_value = antt(res.norm_ipc);
-    res.fairness = fairnessIndex(res.norm_ipc);
-
-    // Conservation audit: prove every generated request retired.
-    // Fault-injection runs deliberately corrupt the pipeline; their
-    // leaks are the experiment, not a simulator bug.
-    if (spec.faults.empty())
-        gpu.audit();
-    return res;
+    return *engine_->concurrent(cfg_, cycles_, workload, spec);
 }
 
 } // namespace ckesim

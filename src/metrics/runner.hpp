@@ -1,82 +1,45 @@
 /**
  * @file
- * Experiment runner: executes isolated and concurrent simulations,
- * caches isolated baselines, and assembles the paper's evaluated
- * scheme combinations (Section 4's WS / WS-QBMI / WS-DMIL /
+ * Experiment runner: a thin façade over the SweepEngine that executes
+ * isolated and concurrent simulations against one GpuConfig, shares
+ * the engine's memoized isolated baselines, and assembles the paper's
+ * evaluated scheme combinations (Section 4's WS / WS-QBMI / WS-DMIL /
  * SMK-(P+W) / SMK-(P+QBMI) / SMK-(P+DMIL) / Spatial).
  */
 
 #ifndef CKESIM_METRICS_RUNNER_HPP
 #define CKESIM_METRICS_RUNNER_HPP
 
-#include <map>
+#include <memory>
 #include <string>
-#include <vector>
 
-#include "gpu.hpp"
-#include "kernels/workload.hpp"
-#include "sim/config.hpp"
+#include "metrics/sim_job.hpp"
+#include "metrics/sweep_engine.hpp"
 
 namespace ckesim {
 
-/** The scheme combinations the paper evaluates by name. */
-enum class NamedScheme {
-    Spatial,      ///< spatial multitasking reference
-    Leftover,     ///< early CKE left-over policy
-    WS,           ///< dynamic Warped-Slicer TB partition
-    WS_RBMI,      ///< + round-robin BMI
-    WS_QBMI,      ///< + quota-based BMI
-    WS_DMIL,      ///< + dynamic MIL
-    WS_QBMI_DMIL, ///< + both (Section 3.4)
-    WS_UCP,       ///< + UCP L1D partitioning (Section 3.1)
-    SMK_PW,       ///< SMK partition + warp quota (SMK-(P+W))
-    SMK_P_QBMI,   ///< SMK partition + QBMI
-    SMK_P_DMIL,   ///< SMK partition + DMIL
-};
-
-/** Short display name, e.g. "WS-DMIL". */
-std::string schemeName(NamedScheme scheme);
-
-/** Baseline from an isolated single-kernel run. */
-struct IsolatedResult
-{
-    double ipc = 0.0;         ///< GPU-wide warp instructions / cycle
-    double ipc_per_sm = 0.0;
-    KernelStats stats;
-    SmStats sm_stats;
-    int max_tbs = 0;          ///< TBs per SM the run used
-};
-
-/** Everything a concurrent run reports. */
-struct ConcurrentResult
-{
-    std::string workload_name;
-    std::vector<double> ipc;      ///< per kernel
-    std::vector<double> norm_ipc; ///< vs isolated
-    double weighted_speedup = 0.0;
-    double antt_value = 0.0;
-    double fairness = 0.0;
-    double theoretical_ws = 0.0;  ///< WS prediction (WS modes)
-    std::vector<KernelStats> stats;
-    SmStats sm_stats;
-    std::vector<int> partition;   ///< chosen per-SM TB counts
-};
-
 /**
- * Runs simulations against one GpuConfig, caching isolated baselines
- * (keyed by kernel, TB limit and cycle budget).
+ * Runs simulations against one GpuConfig. All execution and caching
+ * is delegated to a SweepEngine; by default the Runner owns a serial
+ * (1-job) engine, and callers that want parallelism or a shared memo
+ * cache pass their own.
  */
 class Runner
 {
   public:
-    explicit Runner(const GpuConfig &cfg, Cycle cycles = 100000);
+    explicit Runner(const GpuConfig &cfg, Cycle cycles = 100000,
+                    std::shared_ptr<SweepEngine> engine = nullptr);
 
     const GpuConfig &config() const { return cfg_; }
     Cycle cycles() const { return cycles_; }
 
+    /** The engine executing (and memoizing) this runner's jobs. */
+    SweepEngine &engine() { return *engine_; }
+
     /**
      * Isolated run of one kernel (full GPU). @p tb_limit caps the
-     * per-SM TB count; 0 = the kernel's occupancy maximum.
+     * per-SM TB count; 0 = the kernel's occupancy maximum. The
+     * reference stays valid for the engine's lifetime.
      */
     const IsolatedResult &isolated(const KernelProfile &prof,
                                    int tb_limit = 0);
@@ -95,13 +58,13 @@ class Runner
     ConcurrentResult
     run(const Workload &workload, NamedScheme named)
     {
-        return run(workload, scheme(named, workload));
+        return *engine_->concurrent(cfg_, cycles_, workload, named);
     }
 
   private:
     GpuConfig cfg_;
     Cycle cycles_;
-    std::map<std::string, IsolatedResult> iso_cache_;
+    std::shared_ptr<SweepEngine> engine_;
 };
 
 } // namespace ckesim

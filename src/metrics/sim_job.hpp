@@ -1,0 +1,180 @@
+/**
+ * @file
+ * SimJob: one simulation as a value — configuration + workload +
+ * scheme (+ optional time-series capture) mapping deterministically to
+ * a SimResult. Jobs are content-hashable so the SweepEngine can memoize
+ * and share identical runs (isolated baselines, scalability points,
+ * Req/Minst profiles) across every scheme in a sweep, and are fully
+ * self-contained so N jobs can execute on N threads.
+ */
+
+#ifndef CKESIM_METRICS_SIM_JOB_HPP
+#define CKESIM_METRICS_SIM_JOB_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu.hpp"
+#include "kernels/workload.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+#include "sim/time_series.hpp"
+
+namespace ckesim {
+
+/** The scheme combinations the paper evaluates by name. */
+enum class NamedScheme {
+    Spatial,      ///< spatial multitasking reference
+    Leftover,     ///< early CKE left-over policy
+    WS,           ///< dynamic Warped-Slicer TB partition
+    WS_RBMI,      ///< + round-robin BMI
+    WS_QBMI,      ///< + quota-based BMI
+    WS_DMIL,      ///< + dynamic MIL
+    WS_QBMI_DMIL, ///< + both (Section 3.4)
+    WS_UCP,       ///< + UCP L1D partitioning (Section 3.1)
+    SMK_PW,       ///< SMK partition + warp quota (SMK-(P+W))
+    SMK_P_QBMI,   ///< SMK partition + QBMI
+    SMK_P_DMIL,   ///< SMK partition + DMIL
+};
+
+/** Short display name, e.g. "WS-DMIL". */
+std::string schemeName(NamedScheme scheme);
+
+/** Memory-side summary signals (L2 + DRAM) of one run. */
+struct MemSideStats
+{
+    double l2_miss_rate = 0.0;
+    double dram_row_hit_rate = 0.0; ///< mean over channels
+};
+
+/** Baseline from an isolated single-kernel run. */
+struct IsolatedResult
+{
+    double ipc = 0.0;         ///< GPU-wide warp instructions / cycle
+    double ipc_per_sm = 0.0;
+    KernelStats stats;
+    SmStats sm_stats;
+    int max_tbs = 0;          ///< TBs per SM the run used
+    MemSideStats mem;
+
+    /** Captured samplers, one per kernel, when the job asked. */
+    std::vector<TimeSeries> issue_series;
+    std::vector<TimeSeries> l1d_series;
+};
+
+/** Everything a concurrent run reports. */
+struct ConcurrentResult
+{
+    std::string workload_name;
+    std::vector<double> ipc;      ///< per kernel
+    std::vector<double> norm_ipc; ///< vs isolated
+    double weighted_speedup = 0.0;
+    double antt_value = 0.0;
+    double fairness = 0.0;
+    double theoretical_ws = 0.0;  ///< WS prediction (WS modes)
+    std::vector<KernelStats> stats;
+    SmStats sm_stats;
+    std::vector<int> partition;   ///< chosen per-SM TB counts
+    MemSideStats mem;
+
+    /** Captured samplers, one per kernel, when the job asked. */
+    std::vector<TimeSeries> issue_series;
+    std::vector<TimeSeries> l1d_series;
+};
+
+/** Optional per-kernel event sampling attached to a job's run. */
+struct SeriesRequest
+{
+    bool issue = false; ///< warp instructions issued
+    bool l1d = false;   ///< L1D accesses
+    Cycle interval = 1000;
+};
+
+/** What a SimJob simulates. */
+enum class JobKind {
+    Isolated,   ///< one kernel, full GPU, optional TB cap
+    Concurrent, ///< a CKE workload under one scheme
+};
+
+/**
+ * One simulation as a value. Build via the factories; equality of
+ * key() implies bit-identical results (all inputs are hashed; the
+ * display label is not).
+ */
+struct SimJob
+{
+    JobKind kind = JobKind::Concurrent;
+    GpuConfig cfg;
+    Cycle cycles = 100000; ///< measurement cycles (profiling extra)
+    Workload workload;     ///< exactly one kernel for Isolated jobs
+
+    /** Isolated jobs: per-SM TB cap; 0 = occupancy maximum. */
+    int tb_limit = 0;
+
+    /** Concurrent jobs: a named scheme or an explicit spec. */
+    bool use_named = false;
+    NamedScheme named = NamedScheme::WS;
+    SchemeSpec spec;
+
+    SeriesRequest series;
+
+    /** Display-only tag for sweep output; never hashed. */
+    std::string label;
+
+    static SimJob isolated(const GpuConfig &cfg, Cycle cycles,
+                           const KernelProfile &prof,
+                           int tb_limit = 0);
+    static SimJob concurrent(const GpuConfig &cfg, Cycle cycles,
+                             const Workload &workload,
+                             NamedScheme named);
+    static SimJob concurrent(const GpuConfig &cfg, Cycle cycles,
+                             const Workload &workload,
+                             const SchemeSpec &spec);
+
+    /** Content hash over every result-affecting input. */
+    std::uint64_t key() const;
+
+    /** label when set, else a generated "kind:workload:scheme" tag. */
+    std::string describe() const;
+};
+
+/**
+ * Result of one job: exactly one pointer is set, matching the job's
+ * kind. Results are immutable and shared between the memo cache and
+ * every sweep that hits it.
+ */
+struct SimResult
+{
+    std::shared_ptr<const IsolatedResult> isolated;
+    std::shared_ptr<const ConcurrentResult> concurrent;
+};
+
+// ---- content hashing ---------------------------------------------------
+
+/**
+ * Field-order-sensitive FNV-1a accumulator. Structs are hashed field
+ * by field (never by memcpy — padding bytes are indeterminate).
+ */
+class JobHasher
+{
+  public:
+    JobHasher &i(long long v);            ///< any integer/enum/bool
+    JobHasher &d(double v);               ///< by bit pattern
+    JobHasher &s(const std::string &v);
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+void hashInto(JobHasher &h, const GpuConfig &cfg);
+void hashInto(JobHasher &h, const SchemeSpec &spec);
+void hashInto(JobHasher &h, const KernelProfile &prof);
+void hashInto(JobHasher &h, const Workload &workload);
+
+} // namespace ckesim
+
+#endif // CKESIM_METRICS_SIM_JOB_HPP

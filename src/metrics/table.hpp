@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared console-table formatting and class-grouped geomean
+ * aggregation (paper style) used by every bench binary and example:
+ * ClassAggregate, the scheme-by-class geomean matrix most figures
+ * print, and a generic labelled-row table.
+ */
+
+#ifndef CKESIM_METRICS_TABLE_HPP
+#define CKESIM_METRICS_TABLE_HPP
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kernels/workload.hpp"
+
+namespace ckesim {
+
+/** Accumulates per-class values and reports geomeans (paper style). */
+class ClassAggregate
+{
+  public:
+    void add(WorkloadClass cls, double value);
+
+    /** Geomean within one class (0 when empty). */
+    double geomean(WorkloadClass cls) const;
+
+    /** Geomean over everything added ("ALL" columns). */
+    double geomeanAll() const;
+
+    int count(WorkloadClass cls) const;
+
+  private:
+    std::map<WorkloadClass, std::vector<double>> by_class_;
+    std::vector<double> all_;
+};
+
+/** "C+C" / "C+M" / "M+M". */
+const char *classLabel(WorkloadClass cls);
+
+/** Align-right number formatting for simple console tables. */
+std::string fmt(double v, int width = 7, int precision = 3);
+
+/** Print a header line followed by an underline of '-'. */
+void printHeader(const std::string &title);
+
+/**
+ * The table most figures print: one column per scheme, one row per
+ * workload class (C+C / C+M / M+M) plus an ALL row, each cell the
+ * geomean of the values added to that (class, column). Optionally
+ * normalizes every row to one base column (the paper's
+ * "normalized to WS" panels).
+ */
+class ClassTable
+{
+  public:
+    ClassTable(std::string title, std::vector<std::string> columns,
+               int col_width = 10);
+
+    void add(WorkloadClass cls, std::size_t col, double value);
+
+    double geomean(WorkloadClass cls, std::size_t col) const;
+    double geomeanAll(std::size_t col) const;
+
+    /** @p normalize_to_col < 0 prints raw geomeans. */
+    void print(int normalize_to_col = -1) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    int col_width_;
+    std::vector<ClassAggregate> cells_;
+};
+
+/**
+ * Generic labelled-row table for figure panels that don't group by
+ * workload class (e.g. the 3-kernel classes of Figure 14).
+ */
+class TextTable
+{
+  public:
+    TextTable(std::string title, std::string row_header,
+              std::vector<std::string> columns, int col_width = 10,
+              int precision = 3);
+
+    void addRow(std::string label, std::vector<double> values);
+
+    void print() const;
+
+  private:
+    std::string title_;
+    std::string row_header_;
+    std::vector<std::string> columns_;
+    int col_width_;
+    int precision_;
+    std::vector<std::pair<std::string, std::vector<double>>> rows_;
+};
+
+} // namespace ckesim
+
+#endif // CKESIM_METRICS_TABLE_HPP
