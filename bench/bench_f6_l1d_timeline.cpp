@@ -19,7 +19,7 @@ runFigure6(BenchReport &report)
     SweepEngine &engine = benchEngine();
     const GpuConfig cfg = benchConfig();
     const Cycle cycles = benchCycles();
-    const Cycle interval = 1000;
+    const Cycle interval{1000};
 
     auto print_series = [&](const char *title,
                             const std::vector<const TimeSeries *> &ts,
@@ -67,10 +67,10 @@ runFigure6(BenchReport &report)
     const TimeSeries &sv_cke = results[2].concurrent->l1d_series[1];
 
     print_series("Figure 6(a,b): L1D accesses / 1K cycles, isolated",
-                 {&bp_iso, &sv_iso}, {"bp", "sv"}, 0);
+                 {&bp_iso, &sv_iso}, {"bp", "sv"}, Cycle{});
     print_series("Figure 6(c): L1D accesses / 1K cycles, bp+sv "
                  "concurrent (WS)",
-                 {&bp_cke, &sv_cke}, {"bp", "sv"}, 0);
+                 {&bp_cke, &sv_cke}, {"bp", "sv"}, Cycle{});
 
     // Aggregate starvation statistic over the measurement phase.
     const Cycle window = ws_spec.ws_profile_window;

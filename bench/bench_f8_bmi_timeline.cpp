@@ -24,7 +24,7 @@ runFigure8(BenchReport &report)
     const GpuConfig cfg = benchConfig();
     const Cycle cycles = benchCycles();
     const Workload w = makeWorkload({"bp", "sv"});
-    const Cycle interval = 1000;
+    const Cycle interval{1000};
 
     // One job per scheme captures the issue series AND the metrics in
     // a single simulation (the pre-engine code ran each scheme twice).

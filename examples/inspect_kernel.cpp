@@ -32,7 +32,7 @@ main(int argc, char **argv)
 {
     const std::string name = argc > 1 ? argv[1] : "bp";
     const Cycle cycles =
-        argc > 2 ? static_cast<Cycle>(std::atol(argv[2])) : 60000;
+        argc > 2 ? Cycle{std::atol(argv[2])} : Cycle{60000};
     const int num_sms = argc > 3 ? std::atoi(argv[3]) : 8;
 
     GpuConfig cfg;
@@ -75,7 +75,7 @@ main(int argc, char **argv)
                 prof.warpsPerTb(cfg.sm.simd_width),
                 prof.regs_per_thread, prof.smem_per_tb);
     std::printf("cycles %llu  sms %d\n",
-                static_cast<unsigned long long>(cycles), num_sms);
+                static_cast<unsigned long long>(cycles.get()), num_sms);
     std::printf("IPC (gpu-wide)        %8.3f\n", ipc);
     std::printf("instr mix: alu %llu sfu %llu smem %llu mem %llu\n",
                 (unsigned long long)k.alu_instructions,

@@ -31,7 +31,7 @@ main(int argc, char **argv)
 {
     const std::string base = argc > 1 ? argv[1] : "bp";
     const Cycle cycles =
-        argc > 2 ? static_cast<Cycle>(std::atol(argv[2])) : 40000;
+        argc > 2 ? Cycle{std::atol(argv[2])} : Cycle{40000};
 
     GpuConfig cfg; // the paper's Table 1 machine
     SweepEngine engine(jobsFromEnv());
@@ -71,7 +71,7 @@ main(int argc, char **argv)
     std::printf("co-run partners for '%s' under WS-DMIL, best "
                 "first (%llu cycles, %d SMs):\n\n",
                 anchor.name.c_str(),
-                static_cast<unsigned long long>(cycles),
+                static_cast<unsigned long long>(cycles.get()),
                 cfg.num_sms);
     std::printf("%-8s %-5s %8s %8s %8s   %s\n", "partner", "class",
                 "WS", "ANTT", "fair", "TB partition");

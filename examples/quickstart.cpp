@@ -32,7 +32,7 @@ main(int argc, char **argv)
     const std::string ka = argc > 1 ? argv[1] : "bp";
     const std::string kb = argc > 2 ? argv[2] : "sv";
     const Cycle cycles =
-        argc > 3 ? static_cast<Cycle>(std::atol(argv[3])) : 60000;
+        argc > 3 ? Cycle{std::atol(argv[3])} : Cycle{60000};
     const int num_sms = argc > 4 ? std::atoi(argv[4]) : 8;
 
     GpuConfig cfg;

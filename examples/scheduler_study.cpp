@@ -30,7 +30,7 @@ main(int argc, char **argv)
     const std::string ka = argc > 1 ? argv[1] : "bp";
     const std::string kb = argc > 2 ? argv[2] : "ks";
     const Cycle cycles =
-        argc > 3 ? static_cast<Cycle>(std::atol(argv[3])) : 40000;
+        argc > 3 ? Cycle{std::atol(argv[3])} : Cycle{40000};
     const Workload w = makeWorkload({ka, kb});
 
     std::printf("workload %s: WS vs WS-DMIL across sensitivity "

@@ -30,10 +30,10 @@ IssueController::IssueController(const IssuePolicyConfig &cfg,
                                             << " kernels (supported: 1.."
                                             << kMaxKernelsPerSm << ")");
     replenishQuotas();
-    for (int k = 0; k < num_kernels_; ++k) {
-        warp_quota_left_[static_cast<std::size_t>(k)] =
-            static_cast<std::int64_t>(
-                cfg_.warp_quotas[static_cast<std::size_t>(k)]);
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(num_kernels_); ++i) {
+        warp_quota_left_[i] =
+            static_cast<std::int64_t>(cfg_.warp_quotas[i]);
     }
 }
 
@@ -42,15 +42,16 @@ IssueController::replenishQuotas()
 {
     std::vector<double> rpm;
     rpm.reserve(static_cast<std::size_t>(num_kernels_));
-    for (int k = 0; k < num_kernels_; ++k)
-        rpm.push_back(rpm_[static_cast<std::size_t>(k)].value());
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(num_kernels_); ++i)
+        rpm.push_back(rpm_[i].value());
     const std::vector<int> fresh = qbmiQuotas(rpm);
     // The paper adds the new set to the current values so a kernel at
     // zero can still issue when no co-runner has a ready memory
     // instruction.
-    for (int k = 0; k < num_kernels_; ++k)
-        quota_[static_cast<std::size_t>(k)] +=
-            fresh[static_cast<std::size_t>(k)];
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(num_kernels_); ++i)
+        quota_[i] += fresh[i];
 }
 
 void
@@ -61,8 +62,9 @@ IssueController::beginCycle(
 
     if (cfg_.bmi == BmiMode::QBMI) {
         bool depleted = false;
-        for (int k = 0; k < num_kernels_; ++k)
-            if (quota_[static_cast<std::size_t>(k)] <= 0)
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(num_kernels_); ++i)
+            if (quota_[i] <= 0)
                 depleted = true;
         if (depleted)
             replenishQuotas();
@@ -76,10 +78,11 @@ IssueController::beginCycle(
         // (the quota maximum) must be admitted.
         bool demand = false;
         bool admitted = false;
-        for (int k = 0; k < num_kernels_; ++k) {
-            if (!mem_demand_[static_cast<std::size_t>(k)])
+        for (int ki = 0; ki < num_kernels_; ++ki) {
+            const KernelId k{ki};
+            if (!mem_demand_[k.idx()])
                 continue;
-            if (inflight_[static_cast<std::size_t>(k)] >= milLimit(k))
+            if (inflight_[k.idx()] >= milLimit(k))
                 continue;
             demand = true;
             if (admitMemIssue(k))
@@ -93,15 +96,16 @@ IssueController::beginCycle(
 
     if (cfg_.warp_quota_enabled) {
         bool all_spent = true;
-        for (int k = 0; k < num_kernels_; ++k)
-            if (warp_quota_left_[static_cast<std::size_t>(k)] > 0)
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(num_kernels_); ++i)
+            if (warp_quota_left_[i] > 0)
                 all_spent = false;
         ++quota_stall_cycles_;
         if (all_spent || quota_stall_cycles_ > kWarpQuotaStallReset) {
-            for (int k = 0; k < num_kernels_; ++k) {
-                warp_quota_left_[static_cast<std::size_t>(k)] =
-                    static_cast<std::int64_t>(
-                        cfg_.warp_quotas[static_cast<std::size_t>(k)]);
+            for (std::size_t i = 0;
+                 i < static_cast<std::size_t>(num_kernels_); ++i) {
+                warp_quota_left_[i] =
+                    static_cast<std::int64_t>(cfg_.warp_quotas[i]);
             }
             quota_stall_cycles_ = 0;
         }
@@ -113,14 +117,14 @@ IssueController::admitAnyIssue(KernelId k) const
 {
     if (!cfg_.warp_quota_enabled)
         return true;
-    return warp_quota_left_[static_cast<std::size_t>(k)] > 0;
+    return warp_quota_left_[k.idx()] > 0;
 }
 
 bool
 IssueController::admitMemIssue(KernelId k) const
 {
     // MIL: cap in-flight memory instructions.
-    if (inflight_[static_cast<std::size_t>(k)] >= milLimit(k))
+    if (inflight_[k.idx()] >= milLimit(k))
         return false;
 
     switch (cfg_.bmi) {
@@ -130,12 +134,10 @@ IssueController::admitMemIssue(KernelId k) const
         // Loose round robin: the next issuable demanding kernel at or
         // after the pointer goes first (MIL-frozen kernels skipped).
         for (int i = 0; i < num_kernels_; ++i) {
-            const int cand = (rr_next_ + i) % num_kernels_;
-            if (!mem_demand_[static_cast<std::size_t>(cand)])
+            const KernelId cand{(rr_next_ + i) % num_kernels_};
+            if (!mem_demand_[cand.idx()])
                 continue;
-            if (cand != k &&
-                inflight_[static_cast<std::size_t>(cand)] >=
-                    milLimit(cand))
+            if (cand != k && inflight_[cand.idx()] >= milLimit(cand))
                 continue;
             return cand == k;
         }
@@ -145,15 +147,14 @@ IssueController::admitMemIssue(KernelId k) const
         // Highest current quota among demanding kernels goes first.
         // Kernels frozen by their MIL limit are not competitors: they
         // cannot issue this cycle, so they must not block others.
-        const int mine = quota_[static_cast<std::size_t>(k)];
-        for (int other = 0; other < num_kernels_; ++other) {
-            if (other == k ||
-                !mem_demand_[static_cast<std::size_t>(other)])
+        const int mine = quota_[k.idx()];
+        for (int oi = 0; oi < num_kernels_; ++oi) {
+            const KernelId other{oi};
+            if (other == k || !mem_demand_[other.idx()])
                 continue;
-            if (inflight_[static_cast<std::size_t>(other)] >=
-                milLimit(other))
+            if (inflight_[other.idx()] >= milLimit(other))
                 continue;
-            if (quota_[static_cast<std::size_t>(other)] > mine)
+            if (quota_[other.idx()] > mine)
                 return false;
         }
         return true;
@@ -167,27 +168,27 @@ IssueController::onInstrIssued(KernelId k)
 {
     quota_stall_cycles_ = 0;
     if (cfg_.warp_quota_enabled)
-        --warp_quota_left_[static_cast<std::size_t>(k)];
+        --warp_quota_left_[k.idx()];
 }
 
 void
 IssueController::onMemInstrIssued(KernelId k)
 {
-    const auto i = static_cast<std::size_t>(k);
+    const auto i = k.idx();
     ++inflight_[i];
     milg_[i].observeInflight(inflight_[i]);
     if (cfg_.bmi == BmiMode::QBMI) {
         --quota_[i];
         rpm_[i].onMemInstr();
     } else if (cfg_.bmi == BmiMode::RBMI) {
-        rr_next_ = (k + 1) % num_kernels_;
+        rr_next_ = (k.get() + 1) % num_kernels_;
     }
 }
 
 void
 IssueController::onMemInstrCompleted(KernelId k)
 {
-    const auto i = static_cast<std::size_t>(k);
+    const auto i = k.idx();
     SIM_INVARIANT(inflight_[i] > 0, policyCtx(k),
                   "memory-instruction completion with zero in flight "
                      "(duplicate completion or wrong kernel)");
@@ -197,7 +198,7 @@ IssueController::onMemInstrCompleted(KernelId k)
 void
 IssueController::onRequestServiced(KernelId k)
 {
-    const auto i = static_cast<std::size_t>(k);
+    const auto i = k.idx();
     if (cfg_.bmi == BmiMode::QBMI)
         rpm_[i].onRequest();
     if (cfg_.mil == MilMode::Dynamic)
@@ -208,15 +209,16 @@ void
 IssueController::onRsFail(KernelId k)
 {
     if (cfg_.mil == MilMode::Dynamic)
-        milg_[static_cast<std::size_t>(k)].onRsFail();
+        milg_[k.idx()].onRsFail();
 }
 
 void
 IssueController::setMilBypass(bool bypass)
 {
     if (mil_bypass_ && !bypass) {
-        for (int k = 0; k < num_kernels_; ++k)
-            milg_[static_cast<std::size_t>(k)].reset();
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(num_kernels_); ++i)
+            milg_[i].reset();
     }
     mil_bypass_ = bypass;
 }
@@ -224,7 +226,7 @@ IssueController::setMilBypass(bool bypass)
 int
 IssueController::milLimit(KernelId k) const
 {
-    const auto i = static_cast<std::size_t>(k);
+    const auto i = k.idx();
     if (mil_bypass_)
         return kUnlimited;
     if (cfg_.mil == MilMode::Dynamic && mil_override_[i] > 0)

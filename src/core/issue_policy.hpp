@@ -85,7 +85,7 @@ class IssueController
     // ---- inspection ----------------------------------------------------
     int inflight(KernelId k) const
     {
-        return inflight_[static_cast<std::size_t>(k)];
+        return inflight_[k.idx()];
     }
     /** Effective in-flight limit for kernel @p k (large = unlimited). */
     int milLimit(KernelId k) const;
@@ -106,15 +106,15 @@ class IssueController
     void
     overrideMilLimit(KernelId k, int limit)
     {
-        mil_override_[static_cast<std::size_t>(k)] = limit;
+        mil_override_[k.idx()] = limit;
     }
     int qbmiQuota(KernelId k) const
     {
-        return quota_[static_cast<std::size_t>(k)];
+        return quota_[k.idx()];
     }
     const Milg &milg(KernelId k) const
     {
-        return milg_[static_cast<std::size_t>(k)];
+        return milg_[k.idx()];
     }
     int numKernels() const { return num_kernels_; }
 

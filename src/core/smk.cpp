@@ -78,7 +78,7 @@ smkWarpQuotas(const std::vector<double> &isolated_ipc,
     for (std::size_t i = 0;
          i < isolated_ipc.size() && i < quotas.size(); ++i) {
         const double q = std::max(isolated_ipc[i], 0.05) *
-                         static_cast<double>(epoch_cycles);
+                         static_cast<double>(epoch_cycles.get());
         quotas[i] = static_cast<std::uint64_t>(std::llround(q));
         if (quotas[i] == 0)
             quotas[i] = 1;

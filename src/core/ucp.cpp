@@ -15,7 +15,7 @@ UmonMonitor::UmonMonitor(int num_sets, int assoc, int sample_shift)
 }
 
 void
-UmonMonitor::access(Addr line_number)
+UmonMonitor::access(LineAddr line_number)
 {
     const int set = xorSetIndex(line_number, num_sets_);
     if (set & ((1 << sample_shift_) - 1))

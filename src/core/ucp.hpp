@@ -33,7 +33,7 @@ class UmonMonitor
     UmonMonitor(int num_sets, int assoc, int sample_shift = 2);
 
     /** Observe a serviced access to @p line_number. */
-    void access(Addr line_number);
+    void access(LineAddr line_number);
 
     /** Hits at each LRU stack position (way utility). */
     const std::vector<std::uint64_t> &wayHits() const
@@ -53,7 +53,7 @@ class UmonMonitor
     int assoc_;
     int sample_shift_;
     /** shadow_tags_[sampled_set] = MRU-first line list. */
-    std::vector<std::vector<Addr>> shadow_tags_;
+    std::vector<std::vector<LineAddr>> shadow_tags_;
     std::vector<std::uint64_t> way_hits_;
     std::uint64_t misses_ = 0;
 };

@@ -30,7 +30,7 @@ void
 SchemeSpec::validate(const GpuConfig &cfg) const
 {
     if (smk_warp_quota) {
-        if (smk_epoch_cycles < 1)
+        if (smk_epoch_cycles < Cycle{1})
             schemeFail("smk_epoch_cycles", "must be >= 1");
         if (isolated_ipc_per_sm.empty())
             schemeFail("isolated_ipc_per_sm",
@@ -41,13 +41,13 @@ SchemeSpec::validate(const GpuConfig &cfg) const
                            "entries must be non-negative");
         }
     }
-    if (ucp && ucp_interval < 1)
+    if (ucp && ucp_interval < Cycle{1})
         schemeFail("ucp_interval", "must be >= 1");
     if (partition == PartitionScheme::WarpedSlicer &&
-        oracle_curves.empty() && ws_profile_window < 1)
+        oracle_curves.empty() && ws_profile_window < Cycle{1})
         schemeFail("ws_profile_window",
                    "dynamic Warped-Slicer needs a positive window");
-    if (global_dmil && global_dmil_interval < 1)
+    if (global_dmil && global_dmil_interval < Cycle{1})
         schemeFail("global_dmil_interval", "must be >= 1");
     for (std::size_t k = 0; k < smil_limits.size(); ++k) {
         if (smil_limits[k] < 0)
@@ -95,7 +95,7 @@ Gpu::Gpu(const GpuConfig &cfg, const Workload &workload,
 
     sms_.reserve(static_cast<std::size_t>(cfg.num_sms));
     for (int s = 0; s < cfg.num_sms; ++s) {
-        sms_.push_back(std::make_unique<Sm>(cfg, s, mem_,
+        sms_.push_back(std::make_unique<Sm>(cfg, SmId{s}, mem_,
                                             workload.kernels, policy));
     }
 
@@ -106,12 +106,12 @@ Gpu::Gpu(const GpuConfig &cfg, const Workload &workload,
             std::max(workload.numKernels(), 1);
         for (auto &sm : sms_)
             for (int k = 0; k < workload.numKernels(); ++k)
-                sm->l1d().setMshrQuota(k, quota);
+                sm->l1d().setMshrQuota(KernelId{k}, quota);
     }
     for (int k = 0; k < workload.numKernels(); ++k) {
         if (spec.bypass_l1d[static_cast<std::size_t>(k)])
             for (auto &sm : sms_)
-                sm->l1d().setBypass(k, true);
+                sm->l1d().setBypass(KernelId{k}, true);
     }
 
     if (spec.ucp) {
@@ -140,12 +140,11 @@ Gpu::Gpu(const GpuConfig &cfg, const Workload &workload,
 Gpu::~Gpu() = default;
 
 void
-Gpu::accessTap(void *opaque, KernelId k, Addr line)
+Gpu::accessTap(void *opaque, KernelId k, LineAddr line)
 {
     Tap *tap = static_cast<Tap *>(opaque);
-    tap->gpu->umons_[static_cast<std::size_t>(tap->sm)]
-        [static_cast<std::size_t>(k)]
-            .access(line);
+    tap->gpu->umons_[static_cast<std::size_t>(tap->sm)][k.idx()]
+        .access(line);
 }
 
 void
@@ -158,8 +157,8 @@ Gpu::applyQuotas(const QuotaMatrix &quotas)
     for (int s = 0; s < numSms(); ++s)
         for (int k = 0; k < numKernels(); ++k)
             sms_[static_cast<std::size_t>(s)]->setTbQuota(
-                k, quotas[static_cast<std::size_t>(s)]
-                         [static_cast<std::size_t>(k)]);
+                KernelId{k}, quotas[static_cast<std::size_t>(s)]
+                                   [static_cast<std::size_t>(k)]);
 }
 
 void
@@ -248,9 +247,10 @@ Gpu::finishProfiling()
         if (k < 0)
             continue;
         const double ipc =
-            static_cast<double>(
-                sms_[s]->kernelStats(k).issued_instructions) /
-            static_cast<double>(spec_.ws_profile_window);
+            static_cast<double>(sms_[s]
+                                    ->kernelStats(KernelId{k})
+                                    .issued_instructions) /
+            static_cast<double>(spec_.ws_profile_window.get());
         curves[static_cast<std::size_t>(k)].addPoint(count, ipc);
     }
 
@@ -273,12 +273,14 @@ Gpu::ucpRepartition()
         std::vector<const UmonMonitor *> mons;
         for (int k = 0; k < numKernels(); ++k)
             mons.push_back(&umons_[s][static_cast<std::size_t>(k)]);
+
         const std::vector<int> alloc =
             ucpLookaheadPartition(mons, assoc);
         int first = 0;
         for (int k = 0; k < numKernels(); ++k) {
             sms_[s]->l1d().restrictKernelWays(
-                k, first, alloc[static_cast<std::size_t>(k)]);
+                KernelId{k}, first,
+                alloc[static_cast<std::size_t>(k)]);
             first += alloc[static_cast<std::size_t>(k)];
         }
         for (auto &m : umons_[s])
@@ -293,14 +295,15 @@ Gpu::run(Cycle cycles)
     for (; now_ < end; ++now_) {
         if (profiling_ && now_ == profile_end_)
             finishProfiling();
-        if (spec_.ucp && now_ > 0 &&
+        if (spec_.ucp && now_ > Cycle{} &&
             now_ % spec_.ucp_interval == 0)
             ucpRepartition();
         if (spec_.global_dmil && spec_.mil == MilMode::Dynamic &&
-            !profiling_ && now_ > 0 &&
+            !profiling_ && now_ > Cycle{} &&
             now_ % spec_.global_dmil_interval == 0) {
             // Broadcast SM 0's MILG decisions to every other SM.
-            for (int k = 0; k < numKernels(); ++k) {
+            for (int ki = 0; ki < numKernels(); ++ki) {
+                const KernelId k{ki};
                 const int limit = sms_[0]->controller().milLimit(k);
                 for (std::size_t s = 1; s < sms_.size(); ++s)
                     sms_[s]->controller().overrideMilLimit(k, limit);
@@ -353,7 +356,7 @@ Gpu::watchdogPoll()
     const int timeout = cfg_.integrity.watchdog_timeout;
     if (timeout <= 0)
         return;
-    if (now_ - last_progress_cycle_ < static_cast<Cycle>(timeout))
+    if (now_ - last_progress_cycle_ < Cycle{timeout})
         return;
     // A machine with nothing resident or in flight is idle, not hung.
     if (!hasPendingWork())
@@ -403,9 +406,8 @@ Gpu::audit()
         return true;
     };
 
-    Cycle spent = 0;
-    const Cycle limit =
-        static_cast<Cycle>(cfg_.integrity.audit_drain_limit);
+    Cycle spent{};
+    const Cycle limit{cfg_.integrity.audit_drain_limit};
     while (spent < limit && !drained()) {
         const Cycle t = now_ + spent;
         for (auto &sm : sms_)
@@ -426,12 +428,13 @@ double
 Gpu::ipc(KernelId k) const
 {
     const Cycle cycles = measuredCycles();
-    if (cycles == 0)
+    if (cycles == Cycle{})
         return 0.0;
     std::uint64_t instrs = 0;
     for (const auto &sm : sms_)
         instrs += sm->kernelStats(k).issued_instructions;
-    return static_cast<double>(instrs) / static_cast<double>(cycles);
+    return static_cast<double>(instrs) /
+           static_cast<double>(cycles.get());
 }
 
 KernelStats

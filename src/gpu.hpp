@@ -47,16 +47,16 @@ struct SchemeSpec
     bool smk_warp_quota = false;
     /** Per-SM isolated IPC per kernel (feeds SMK quotas). */
     std::vector<double> isolated_ipc_per_sm;
-    Cycle smk_epoch_cycles = 2048;
+    Cycle smk_epoch_cycles{2048};
 
     /** UCP L1D way partitioning (Section 3.1 baseline). */
     bool ucp = false;
     /** Repartition period: several UMON refills per measurement
      *  window even in quick (30K-cycle) runs. */
-    Cycle ucp_interval = 5000;
+    Cycle ucp_interval{5000};
 
     /** Dynamic Warped-Slicer online profiling window. */
-    Cycle ws_profile_window = 20000;
+    Cycle ws_profile_window{20000};
     /** When non-empty: static ("oracle") curves, no online window. */
     std::vector<ScalabilityCurve> oracle_curves;
 
@@ -69,7 +69,7 @@ struct SchemeSpec
     /** Global DMIL: broadcast SM 0's MILG limits to all SMs
      *  (requires every SM to run the same kernel pair). */
     bool global_dmil = false;
-    Cycle global_dmil_interval = 1024;
+    Cycle global_dmil_interval{1024};
 
     // ---- integrity layer --------------------------------------------
     /** Injected memory-pipeline faults (see sim/fault.hpp). Used to
@@ -162,7 +162,7 @@ class Gpu
     void applyQuotas(const QuotaMatrix &quotas);
     void finishProfiling();
     void ucpRepartition();
-    static void accessTap(void *opaque, KernelId k, Addr line);
+    static void accessTap(void *opaque, KernelId k, LineAddr line);
 
     // Integrity layer.
     std::uint64_t progressSignature() const;
@@ -179,7 +179,7 @@ class Gpu
 
     // Warped-Slicer state.
     bool profiling_ = false;
-    Cycle profile_end_ = 0;
+    Cycle profile_end_{};
     /** Per SM: (kernel, tb_count) during profiling; kernel<0 = idle. */
     std::vector<std::pair<int, int>> profile_assign_;
     SweetPoint sweet_;
@@ -194,13 +194,13 @@ class Gpu
     std::vector<std::vector<UmonMonitor>> umons_;
     std::vector<Tap> taps_;
 
-    Cycle now_ = 0;
-    Cycle measured_start_ = 0;
+    Cycle now_{};
+    Cycle measured_start_{};
 
     // Integrity state.
     FaultInjector fault_injector_;
     std::uint64_t last_progress_sig_ = 0;
-    Cycle last_progress_cycle_ = 0;
+    Cycle last_progress_cycle_{};
 };
 
 /** Convenience: a standard spec for a named scheme combination. */

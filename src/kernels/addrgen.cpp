@@ -9,9 +9,9 @@ namespace {
 /** Per-kernel-slot address spaces never collide. */
 constexpr int kKernelSpaceShift = 44;
 /** Streaming warps get 16MB private regions. */
-constexpr Addr kStreamRegionBytes = Addr{16} << 20;
+constexpr std::uint64_t kStreamRegionBytes = 16ULL << 20;
 /** Tiled-reuse warps cycle a small 8KB private tile. */
-constexpr Addr kTileRegionBytes = Addr{8} << 10;
+constexpr std::uint64_t kTileRegionBytes = 8ULL << 10;
 /** Reuse draws look back at most this many recently touched lines.
  *  Kept tight: with ~64 warps interleaving on an SM, only the last
  *  couple of a warp's own lines can still be L1-resident. */
@@ -20,45 +20,47 @@ constexpr int kReuseWindow = 2;
 } // namespace
 
 void
-initAddrGen(AddrGenState &st, const KernelProfile &prof, int kernel_slot,
-            std::uint64_t tb_seq, int warp_in_tb, int warps_per_tb,
-            std::uint64_t seed, int line_bytes)
+initAddrGen(AddrGenState &st, const KernelProfile &prof,
+            KernelId kernel, std::uint64_t tb_seq, int warp_in_tb,
+            int warps_per_tb, std::uint64_t seed, int line_bytes)
 {
+    const std::uint64_t slot =
+        static_cast<std::uint64_t>(kernel.get());
     std::uint64_t s = seed;
-    s ^= static_cast<std::uint64_t>(kernel_slot + 1) * 0x9e3779b9ULL;
-    s ^= tb_seq * 0x2545f4914f6cdd1dULL;
-    s ^= static_cast<std::uint64_t>(warp_in_tb + 1) * 0xda3e39cb94b95bdbULL;
+    s ^= (slot + 1) * std::uint64_t{0x9e3779b9};
+    s ^= tb_seq * std::uint64_t{0x2545f4914f6cdd1d};
+    s ^= static_cast<std::uint64_t>(warp_in_tb + 1) *
+         std::uint64_t{0xda3e39cb94b95bdb};
     st.rng = Rng(s);
 
-    const Addr space =
-        static_cast<Addr>(kernel_slot + 1) << kKernelSpaceShift;
+    const std::uint64_t space = (slot + 1) << kKernelSpaceShift;
+    const std::uint64_t lb = static_cast<std::uint64_t>(line_bytes);
 
     // Streaming regions span the profile's footprint (bounded working
     // sets stay L2-resident); tiles are small and warp-local.
-    const Addr region_bytes = prof.pattern == AccessPattern::TiledReuse
-                                  ? kTileRegionBytes
-                                  : std::max<Addr>(prof.footprint_bytes,
-                                                   kTileRegionBytes);
-    st.stream_region_lines =
-        region_bytes / static_cast<Addr>(line_bytes);
+    const std::uint64_t region_bytes =
+        prof.pattern == AccessPattern::TiledReuse
+            ? kTileRegionBytes
+            : std::max<std::uint64_t>(prof.footprint_bytes,
+                                      kTileRegionBytes);
+    st.stream_region_lines = region_bytes / lb;
     const std::uint64_t regions = std::max<std::uint64_t>(
         prof.stream_regions, 1);
     st.stream_base_line =
-        (space + (tb_seq % regions) * kStreamRegionBytes) /
-        static_cast<Addr>(line_bytes);
-    st.stream_stride = static_cast<Addr>(warps_per_tb);
-    st.stream_offset = static_cast<Addr>(warp_in_tb);
+        (space + (tb_seq % regions) * kStreamRegionBytes) / lb;
+    st.stream_stride = static_cast<std::uint64_t>(warps_per_tb);
+    st.stream_offset = static_cast<std::uint64_t>(warp_in_tb);
     st.stream_cursor = 0;
 
-    const Addr fp_bytes = std::max<Addr>(prof.footprint_bytes,
-                                         static_cast<Addr>(line_bytes));
-    st.footprint_lines = fp_bytes / static_cast<Addr>(line_bytes);
-    const Addr fp_space = space + (Addr{1} << (kKernelSpaceShift - 1));
+    const std::uint64_t fp_bytes =
+        std::max<std::uint64_t>(prof.footprint_bytes, lb);
+    st.footprint_lines = fp_bytes / lb;
+    const std::uint64_t fp_space =
+        space + (1ULL << (kKernelSpaceShift - 1));
     const std::uint64_t fp_regions =
         std::max<std::uint64_t>(prof.footprint_regions, 1);
     st.footprint_base_line =
-        (fp_space + (tb_seq % fp_regions) * fp_bytes) /
-        static_cast<Addr>(line_bytes);
+        (fp_space + (tb_seq % fp_regions) * fp_bytes) / lb;
 
     st.ring_count = 0;
     st.ring_pos = 0;
@@ -73,7 +75,7 @@ generateAccess(AddrGenState &st, const KernelProfile &prof,
 
     const int r = std::max(1, std::min(prof.req_per_minst, simd_width));
     // Collect the r line numbers this instruction touches.
-    Addr lines[32];
+    std::uint64_t lines[32];
 
     // Reuse is decided per line: each of the r requests independently
     // revisits a recently touched line with probability reuse_prob.
@@ -91,17 +93,18 @@ generateAccess(AddrGenState &st, const KernelProfile &prof,
                                 std::max(kReuseWindow, 2 * r));
 
     // Fresh-line generators advance per line.
-    Addr random_run_next = 0;
+    std::uint64_t random_run_next = 0;
     bool random_run_live = false;
 
-    auto fresh_line = [&]() -> Addr {
+    auto fresh_line = [&]() -> std::uint64_t {
         switch (prof.pattern) {
           case AccessPattern::Streaming:
           case AccessPattern::TiledReuse: {
             // A TB's warps jointly stream one contiguous region:
             // step s of warp w touches line s*warps_per_tb + w.
-            const Addr step = st.stream_cursor * st.stream_stride +
-                              st.stream_offset;
+            const std::uint64_t step =
+                st.stream_cursor * st.stream_stride +
+                st.stream_offset;
             ++st.stream_cursor;
             return st.stream_base_line +
                    (step % st.stream_region_lines);
@@ -151,10 +154,11 @@ generateAccess(AddrGenState &st, const KernelProfile &prof,
     thread_addrs.reserve(static_cast<std::size_t>(simd_width));
     for (int t = 0; t < simd_width; ++t) {
         const int li = t * r / simd_width;
-        const Addr byte_off =
-            static_cast<Addr>((t * 4) % line_bytes);
+        const std::uint64_t byte_off =
+            static_cast<std::uint64_t>((t * 4) % line_bytes);
         thread_addrs.push_back(
-            lines[li] * static_cast<Addr>(line_bytes) + byte_off);
+            Addr{lines[li] * static_cast<std::uint64_t>(line_bytes) +
+                 byte_off});
     }
 }
 

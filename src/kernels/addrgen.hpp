@@ -31,14 +31,16 @@ struct AddrGenState
     static constexpr int kRingSize = 192;
 
     Rng rng{1};
-    Addr stream_cursor = 0;      ///< next step for streaming patterns
-    Addr stream_base_line = 0;   ///< per-TB region base
-    Addr stream_region_lines = 0;
-    Addr stream_stride = 1;      ///< warps per TB (interleave factor)
-    Addr stream_offset = 0;      ///< warp index within the TB
-    Addr footprint_base_line = 0; ///< per-TB footprint base
-    Addr footprint_lines = 1;
-    std::array<Addr, kRingSize> ring{};
+    /** Raw line-number state: the generator computes line numbers and
+     *  only mints byte Addrs at its output boundary. */
+    std::uint64_t stream_cursor = 0; ///< next streaming step
+    std::uint64_t stream_base_line = 0;  ///< per-TB region base
+    std::uint64_t stream_region_lines = 0;
+    std::uint64_t stream_stride = 1; ///< warps per TB (interleave)
+    std::uint64_t stream_offset = 0; ///< warp index within the TB
+    std::uint64_t footprint_base_line = 0; ///< per-TB footprint base
+    std::uint64_t footprint_lines = 1;
+    std::array<std::uint64_t, kRingSize> ring{};
     int ring_count = 0;
     int ring_pos = 0;
 };
@@ -46,7 +48,7 @@ struct AddrGenState
 /**
  * Seed a warp's address stream.
  *
- * @param kernel_slot kernel's slot in the workload (address isolation)
+ * @param kernel kernel's slot in the workload (address isolation)
  * @param tb_seq global sequence number of the warp's thread block
  * @param warp_in_tb warp index within the TB
  * @param warps_per_tb warps in the TB (streaming interleave factor:
@@ -54,7 +56,7 @@ struct AddrGenState
  *        what gives coalesced kernels their DRAM row locality)
  */
 void initAddrGen(AddrGenState &st, const KernelProfile &prof,
-                 int kernel_slot, std::uint64_t tb_seq, int warp_in_tb,
+                 KernelId kernel, std::uint64_t tb_seq, int warp_in_tb,
                  int warps_per_tb, std::uint64_t seed, int line_bytes);
 
 /**

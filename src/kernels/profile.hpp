@@ -15,6 +15,7 @@
 #ifndef CKESIM_KERNELS_PROFILE_HPP
 #define CKESIM_KERNELS_PROFILE_HPP
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -65,7 +66,7 @@ struct KernelProfile
     /** Probability a memory instruction revisits a recent line. */
     double reuse_prob = 0.0;
     /** Random-footprint patterns: bytes touched per thread block. */
-    Addr footprint_bytes = 1 << 20;
+    std::uint64_t footprint_bytes = 1ULL << 20;
     /** Distinct footprint regions cycled across TB generations. A
      *  small count keeps the kernel's gather structures L2-resident
      *  (its stalls then come from MSHR/queue saturation, not DRAM

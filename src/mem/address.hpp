@@ -1,8 +1,14 @@
 /**
  * @file
- * Address manipulation helpers: line extraction, xor set indexing
- * (Table 1: "xor-indexing" for both cache levels) and the static
- * line-to-L2-partition/DRAM-channel mapping.
+ * Address manipulation helpers: the byte-address -> line-address map,
+ * xor set indexing (Table 1: "xor-indexing" for both cache levels)
+ * and the static line-to-L2-partition/DRAM-channel mapping.
+ *
+ * This header (together with the coalescer, which calls toLineAddr)
+ * is the *only* producer of LineAddr values: everything below the
+ * coalescer speaks line addresses, everything above speaks byte
+ * addresses, and the strong types make an accidental crossing a
+ * compile error.
  */
 
 #ifndef CKESIM_MEM_ADDRESS_HPP
@@ -14,18 +20,25 @@
 
 namespace ckesim {
 
-/** Round @p addr down to its cache-line base. */
+/** Map @p addr to the line containing it (address / line size). */
+inline LineAddr
+toLineAddr(Addr addr, int line_bytes)
+{
+    return LineAddr{addr.get() / static_cast<std::uint64_t>(line_bytes)};
+}
+
+/** First byte of line @p line: always line_bytes-aligned. */
+inline Addr
+lineByteBase(LineAddr line, int line_bytes)
+{
+    return Addr{line.get() * static_cast<std::uint64_t>(line_bytes)};
+}
+
+/** Round @p addr down to its cache-line base (byte address). */
 inline Addr
 lineBase(Addr addr, int line_bytes)
 {
-    return addr & ~static_cast<Addr>(line_bytes - 1);
-}
-
-/** Line number (address divided by line size). */
-inline Addr
-lineNumber(Addr addr, int line_bytes)
-{
-    return addr / static_cast<Addr>(line_bytes);
+    return lineByteBase(toLineAddr(addr, line_bytes), line_bytes);
 }
 
 /**
@@ -34,13 +47,15 @@ lineNumber(Addr addr, int line_bytes)
  * @pre num_sets is a power of two.
  */
 inline int
-xorSetIndex(Addr line_number, int num_sets)
+xorSetIndex(LineAddr line, int num_sets)
 {
-    const Addr mask = static_cast<Addr>(num_sets - 1);
-    Addr x = line_number;
+    const std::uint64_t mask =
+        static_cast<std::uint64_t>(num_sets) - 1;
+    const std::uint64_t n = line.get();
+    std::uint64_t x = n;
     x ^= x >> 10;
     x ^= x >> 20;
-    return static_cast<int>((line_number ^ (x >> 4)) & mask);
+    return static_cast<int>((n ^ (x >> 4)) & mask);
 }
 
 /** Partition interleave granularity: 16 lines (one 2KB row) per chunk, so a
@@ -54,11 +69,13 @@ inline constexpr int kPartitionChunkLines = 16;
  * kernel strides do not camp on one partition.
  */
 inline int
-linePartition(Addr line_number, int num_partitions)
+linePartition(LineAddr line, int num_partitions)
 {
-    const Addr chunk = line_number / kPartitionChunkLines;
-    const Addr x = chunk ^ (chunk >> 7) ^ (chunk >> 15);
-    return static_cast<int>(x % static_cast<Addr>(num_partitions));
+    const std::uint64_t chunk =
+        line.get() / static_cast<std::uint64_t>(kPartitionChunkLines);
+    const std::uint64_t x = chunk ^ (chunk >> 7) ^ (chunk >> 15);
+    return static_cast<int>(
+        x % static_cast<std::uint64_t>(num_partitions));
 }
 
 } // namespace ckesim

@@ -17,7 +17,8 @@ cacheCtx(KernelId kernel = kInvalidKernel)
 
 CacheArray::CacheArray(int num_sets, int assoc)
     : num_sets_(num_sets), assoc_(assoc),
-      sets_(static_cast<std::size_t>(num_sets) * assoc)
+      sets_(static_cast<std::size_t>(num_sets) *
+            static_cast<std::size_t>(assoc))
 {
     SIM_CHECK(num_sets > 0 && (num_sets & (num_sets - 1)) == 0,
               cacheCtx(),
@@ -27,12 +28,12 @@ CacheArray::CacheArray(int num_sets, int assoc)
 }
 
 int
-CacheArray::probe(Addr line_number) const
+CacheArray::probe(LineAddr la) const
 {
-    const int set = setIndex(line_number);
+    const int set = setIndex(la);
     for (int w = 0; w < assoc_; ++w) {
         const CacheLine &l = line(set, w);
-        if ((l.valid || l.reserved) && l.line_number == line_number)
+        if ((l.valid || l.reserved) && l.line_addr == la)
             return w;
     }
     return -1;
@@ -47,19 +48,18 @@ CacheArray::touch(int set, int way)
 bool
 CacheArray::wayAllowed(KernelId kernel, int way) const
 {
-    if (kernel < 0 ||
-        static_cast<std::size_t>(kernel) >= restrictions_.size())
+    if (!kernel.valid() || kernel.idx() >= restrictions_.size())
         return true;
-    const WayRange &r = restrictions_[static_cast<std::size_t>(kernel)];
+    const WayRange &r = restrictions_[kernel.idx()];
     if (r.count == 0)
         return true;
     return way >= r.first && way < r.first + r.count;
 }
 
 VictimResult
-CacheArray::chooseVictim(Addr line_number, KernelId kernel)
+CacheArray::chooseVictim(LineAddr la, KernelId kernel)
 {
-    const int set = setIndex(line_number);
+    const int set = setIndex(la);
     VictimResult res;
 
     // Prefer an invalid (and allowed) way.
@@ -92,16 +92,16 @@ CacheArray::chooseVictim(Addr line_number, KernelId kernel)
     res.way = best;
     if (victim.valid && victim.dirty) {
         res.evicted_dirty = true;
-        res.evicted_line = victim.line_number;
+        res.evicted_line = victim.line_addr;
     }
     return res;
 }
 
 void
-CacheArray::reserve(int set, int way, Addr line_number, KernelId kernel)
+CacheArray::reserve(int set, int way, LineAddr la, KernelId kernel)
 {
     CacheLine &l = line(set, way);
-    l.line_number = line_number;
+    l.line_addr = la;
     l.valid = false;
     l.reserved = true;
     l.dirty = false;
@@ -123,11 +123,11 @@ CacheArray::fill(int set, int way, bool dirty)
 }
 
 void
-CacheArray::install(int set, int way, Addr line_number, KernelId kernel,
+CacheArray::install(int set, int way, LineAddr la, KernelId kernel,
                     bool dirty)
 {
     CacheLine &l = line(set, way);
-    l.line_number = line_number;
+    l.line_addr = la;
     l.valid = true;
     l.reserved = false;
     l.dirty = dirty;
@@ -147,19 +147,18 @@ CacheArray::invalidate(int set, int way)
 void
 CacheArray::restrictToWays(KernelId kernel, int first, int count)
 {
-    SIM_CHECK(kernel >= 0, cacheCtx(kernel),
+    SIM_CHECK(kernel.valid(), cacheCtx(kernel),
               "way restriction for invalid kernel");
     SIM_CHECK(first >= 0 && count >= 0 && first + count <= assoc_,
               cacheCtx(kernel),
               "way range [" << first << ", " << first + count
                             << ") exceeds associativity " << assoc_);
-    if (static_cast<std::size_t>(kernel) >= restrictions_.size())
-        restrictions_.resize(static_cast<std::size_t>(kernel) + 1);
+    if (kernel.idx() >= restrictions_.size())
+        restrictions_.resize(kernel.idx() + 1);
     if (count >= assoc_) {
-        restrictions_[static_cast<std::size_t>(kernel)] = WayRange{};
+        restrictions_[kernel.idx()] = WayRange{};
     } else {
-        restrictions_[static_cast<std::size_t>(kernel)] =
-            WayRange{first, count};
+        restrictions_[kernel.idx()] = WayRange{first, count};
     }
 }
 

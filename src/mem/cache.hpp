@@ -23,7 +23,7 @@ namespace ckesim {
 /** State of one cache line. */
 struct CacheLine
 {
-    Addr line_number = 0;  ///< tag (full line number for simplicity)
+    LineAddr line_addr{};  ///< tag (full line address for simplicity)
     bool valid = false;
     bool reserved = false; ///< allocated on miss, fill pending
     bool dirty = false;    ///< WBWA caches only
@@ -37,7 +37,7 @@ struct VictimResult
     bool ok = false;        ///< false: every candidate way is reserved
     int way = -1;
     bool evicted_dirty = false;
-    Addr evicted_line = 0;  ///< valid when evicted_dirty
+    LineAddr evicted_line{}; ///< valid when evicted_dirty
 };
 
 /**
@@ -59,14 +59,14 @@ class CacheArray
     int numSets() const { return num_sets_; }
     int assoc() const { return assoc_; }
 
-    /** Set index for a line number (xor indexing). */
-    int setIndex(Addr line_number) const
+    /** Set index for a line address (xor indexing). */
+    int setIndex(LineAddr line) const
     {
-        return xorSetIndex(line_number, num_sets_);
+        return xorSetIndex(line, num_sets_);
     }
 
-    /** Probe for @p line_number. @return way index or -1. */
-    int probe(Addr line_number) const;
+    /** Probe for @p line. @return way index or -1. */
+    int probe(LineAddr line) const;
 
     /** Direct access to a line. */
     CacheLine &line(int set, int way) { return sets_[idx(set, way)]; }
@@ -85,16 +85,16 @@ class CacheArray
      * candidate way is reserved — the paper's "no allocatable cache
      * line slot" reservation-failure source.
      */
-    VictimResult chooseVictim(Addr line_number, KernelId kernel);
+    VictimResult chooseVictim(LineAddr line, KernelId kernel);
 
     /** Reserve a way for an in-flight fill (allocate-on-miss). */
-    void reserve(int set, int way, Addr line_number, KernelId kernel);
+    void reserve(int set, int way, LineAddr line, KernelId kernel);
 
     /** Complete a reserved fill, making the line valid. */
     void fill(int set, int way, bool dirty = false);
 
     /** Install a line immediately (valid, not reserved). */
-    void install(int set, int way, Addr line_number, KernelId kernel,
+    void install(int set, int way, LineAddr line, KernelId kernel,
                  bool dirty);
 
     /** Invalidate a line (write-evict policy). */
@@ -115,7 +115,9 @@ class CacheArray
   private:
     std::size_t idx(int set, int way) const
     {
-        return static_cast<std::size_t>(set) * assoc_ + way;
+        return static_cast<std::size_t>(set) *
+                   static_cast<std::size_t>(assoc_) +
+               static_cast<std::size_t>(way);
     }
 
     bool wayAllowed(KernelId kernel, int way) const;

@@ -8,12 +8,12 @@ namespace ckesim {
 
 void
 coalesce(const std::vector<Addr> &thread_addrs, int line_bytes,
-         std::vector<Addr> &out)
+         std::vector<LineAddr> &out)
 {
     out.clear();
     // Warps have at most 32 threads; linear dedup beats hashing here.
     for (Addr a : thread_addrs) {
-        const Addr line = lineNumber(a, line_bytes);
+        const LineAddr line = toLineAddr(a, line_bytes);
         if (std::find(out.begin(), out.end(), line) == out.end())
             out.push_back(line);
     }

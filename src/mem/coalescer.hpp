@@ -18,15 +18,17 @@
 namespace ckesim {
 
 /**
- * Coalesce per-thread byte addresses into unique line numbers,
+ * Coalesce per-thread byte addresses into unique line addresses,
  * preserving first-touch order (the order requests enter the LSU).
+ * Together with mem/address.hpp this is the only byte->line boundary
+ * in the simulator.
  *
  * @param thread_addrs byte address per active thread
  * @param line_bytes cache line size
- * @param out cleared and filled with unique line numbers
+ * @param out cleared and filled with unique line addresses
  */
 void coalesce(const std::vector<Addr> &thread_addrs, int line_bytes,
-              std::vector<Addr> &out);
+              std::vector<LineAddr> &out);
 
 } // namespace ckesim
 

@@ -18,21 +18,23 @@ DramChannel::DramChannel(const DramConfig &cfg, int line_bytes)
 }
 
 int
-DramChannel::bankOf(Addr line_addr) const
+DramChannel::bankOf(LineAddr line_addr) const
 {
-    const Addr lines_per_row =
-        static_cast<Addr>(cfg_.row_bytes / line_bytes_);
-    return static_cast<int>((line_addr / lines_per_row) %
-                            static_cast<Addr>(cfg_.banks_per_channel));
+    const std::uint64_t lines_per_row =
+        static_cast<std::uint64_t>(cfg_.row_bytes / line_bytes_);
+    return static_cast<int>(
+        (line_addr / lines_per_row) %
+        static_cast<std::uint64_t>(cfg_.banks_per_channel));
 }
 
 std::uint64_t
-DramChannel::rowOf(Addr line_addr) const
+DramChannel::rowOf(LineAddr line_addr) const
 {
-    const Addr lines_per_row =
-        static_cast<Addr>(cfg_.row_bytes / line_bytes_);
+    const std::uint64_t lines_per_row =
+        static_cast<std::uint64_t>(cfg_.row_bytes / line_bytes_);
     return line_addr /
-           (lines_per_row * static_cast<Addr>(cfg_.banks_per_channel));
+           (lines_per_row *
+            static_cast<std::uint64_t>(cfg_.banks_per_channel));
 }
 
 bool
@@ -82,23 +84,22 @@ DramChannel::tick(Cycle now)
         ++row_hits_;
     }
     open_row_[static_cast<std::size_t>(txn.bank)] = txn.row;
-    busy_until_ = now + static_cast<Cycle>(service);
+    busy_until_ = now + service;
 
     if (txn.req.kind != ReqKind::Writeback) {
-        const Cycle ready =
-            busy_until_ + static_cast<Cycle>(cfg_.access_latency);
+        const Cycle ready = busy_until_ + cfg_.access_latency;
         fills_.push_back(Fill{ready, txn.req});
     }
 }
 
 void
-DramChannel::checkInvariants(Cycle now, int channel_id) const
+DramChannel::checkInvariants(Cycle now, int channel_index) const
 {
     SimCtx ctx;
     ctx.cycle = now;
     ctx.module = "dram";
     SIM_INVARIANT(queueLength() <= cfg_.queue_depth, ctx,
-                  "channel " << channel_id << " queue occupancy "
+                  "channel " << channel_index << " queue occupancy "
                              << queueLength() << " exceeds depth "
                              << cfg_.queue_depth);
 }

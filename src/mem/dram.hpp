@@ -54,13 +54,15 @@ class DramChannel
     }
 
     /** Occupancy-bound invariants (integrity sweep). */
-    void checkInvariants(Cycle now, int channel_id) const;
+    void checkInvariants(Cycle now, int channel_index) const;
 
     /** Row-buffer hit-rate observed so far (diagnostics). */
     double rowHitRate() const
     {
         const std::uint64_t total = row_hits_ + row_misses_;
-        return total ? static_cast<double>(row_hits_) / total : 0.0;
+        return total != 0 ? static_cast<double>(row_hits_) /
+                                static_cast<double>(total)
+                          : 0.0;
     }
 
   private:
@@ -69,22 +71,22 @@ class DramChannel
         MemRequest req;
         int bank = 0;
         std::uint64_t row = 0;
-        Cycle arrival = 0;
+        Cycle arrival{};
     };
     struct Fill
     {
-        Cycle ready = 0;
+        Cycle ready{};
         MemRequest req;
     };
 
-    int bankOf(Addr line_addr) const;
-    std::uint64_t rowOf(Addr line_addr) const;
+    int bankOf(LineAddr line_addr) const;
+    std::uint64_t rowOf(LineAddr line_addr) const;
 
     DramConfig cfg_;
     int line_bytes_;
     std::deque<Txn> queue_;
     std::vector<std::uint64_t> open_row_; ///< per bank; ~0 = closed
-    Cycle busy_until_ = 0;
+    Cycle busy_until_{};
     std::deque<Fill> fills_;
     std::uint64_t row_hits_ = 0;
     std::uint64_t row_misses_ = 0;

@@ -16,7 +16,7 @@ Crossbar::tryInject(int dest, int flits, const MemRequest &req, Cycle now)
 
     const Cycle start =
         std::max<Cycle>(port.next_free, now + cfg_.latency);
-    const Cycle ready = start + static_cast<Cycle>(flits);
+    const Cycle ready = start + flits;
     port.next_free = ready;
     port.queue.push_back(Packet{ready, req});
     return true;

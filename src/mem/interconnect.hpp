@@ -54,13 +54,13 @@ class Crossbar
   private:
     struct Packet
     {
-        Cycle ready = 0;
+        Cycle ready{};
         MemRequest req;
     };
     struct Port
     {
         std::deque<Packet> queue;
-        Cycle next_free = 0; ///< when the port's wire frees up
+        Cycle next_free{};   ///< when the port's wire frees up
     };
 
     IcntConfig cfg_;

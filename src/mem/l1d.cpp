@@ -8,7 +8,7 @@ namespace ckesim {
 
 namespace {
 SimCtx
-l1dCtx(int sm_id, Cycle now = kNeverCycle)
+l1dCtx(SmId sm_id, Cycle now = kNeverCycle)
 {
     SimCtx ctx;
     ctx.cycle = now;
@@ -18,7 +18,7 @@ l1dCtx(int sm_id, Cycle now = kNeverCycle)
 }
 } // namespace
 
-L1Dcache::L1Dcache(const L1dConfig &cfg, int sm_id)
+L1Dcache::L1Dcache(const L1dConfig &cfg, SmId sm_id)
     : cfg_(cfg), sm_id_(sm_id), tags_(cfg.numSets(), cfg.assoc),
       mshrs_(cfg.num_mshrs, cfg.mshr_merge)
 {
@@ -28,14 +28,14 @@ L1Dcache::L1Dcache(const L1dConfig &cfg, int sm_id)
 bool
 L1Dcache::mshrQuotaExceeded(KernelId kernel) const
 {
-    if (static_cast<std::size_t>(kernel) >= mshr_quota_.size())
+    if (kernel.idx() >= mshr_quota_.size())
         return false;
-    const int quota = mshr_quota_[static_cast<std::size_t>(kernel)];
+    const int quota = mshr_quota_[kernel.idx()];
     return quota > 0 && mshrsHeldBy(kernel) >= quota;
 }
 
 L1Outcome
-L1Dcache::access(Addr line_number, KernelId kernel, bool write,
+L1Dcache::access(LineAddr line_number, KernelId kernel, bool write,
                  const L1Target &target, Cycle now)
 {
     L1Outcome out;
@@ -124,9 +124,9 @@ L1Dcache::access(Addr line_number, KernelId kernel, bool write,
                       line_number, kernel);
     }
     mshrs_.allocate(line_number, target);
-    if (static_cast<std::size_t>(kernel) >= mshr_held_.size())
-        mshr_held_.resize(static_cast<std::size_t>(kernel) + 1, 0);
-    ++mshr_held_[static_cast<std::size_t>(kernel)];
+    if (kernel.idx() >= mshr_held_.size())
+        mshr_held_.resize(kernel.idx() + 1, 0);
+    ++mshr_held_[kernel.idx()];
     miss_owner_.emplace(line_number, kernel);
 
     MemRequest req;
@@ -142,7 +142,7 @@ L1Dcache::access(Addr line_number, KernelId kernel, bool write,
 }
 
 std::vector<L1Target>
-L1Dcache::fill(Addr line_number)
+L1Dcache::fill(LineAddr line_number)
 {
     const int way = tags_.probe(line_number);
     if (way >= 0) {
@@ -153,7 +153,7 @@ L1Dcache::fill(Addr line_number)
     // Bypassed misses have no reserved line: nothing is installed.
     auto owner = miss_owner_.find(line_number);
     if (owner != miss_owner_.end()) {
-        int &held = mshr_held_[static_cast<std::size_t>(owner->second)];
+        int &held = mshr_held_[owner->second.idx()];
         SIM_INVARIANT(held > 0, l1dCtx(sm_id_),
                       "MSHR holdings for kernel "
                           << owner->second

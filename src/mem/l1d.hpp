@@ -29,7 +29,7 @@ namespace ckesim {
 /** Bookkeeping attached to each outstanding L1D read request. */
 struct L1Target
 {
-    int warp_index = -1;  ///< SM warp-table slot to notify
+    WarpSlot warp_slot = kInvalidWarpSlot; ///< SM warp-table slot to notify
     KernelId kernel = kInvalidKernel;
 };
 
@@ -56,17 +56,17 @@ struct L1Outcome
 class L1Dcache
 {
   public:
-    L1Dcache(const L1dConfig &cfg, int sm_id);
+    L1Dcache(const L1dConfig &cfg, SmId sm_id);
 
     /**
      * Attempt one coalesced line access.
-     * @param line_number line to access
+     * @param line line to access
      * @param kernel issuing kernel (owns allocation, stats)
      * @param write true for a store (WEWN path)
      * @param target wakeup bookkeeping for loads
      * @param now current cycle (stamped on downstream requests)
      */
-    L1Outcome access(Addr line_number, KernelId kernel, bool write,
+    L1Outcome access(LineAddr line, KernelId kernel, bool write,
                      const L1Target &target, Cycle now);
 
     /** Front of the miss queue, if any (does not pop). */
@@ -79,10 +79,10 @@ class L1Dcache
     void popMissQueue() { miss_queue_.pop_front(); }
 
     /**
-     * A fill returned from L2 for @p line_number: make the reserved
+     * A fill returned from L2 for @p line: make the reserved
      * line valid and return every merged target to wake.
      */
-    std::vector<L1Target> fill(Addr line_number);
+    std::vector<L1Target> fill(LineAddr line);
 
     /** UCP hook: constrain kernel to a contiguous way range. */
     void restrictKernelWays(KernelId kernel, int first, int count)
@@ -101,10 +101,9 @@ class L1Dcache
     void
     setMshrQuota(KernelId kernel, int quota)
     {
-        if (static_cast<std::size_t>(kernel) >= mshr_quota_.size())
-            mshr_quota_.resize(static_cast<std::size_t>(kernel) + 1,
-                               0);
-        mshr_quota_[static_cast<std::size_t>(kernel)] = quota;
+        if (kernel.idx() >= mshr_quota_.size())
+            mshr_quota_.resize(kernel.idx() + 1, 0);
+        mshr_quota_[kernel.idx()] = quota;
     }
 
     /**
@@ -115,18 +114,17 @@ class L1Dcache
     void
     setBypass(KernelId kernel, bool bypass)
     {
-        if (static_cast<std::size_t>(kernel) >= bypass_.size())
-            bypass_.resize(static_cast<std::size_t>(kernel) + 1,
-                           false);
-        bypass_[static_cast<std::size_t>(kernel)] = bypass;
+        if (kernel.idx() >= bypass_.size())
+            bypass_.resize(kernel.idx() + 1, false);
+        bypass_[kernel.idx()] = bypass;
     }
 
     /** MSHRs currently held by @p kernel (quota accounting). */
     int
     mshrsHeldBy(KernelId kernel) const
     {
-        return static_cast<std::size_t>(kernel) < mshr_held_.size()
-                   ? mshr_held_[static_cast<std::size_t>(kernel)]
+        return kernel.idx() < mshr_held_.size()
+                   ? mshr_held_[kernel.idx()]
                    : 0;
     }
 
@@ -162,13 +160,12 @@ class L1Dcache
   private:
     bool bypassed(KernelId kernel) const
     {
-        return static_cast<std::size_t>(kernel) < bypass_.size() &&
-               bypass_[static_cast<std::size_t>(kernel)];
+        return kernel.idx() < bypass_.size() && bypass_[kernel.idx()];
     }
     bool mshrQuotaExceeded(KernelId kernel) const;
 
     L1dConfig cfg_;
-    int sm_id_;
+    SmId sm_id_;
     CacheArray tags_;
     MshrTable<L1Target> mshrs_;
     std::deque<MemRequest> miss_queue_;
@@ -176,7 +173,7 @@ class L1Dcache
     std::vector<int> mshr_quota_;
     std::vector<int> mshr_held_;
     /** Kernel that allocated each outstanding (bypassed) miss. */
-    std::unordered_map<Addr, KernelId> miss_owner_;
+    std::unordered_map<LineAddr, KernelId> miss_owner_;
     std::vector<bool> bypass_;
 };
 

@@ -16,8 +16,8 @@ l2Ctx(Cycle now = kNeverCycle, KernelId kernel = kInvalidKernel)
 }
 } // namespace
 
-L2Partition::L2Partition(const L2Config &cfg, int partition_id)
-    : cfg_(cfg), partition_id_(partition_id),
+L2Partition::L2Partition(const L2Config &cfg, int partition_index)
+    : cfg_(cfg), partition_index_(partition_index),
       tags_(cfg.numSetsPerPartition(), cfg.assoc),
       mshrs_(cfg.num_mshrs, /*max_merge=*/16)
 {
@@ -28,7 +28,7 @@ void
 L2Partition::acceptInput(const MemRequest &req)
 {
     SIM_CHECK(inputRoom() > 0, l2Ctx(req.birth, req.kernel),
-              "partition " << partition_id_
+              "partition " << partition_index_
                            << " input queue overflow (depth "
                            << cfg_.miss_queue_depth << ")");
     input_.push_back(req);
@@ -55,7 +55,7 @@ L2Partition::tick(Cycle now, DramChannel &dram)
                 l.dirty = true; // WBWA write hit
             } else {
                 replies_.push_back(
-                    Reply{now + static_cast<Cycle>(cfg_.latency), req});
+                    Reply{now + cfg_.latency, req});
             }
             input_.pop_front();
             return;
@@ -86,13 +86,13 @@ L2Partition::tick(Cycle now, DramChannel &dram)
     if (victim.evicted_dirty) {
         MemRequest wb;
         wb.line_addr = victim.evicted_line;
-        wb.sm_id = -1;
+        wb.sm_id = kInvalidSm;
         wb.kernel = req.kernel;
         wb.kind = ReqKind::Writeback;
         wb.birth = now;
         const bool ok = dram.tryEnqueue(wb, now);
         SIM_INVARIANT(ok, l2Ctx(now, req.kernel),
-                      "partition " << partition_id_
+                      "partition " << partition_index_
                                    << ": DRAM refused writeback after "
                                       "freeSlots() promised room");
     }
@@ -105,7 +105,7 @@ L2Partition::tick(Cycle now, DramChannel &dram)
     fetch.kind = ReqKind::ReadMiss; // WBWA: writes fetch the line too
     const bool ok = dram.tryEnqueue(fetch, now);
     SIM_INVARIANT(ok, l2Ctx(now, req.kernel),
-                  "partition " << partition_id_
+                  "partition " << partition_index_
                                << ": DRAM refused fetch after "
                                   "freeSlots() promised room");
 
@@ -124,21 +124,20 @@ L2Partition::onDramFill(const MemRequest &fill, Cycle now)
 
     const int way = tags_.probe(fill.line_addr);
     SIM_INVARIANT(way >= 0, l2Ctx(now, fill.kernel),
-                  "partition " << partition_id_ << ": fill for line "
+                  "partition " << partition_index_ << ": fill for line "
                                << fill.line_addr
                                << " that lost its reservation");
     const int set = tags_.setIndex(fill.line_addr);
     SIM_INVARIANT(tags_.line(set, way).reserved,
                   l2Ctx(now, fill.kernel),
-                  "partition " << partition_id_ << ": fill for line "
+                  "partition " << partition_index_ << ": fill for line "
                                << fill.line_addr
                                << " whose way is not reserved");
     tags_.fill(set, way, dirty);
 
     for (const MemRequest &t : targets) {
         if (t.kind != ReqKind::WriteThru) {
-            replies_.push_back(
-                Reply{now + static_cast<Cycle>(cfg_.latency), t});
+            replies_.push_back(Reply{now + cfg_.latency, t});
         }
     }
 }
@@ -148,7 +147,7 @@ L2Partition::checkInvariants(Cycle now) const
 {
     const SimCtx ctx = l2Ctx(now);
     SIM_INVARIANT(inputSize() <= cfg_.miss_queue_depth, ctx,
-                  "partition " << partition_id_
+                  "partition " << partition_index_
                                << " input occupancy " << inputSize()
                                << " exceeds depth "
                                << cfg_.miss_queue_depth);

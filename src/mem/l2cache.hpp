@@ -30,7 +30,7 @@ namespace ckesim {
 class L2Partition
 {
   public:
-    L2Partition(const L2Config &cfg, int partition_id);
+    L2Partition(const L2Config &cfg, int partition_index);
 
     /** Free input-queue slots (crossbar drains at most this many). */
     int inputRoom() const
@@ -76,19 +76,20 @@ class L2Partition
     std::uint64_t misses() const { return misses_; }
     double missRate() const
     {
-        return accesses_ ? static_cast<double>(misses_) / accesses_
-                         : 0.0;
+        return accesses_ != 0 ? static_cast<double>(misses_) /
+                                    static_cast<double>(accesses_)
+                              : 0.0;
     }
 
   private:
     struct Reply
     {
-        Cycle ready = 0;
+        Cycle ready{};
         MemRequest req;
     };
 
     L2Config cfg_;
-    int partition_id_;
+    int partition_index_;
     CacheArray tags_;
     MshrTable<MemRequest> mshrs_;
     std::deque<MemRequest> input_;

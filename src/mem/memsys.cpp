@@ -90,7 +90,8 @@ MemorySystem::tick(Cycle now)
             retry.push_back(r);
         while (!retry.empty()) {
             const MemRequest &r = retry.front();
-            if (!reply_.tryInject(r.sm_id, kReplyFlits, r, now))
+            if (!reply_.tryInject(static_cast<int>(r.sm_id.idx()),
+                                  kReplyFlits, r, now))
                 break;
             retry.pop_front();
         }
@@ -98,10 +99,11 @@ MemorySystem::tick(Cycle now)
 }
 
 std::vector<MemRequest>
-MemorySystem::drainRepliesForSm(int sm_id, Cycle now)
+MemorySystem::drainRepliesForSm(SmId sm_id, Cycle now)
 {
     std::vector<MemRequest> out =
-        reply_.drain(sm_id, now, /*max_count=*/64);
+        reply_.drain(static_cast<int>(sm_id.idx()), now,
+                     /*max_count=*/64);
 
     if (faults_ && !faults_->empty()) {
         std::vector<MemRequest> kept;
@@ -120,8 +122,8 @@ MemorySystem::drainRepliesForSm(int sm_id, Cycle now)
                 continue;
             }
             const Cycle delay = faults_->fillDelay(sm_id, now);
-            if (delay > 0) {
-                delayed_[static_cast<std::size_t>(sm_id)].push_back(
+            if (delay > Cycle{}) {
+                delayed_[sm_id.idx()].push_back(
                     DelayedFill{now + delay, r});
                 continue;
             }
@@ -130,8 +132,7 @@ MemorySystem::drainRepliesForSm(int sm_id, Cycle now)
         out = std::move(kept);
     }
 
-    std::deque<DelayedFill> &held =
-        delayed_[static_cast<std::size_t>(sm_id)];
+    std::deque<DelayedFill> &held = delayed_[sm_id.idx()];
     while (!held.empty() && held.front().ready <= now) {
         out.push_back(held.front().req);
         held.pop_front();

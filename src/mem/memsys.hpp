@@ -43,7 +43,7 @@ class MemorySystem
     void tick(Cycle now);
 
     /** Pop read fills delivered to SM @p sm_id by cycle @p now. */
-    std::vector<MemRequest> drainRepliesForSm(int sm_id, Cycle now);
+    std::vector<MemRequest> drainRepliesForSm(SmId sm_id, Cycle now);
 
     int numPartitions() const
     {
@@ -98,7 +98,7 @@ class MemorySystem
     /** Fills held back by an injected DelayFill fault, per SM. */
     struct DelayedFill
     {
-        Cycle ready = 0;
+        Cycle ready{};
         MemRequest req;
     };
     std::vector<std::deque<DelayedFill>> delayed_;

@@ -40,14 +40,14 @@ class MshrTable
 
     /** Is a miss for this line already outstanding? */
     bool
-    pending(Addr line_number) const
+    pending(LineAddr line_number) const
     {
         return entries_.find(line_number) != entries_.end();
     }
 
     /** Can a new request for this (pending) line merge? */
     bool
-    canMerge(Addr line_number) const
+    canMerge(LineAddr line_number) const
     {
         auto it = entries_.find(line_number);
         SIM_CHECK(it != entries_.end(), ctx_,
@@ -64,7 +64,7 @@ class MshrTable
 
     /** Allocate a new entry for @p line_number with one target. */
     void
-    allocate(Addr line_number, Target target)
+    allocate(LineAddr line_number, Target target)
     {
         SIM_CHECK(hasFree(), ctx_,
                   "MSHR allocate with table full ("
@@ -79,7 +79,7 @@ class MshrTable
 
     /** Merge another request into an existing entry. */
     void
-    merge(Addr line_number, Target target)
+    merge(LineAddr line_number, Target target)
     {
         auto it = entries_.find(line_number);
         SIM_CHECK(it != entries_.end(), ctx_,
@@ -97,7 +97,7 @@ class MshrTable
      * @pre an entry for @p line_number exists.
      */
     std::vector<Target>
-    release(Addr line_number)
+    release(LineAddr line_number)
     {
         auto it = entries_.find(line_number);
         SIM_CHECK(it != entries_.end(), ctx_,
@@ -147,7 +147,7 @@ class MshrTable
   private:
     int capacity_;
     int max_merge_;
-    std::unordered_map<Addr, std::vector<Target>> entries_;
+    std::unordered_map<LineAddr, std::vector<Target>> entries_;
     std::uint64_t allocated_ = 0;
     std::uint64_t released_ = 0;
     SimCtx ctx_;

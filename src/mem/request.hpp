@@ -18,14 +18,14 @@ enum class ReqKind {
     Writeback, ///< L2 dirty eviction to DRAM (never replied)
 };
 
-/** One 128B-line transaction below the L1D. */
+/** One line transaction below the L1D. */
 struct MemRequest
 {
-    Addr line_addr = 0;      ///< line base address
-    int sm_id = -1;          ///< originating SM (reply routing)
+    LineAddr line_addr{};             ///< line address (line-granular)
+    SmId sm_id = kInvalidSm;          ///< originating SM (reply routing)
     KernelId kernel = kInvalidKernel;
     ReqKind kind = ReqKind::ReadMiss;
-    Cycle birth = 0;         ///< cycle the L1D emitted it
+    Cycle birth{};                    ///< cycle the L1D emitted it
 };
 
 } // namespace ckesim

@@ -29,9 +29,9 @@ benchCycles()
     if (const char *env = std::getenv("CKESIM_CYCLES")) {
         const long v = std::atol(env);
         if (v > 0)
-            return static_cast<Cycle>(v);
+            return Cycle{v};
     }
-    return fullMode() ? 400000 : 60000;
+    return fullMode() ? Cycle{400000} : Cycle{60000};
 }
 
 std::vector<Workload>

@@ -27,7 +27,7 @@ namespace ckesim {
 class Runner
 {
   public:
-    explicit Runner(const GpuConfig &cfg, Cycle cycles = 100000,
+    explicit Runner(const GpuConfig &cfg, Cycle cycles = Cycle{100000},
                     std::shared_ptr<SweepEngine> engine = nullptr);
 
     const GpuConfig &config() const { return cfg_; }

@@ -62,8 +62,8 @@ JobHasher &
 JobHasher::s(const std::string &v)
 {
     i(static_cast<long long>(v.size()));
-    for (unsigned char c : v) {
-        h_ ^= c;
+    for (const char c : v) {
+        h_ ^= static_cast<unsigned char>(c);
         h_ *= 0x100000001b3ULL;
     }
     return *this;
@@ -131,9 +131,9 @@ hashInto(JobHasher &h, const SchemeSpec &spec)
     h.i(static_cast<long long>(spec.isolated_ipc_per_sm.size()));
     for (double v : spec.isolated_ipc_per_sm)
         h.d(v);
-    h.i(static_cast<long long>(spec.smk_epoch_cycles));
-    h.i(spec.ucp).i(static_cast<long long>(spec.ucp_interval));
-    h.i(static_cast<long long>(spec.ws_profile_window));
+    h.i(static_cast<long long>(spec.smk_epoch_cycles.get()));
+    h.i(spec.ucp).i(static_cast<long long>(spec.ucp_interval.get()));
+    h.i(static_cast<long long>(spec.ws_profile_window.get()));
     h.i(static_cast<long long>(spec.oracle_curves.size()));
     for (const ScalabilityCurve &c : spec.oracle_curves) {
         h.i(static_cast<long long>(c.points().size()));
@@ -144,15 +144,15 @@ hashInto(JobHasher &h, const SchemeSpec &spec)
     for (bool b : spec.bypass_l1d)
         h.i(b);
     h.i(spec.global_dmil)
-        .i(static_cast<long long>(spec.global_dmil_interval));
+        .i(static_cast<long long>(spec.global_dmil_interval.get()));
     h.i(static_cast<long long>(spec.faults.size()));
     for (const FaultSpec &f : spec.faults) {
         h.i(static_cast<long long>(f.kind))
-            .i(static_cast<long long>(f.begin))
-            .i(static_cast<long long>(f.end))
+            .i(static_cast<long long>(f.begin.get()))
+            .i(static_cast<long long>(f.end.get()))
             .i(f.target)
             .i(f.budget)
-            .i(static_cast<long long>(f.delay));
+            .i(static_cast<long long>(f.delay.get()));
     }
 }
 
@@ -235,7 +235,7 @@ SimJob::key() const
     JobHasher h;
     h.i(static_cast<long long>(kind));
     hashInto(h, cfg);
-    h.i(static_cast<long long>(cycles));
+    h.i(static_cast<long long>(cycles.get()));
     hashInto(h, workload);
     h.i(tb_limit);
     h.i(use_named);
@@ -244,7 +244,7 @@ SimJob::key() const
     else
         hashInto(h, spec);
     h.i(series.issue).i(series.l1d).i(
-        static_cast<long long>(series.interval));
+        static_cast<long long>(series.interval.get()));
     return h.value();
 }
 

@@ -89,7 +89,7 @@ struct SeriesRequest
 {
     bool issue = false; ///< warp instructions issued
     bool l1d = false;   ///< L1D accesses
-    Cycle interval = 1000;
+    Cycle interval{1000};
 };
 
 /** What a SimJob simulates. */
@@ -107,7 +107,7 @@ struct SimJob
 {
     JobKind kind = JobKind::Concurrent;
     GpuConfig cfg;
-    Cycle cycles = 100000; ///< measurement cycles (profiling extra)
+    Cycle cycles{100000};  ///< measurement cycles (profiling extra)
     Workload workload;     ///< exactly one kernel for Isolated jobs
 
     /** Isolated jobs: per-SM TB cap; 0 = occupancy maximum. */

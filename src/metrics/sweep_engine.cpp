@@ -395,16 +395,16 @@ SweepEngine::computeIsolated(const SimJob &job)
                           ? job.tb_limit
                           : prof.maxTbsPerSm(job.cfg.sm);
     for (int s = 0; s < gpu.numSms(); ++s)
-        gpu.sm(s).setTbQuota(0, quota);
+        gpu.sm(s).setTbQuota(KernelId{0}, quota);
 
     auto res = std::make_shared<IsolatedResult>();
     attachRequestedSeries(job, gpu, res->issue_series,
                           res->l1d_series);
     gpu.run(job.cycles);
 
-    res->ipc = gpu.ipc(0);
+    res->ipc = gpu.ipc(KernelId{0});
     res->ipc_per_sm = res->ipc / job.cfg.num_sms;
-    res->stats = gpu.kernelStatsTotal(0);
+    res->stats = gpu.kernelStatsTotal(KernelId{0});
     res->sm_stats = gpu.smStatsTotal();
     res->max_tbs = quota;
     res->mem = memSideStats(gpu);
@@ -438,7 +438,7 @@ SweepEngine::computeConcurrent(const SimJob &job)
     res->partition = gpu.chosenPartition();
     res->sm_stats = gpu.smStatsTotal();
     for (int k = 0; k < job.workload.numKernels(); ++k) {
-        const double shared_ipc = gpu.ipc(k);
+        const double shared_ipc = gpu.ipc(KernelId{k});
         const double iso_ipc =
             isolated(job.cfg, job.cycles,
                      *job.workload.kernels[static_cast<std::size_t>(
@@ -447,7 +447,7 @@ SweepEngine::computeConcurrent(const SimJob &job)
         res->ipc.push_back(shared_ipc);
         res->norm_ipc.push_back(
             iso_ipc > 0 ? shared_ipc / iso_ipc : 0.0);
-        res->stats.push_back(gpu.kernelStatsTotal(k));
+        res->stats.push_back(gpu.kernelStatsTotal(KernelId{k}));
     }
     res->weighted_speedup = weightedSpeedup(res->norm_ipc);
     res->antt_value = antt(res->norm_ipc);

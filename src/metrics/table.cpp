@@ -1,3 +1,5 @@
+// LINT-ALLOW(stdio): this is the terminal reporting layer — the
+// paper-table renderers write their output to stdout by design.
 #include "metrics/table.hpp"
 
 #include <cstdio>

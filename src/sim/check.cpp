@@ -12,7 +12,7 @@ formatSimCtx(const SimCtx &ctx)
     else
         os << ctx.cycle;
     os << " sm=";
-    if (ctx.sm_id < 0)
+    if (!ctx.sm_id.valid())
         os << "-";
     else
         os << ctx.sm_id;

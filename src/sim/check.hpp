@@ -32,7 +32,7 @@ namespace ckesim {
 struct SimCtx
 {
     Cycle cycle = kNeverCycle;        ///< kNeverCycle = unknown/untimed
-    int sm_id = -1;                   ///< -1 = not SM-specific
+    SmId sm_id = kInvalidSm;          ///< kInvalidSm = not SM-specific
     KernelId kernel = kInvalidKernel; ///< kInvalidKernel = none
     const char *module = "";          ///< e.g. "l1d", "gpu.watchdog"
 };

@@ -35,18 +35,19 @@ FaultInjector::match(FaultKind kind, int target, Cycle now,
 }
 
 bool
-FaultInjector::dropFill(int sm_id, Cycle now)
+FaultInjector::dropFill(SmId sm_id, Cycle now)
 {
-    return match(FaultKind::DropFill, sm_id, now, /*consume=*/true);
+    return match(FaultKind::DropFill, sm_id.get(), now,
+                 /*consume=*/true);
 }
 
 Cycle
-FaultInjector::fillDelay(int sm_id, Cycle now)
+FaultInjector::fillDelay(SmId sm_id, Cycle now)
 {
     const FaultSpec *spec = nullptr;
-    if (!match(FaultKind::DelayFill, sm_id, now, /*consume=*/true,
-               &spec))
-        return 0;
+    if (!match(FaultKind::DelayFill, sm_id.get(), now,
+               /*consume=*/true, &spec))
+        return Cycle{};
     return spec->delay;
 }
 
@@ -65,9 +66,9 @@ FaultInjector::dramFrozen(int channel, Cycle now)
 }
 
 bool
-FaultInjector::forceRsFail(int sm_id, Cycle now)
+FaultInjector::forceRsFail(SmId sm_id, Cycle now)
 {
-    return match(FaultKind::ForceRsFail, sm_id, now,
+    return match(FaultKind::ForceRsFail, sm_id.get(), now,
                  /*consume=*/true);
 }
 
@@ -99,7 +100,8 @@ validateFaultSpec(const FaultSpec &spec, int num_sms,
               "fault target " << spec.target << " out of range [0,"
                               << limit << ") (-1 = all)");
     if (spec.kind == FaultKind::DelayFill)
-        SIM_CHECK(spec.delay > 0, ctx, "DelayFill with zero delay");
+        SIM_CHECK(spec.delay > Cycle{}, ctx,
+                  "DelayFill with zero delay");
 }
 
 } // namespace ckesim

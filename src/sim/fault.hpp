@@ -54,14 +54,14 @@ struct FaultSpec
 {
     FaultKind kind = FaultKind::None;
     /** Active window [begin, end); end = kNeverCycle means forever. */
-    Cycle begin = 0;
+    Cycle begin{};
     Cycle end = kNeverCycle;
     /** SM / partition / channel index; -1 = every instance. */
     int target = -1;
     /** Max occurrences (DropFill/DelayFill/ForceRsFail); -1 = all. */
     int budget = -1;
     /** Added fill latency (DelayFill only). */
-    Cycle delay = 0;
+    Cycle delay{};
 };
 
 /** Deterministic fault oracle polled by pipeline components. */
@@ -74,10 +74,10 @@ class FaultInjector
     bool empty() const { return faults_.empty(); }
 
     /** Should this read fill bound for SM @p sm_id be discarded? */
-    bool dropFill(int sm_id, Cycle now);
+    bool dropFill(SmId sm_id, Cycle now);
 
     /** Extra delay for a fill bound for SM @p sm_id (0 = none). */
-    Cycle fillDelay(int sm_id, Cycle now);
+    Cycle fillDelay(SmId sm_id, Cycle now);
 
     /** Is the forward-crossbar port to partition @p dest jammed? */
     bool stallCrossbarPort(int dest, Cycle now);
@@ -86,7 +86,7 @@ class FaultInjector
     bool dramFrozen(int channel, Cycle now);
 
     /** Must SM @p sm_id's LSU head fail reservation this cycle? */
-    bool forceRsFail(int sm_id, Cycle now);
+    bool forceRsFail(SmId sm_id, Cycle now);
 
     /** How often faults of @p kind actually fired. */
     std::uint64_t firedCount(FaultKind kind) const

@@ -23,7 +23,7 @@ namespace ckesim {
 class TimeSeries
 {
   public:
-    explicit TimeSeries(Cycle interval = 1000) : interval_(interval) {}
+    explicit TimeSeries(Cycle interval = Cycle{1000}) : interval_(interval) {}
 
     /** Record @p count events at time @p cycle. */
     void

@@ -4,14 +4,14 @@
 
 namespace ckesim {
 
-Lsu::Lsu(int queue_depth, int hit_latency, int sm_id)
+Lsu::Lsu(int queue_depth, int hit_latency, SmId sm_id)
     : depth_(queue_depth), hit_latency_(hit_latency), sm_id_(sm_id)
 {
 }
 
 void
-Lsu::enqueue(int warp_slot, KernelId kernel, bool is_store,
-             const std::vector<Addr> &lines)
+Lsu::enqueue(WarpSlot warp_slot, KernelId kernel, bool is_store,
+             const std::vector<LineAddr> &lines)
 {
     SimCtx ctx;
     ctx.sm_id = sm_id_;
@@ -36,9 +36,9 @@ Lsu::tick(Cycle now, L1Dcache &l1d, LsuHost &host)
         return false;
 
     Entry &e = queue_.front();
-    const Addr line = e.lines[e.next];
+    const LineAddr line = e.lines[e.next];
     L1Target target;
-    target.warp_index = e.warp_slot;
+    target.warp_slot = e.warp_slot;
     target.kernel = e.kernel;
 
     const L1Outcome out =
@@ -57,7 +57,7 @@ Lsu::tick(Cycle now, L1Dcache &l1d, LsuHost &host)
 
     ++e.next;
     if (e.next >= e.lines.size()) {
-        const int warp_slot = e.warp_slot;
+        const WarpSlot warp_slot = e.warp_slot;
         const KernelId kernel = e.kernel;
         const bool is_store = e.is_store;
         queue_.pop_front();

@@ -27,13 +27,13 @@ class LsuHost
   public:
     virtual ~LsuHost() = default;
     /** A load request hit; the warp's data arrives at @p ready_at. */
-    virtual void lsuHitReturn(int warp_slot, KernelId k,
+    virtual void lsuHitReturn(WarpSlot warp_slot, KernelId k,
                               Cycle ready_at) = 0;
     /** All of an entry's requests were accepted by the L1D. */
-    virtual void lsuEntryDrained(int warp_slot, KernelId k,
+    virtual void lsuEntryDrained(WarpSlot warp_slot, KernelId k,
                                  bool is_store) = 0;
     /** A request for @p line was serviced (stats + QBMI/MILG/UMON). */
-    virtual void lsuAccessServiced(KernelId k, Addr line,
+    virtual void lsuAccessServiced(KernelId k, LineAddr line,
                                    const L1Outcome &outcome) = 0;
     /** The head request failed reservation this cycle. */
     virtual void lsuReservationFailure(KernelId k,
@@ -44,8 +44,8 @@ class LsuHost
 class Lsu
 {
   public:
-    /** @p sm_id is diagnostic context only (-1 = standalone). */
-    Lsu(int queue_depth, int hit_latency, int sm_id = -1);
+    /** @p sm_id is diagnostic context only (invalid = standalone). */
+    Lsu(int queue_depth, int hit_latency, SmId sm_id = kInvalidSm);
 
     bool hasRoom() const
     {
@@ -53,8 +53,8 @@ class Lsu
     }
 
     /** Admit one warp memory instruction (its coalesced lines). */
-    void enqueue(int warp_slot, KernelId kernel, bool is_store,
-                 const std::vector<Addr> &lines);
+    void enqueue(WarpSlot warp_slot, KernelId kernel, bool is_store,
+                 const std::vector<LineAddr> &lines);
 
     /**
      * Service at most one line request from the head entry.
@@ -74,16 +74,16 @@ class Lsu
   private:
     struct Entry
     {
-        int warp_slot = -1;
+        WarpSlot warp_slot = kInvalidWarpSlot;
         KernelId kernel = kInvalidKernel;
         bool is_store = false;
-        std::vector<Addr> lines;
+        std::vector<LineAddr> lines;
         std::size_t next = 0;
     };
 
     int depth_;
     int hit_latency_;
-    int sm_id_;
+    SmId sm_id_;
     std::deque<Entry> queue_;
 };
 

@@ -7,7 +7,7 @@ WarpScheduler::WarpScheduler(int id, int num_schedulers, int max_warps,
     : id_(id), policy_(policy)
 {
     for (int slot = id; slot < max_warps; slot += num_schedulers)
-        slots_.push_back(slot);
+        slots_.push_back(WarpSlot{slot});
 }
 
 } // namespace ckesim

@@ -25,29 +25,29 @@ class WarpScheduler
                   SchedPolicy policy);
 
     /**
-     * Pick the warp slot to issue from this cycle, or -1.
+     * Pick the warp slot to issue from this cycle, or
+     * kInvalidWarpSlot.
      *
      * @param warps the SM's warp table
      * @param can_issue predicate: slot is ready *and* passes every
      *        structural/CKE gate for its next instruction
      */
     template <typename CanIssue>
-    int
+    WarpSlot
     pick(const std::vector<Warp> &warps, const CanIssue &can_issue)
     {
         if (policy_ == SchedPolicy::GTO) {
             // Greedy: stick to the last-issued warp while it can go.
-            if (greedy_ >= 0 && can_issue(greedy_))
+            if (greedy_.valid() && can_issue(greedy_))
                 return greedy_;
             // Then oldest (smallest TB age; slot index tie-break).
-            int best = -1;
+            WarpSlot best = kInvalidWarpSlot;
             std::uint64_t best_age = 0;
-            for (int slot : slots_) {
+            for (WarpSlot slot : slots_) {
                 if (!can_issue(slot))
                     continue;
-                const std::uint64_t age =
-                    warps[static_cast<std::size_t>(slot)].age;
-                if (best < 0 || age < best_age) {
+                const std::uint64_t age = warps[slot.idx()].age;
+                if (!best.valid() || age < best_age) {
                     best = slot;
                     best_age = age;
                 }
@@ -63,28 +63,28 @@ class WarpScheduler
                 return slots_[at];
             }
         }
-        return -1;
+        return kInvalidWarpSlot;
     }
 
     /** Record the issued slot (GTO greediness). */
-    void onIssue(int slot) { greedy_ = slot; }
+    void onIssue(WarpSlot slot) { greedy_ = slot; }
 
     /** The issued warp can no longer issue (blocked/finished). */
     void
-    clearGreedyIf(int slot)
+    clearGreedyIf(WarpSlot slot)
     {
         if (greedy_ == slot)
-            greedy_ = -1;
+            greedy_ = kInvalidWarpSlot;
     }
 
     int id() const { return id_; }
-    const std::vector<int> &slots() const { return slots_; }
+    const std::vector<WarpSlot> &slots() const { return slots_; }
 
   private:
     int id_;
     SchedPolicy policy_;
-    std::vector<int> slots_;
-    int greedy_ = -1;
+    std::vector<WarpSlot> slots_;
+    WarpSlot greedy_ = kInvalidWarpSlot;
     std::size_t rr_next_ = 0;
 };
 

@@ -9,7 +9,7 @@ namespace ckesim {
 
 namespace {
 SimCtx
-smCtx(int sm_id, Cycle now = kNeverCycle,
+smCtx(SmId sm_id, Cycle now = kNeverCycle,
       KernelId kernel = kInvalidKernel)
 {
     SimCtx ctx;
@@ -21,7 +21,7 @@ smCtx(int sm_id, Cycle now = kNeverCycle,
 }
 } // namespace
 
-Sm::Sm(const GpuConfig &cfg, int sm_id, MemorySystem &mem,
+Sm::Sm(const GpuConfig &cfg, SmId sm_id, MemorySystem &mem,
        std::vector<const KernelProfile *> kernels,
        const IssuePolicyConfig &policy)
     : cfg_(cfg), sm_id_(sm_id), mem_(mem),
@@ -54,7 +54,7 @@ Sm::Sm(const GpuConfig &cfg, int sm_id, MemorySystem &mem,
 void
 Sm::setTbQuota(KernelId k, int quota)
 {
-    ctx_[static_cast<std::size_t>(k)].quota = quota;
+    ctx_[k.idx()].quota = quota;
 }
 
 void
@@ -70,7 +70,7 @@ Sm::drainFills(Cycle now)
 {
     for (const MemRequest &fill : mem_.drainRepliesForSm(sm_id_, now)) {
         for (const L1Target &t : l1d_.fill(fill.line_addr))
-            requestReturned(t.warp_index, now);
+            requestReturned(t.warp_slot, now);
     }
 }
 
@@ -78,16 +78,16 @@ void
 Sm::processWakes(Cycle now)
 {
     while (!wakes_.empty() && wakes_.top().first <= now) {
-        const int slot = wakes_.top().second;
+        const WarpSlot slot = wakes_.top().second;
         wakes_.pop();
         requestReturned(slot, now);
     }
 }
 
 void
-Sm::requestReturned(int warp_slot, Cycle now)
+Sm::requestReturned(WarpSlot warp_slot, Cycle now)
 {
-    Warp &w = warps_[static_cast<std::size_t>(warp_slot)];
+    Warp &w = warps_[warp_slot.idx()];
     SIM_INVARIANT(w.pending_requests > 0,
                   smCtx(sm_id_, now, w.kernel),
                   "wake for warp slot "
@@ -103,8 +103,7 @@ Sm::requestReturned(int warp_slot, Cycle now)
         return;
     // Blocked on memory-level parallelism: resume once under the
     // profile's in-flight load bound again.
-    const KernelProfile &prof =
-        *ctx_[static_cast<std::size_t>(w.kernel)].prof;
+    const KernelProfile &prof = *ctx_[w.kernel.idx()].prof;
     if (w.outstanding_loads >= prof.mlp)
         return;
     if (w.stream.done()) {
@@ -116,9 +115,9 @@ Sm::requestReturned(int warp_slot, Cycle now)
 }
 
 void
-Sm::retireWarp(int slot)
+Sm::retireWarp(WarpSlot slot)
 {
-    Warp &w = warps_[static_cast<std::size_t>(slot)];
+    Warp &w = warps_[slot.idx()];
     w.state = WarpState::Done;
     ThreadBlock &tb = tbs_[static_cast<std::size_t>(w.tb_index)];
     SIM_INVARIANT(tb.active && tb.warps_left > 0,
@@ -138,7 +137,7 @@ Sm::retireWarp(int slot)
             o.tb_index = -1;
         }
     }
-    KernelCtx &c = ctx_[static_cast<std::size_t>(tb.kernel)];
+    KernelCtx &c = ctx_[tb.kernel.idx()];
     const KernelProfile &prof = *c.prof;
     used_.regs -= prof.regsPerTb();
     used_.smem -= prof.smem_per_tb;
@@ -159,7 +158,7 @@ Sm::preScan(Cycle now, std::array<bool, kMaxKernelsPerSm> &mem_demand)
         if (w.state == WarpState::Busy && w.ready_at <= now) {
             if (w.stream.done()) {
                 if (w.outstanding_loads == 0)
-                    retireWarp(static_cast<int>(s));
+                    retireWarp(WarpSlot{s});
                 else
                     w.state = WarpState::WaitMem;
                 continue;
@@ -168,7 +167,7 @@ Sm::preScan(Cycle now, std::array<bool, kMaxKernelsPerSm> &mem_demand)
         }
         if (w.state == WarpState::Ready &&
             isGlobalMem(w.stream.peek()))
-            mem_demand[static_cast<std::size_t>(w.kernel)] = true;
+            mem_demand[w.kernel.idx()] = true;
     }
 }
 
@@ -187,7 +186,7 @@ Sm::resourcesFit(const KernelProfile &prof) const
 bool
 Sm::launchTb(KernelId k)
 {
-    KernelCtx &c = ctx_[static_cast<std::size_t>(k)];
+    KernelCtx &c = ctx_[k.idx()];
     const KernelProfile &prof = *c.prof;
     const int warps_needed = prof.warpsPerTb(cfg_.sm.simd_width);
 
@@ -214,7 +213,8 @@ Sm::launchTb(KernelId k)
         return false;
 
     const std::uint64_t tb_seq =
-        c.tb_seq++ + static_cast<std::uint64_t>(sm_id_) * 100003ULL;
+        c.tb_seq++ +
+        static_cast<std::uint64_t>(sm_id_.get()) * std::uint64_t{100003};
 
     ThreadBlock &tb = tbs_[static_cast<std::size_t>(tb_index)];
     tb.active = true;
@@ -234,7 +234,7 @@ Sm::launchTb(KernelId k)
         w.outstanding_loads = 0;
         w.age = age;
         const std::uint64_t seed =
-            cfg_.seed ^ (tb_seq * 1000003ULL) ^
+            cfg_.seed ^ (tb_seq * std::uint64_t{1000003}) ^
             static_cast<std::uint64_t>(i);
         w.stream.reset(prof, seed);
         initAddrGen(w.addr, prof, k, tb_seq, i, warps_needed,
@@ -257,23 +257,23 @@ Sm::tryDispatch(Cycle now)
     // At most one TB launch per cycle, round-robin across kernels.
     const int n = numKernels();
     for (int i = 0; i < n; ++i) {
-        const int k = (dispatch_rr_ + i) % n;
-        KernelCtx &c = ctx_[static_cast<std::size_t>(k)];
+        const int ki = (dispatch_rr_ + i) % n;
+        KernelCtx &c = ctx_[static_cast<std::size_t>(ki)];
         if (c.resident >= c.quota)
             continue;
         if (!resourcesFit(*c.prof))
             continue;
-        if (launchTb(k)) {
-            dispatch_rr_ = (k + 1) % n;
+        if (launchTb(KernelId{ki})) {
+            dispatch_rr_ = (ki + 1) % n;
             return;
         }
     }
 }
 
 bool
-Sm::canIssueWarp(int slot) const
+Sm::canIssueWarp(WarpSlot slot) const
 {
-    const Warp &w = warps_[static_cast<std::size_t>(slot)];
+    const Warp &w = warps_[slot.idx()];
     if (w.state != WarpState::Ready)
         return false;
     if (!controller_.admitAnyIssue(w.kernel))
@@ -288,10 +288,10 @@ Sm::canIssueWarp(int slot) const
 }
 
 void
-Sm::issueFrom(int slot, Cycle now)
+Sm::issueFrom(WarpSlot slot, Cycle now)
 {
-    Warp &w = warps_[static_cast<std::size_t>(slot)];
-    KernelCtx &c = ctx_[static_cast<std::size_t>(w.kernel)];
+    Warp &w = warps_[slot.idx()];
+    KernelCtx &c = ctx_[w.kernel.idx()];
     const InstrKind kind = w.stream.advance();
 
     ++c.stats.issued_instructions;
@@ -306,18 +306,18 @@ Sm::issueFrom(int slot, Cycle now)
         ++c.stats.alu_instructions;
         ++sm_stats_.alu_issue_slots;
         w.state = WarpState::Busy;
-        w.ready_at = now + static_cast<Cycle>(cfg_.sm.alu_latency);
+        w.ready_at = now + cfg_.sm.alu_latency;
         break;
       case InstrKind::Sfu:
         ++c.stats.sfu_instructions;
         ++sm_stats_.sfu_issue_slots;
         w.state = WarpState::Busy;
-        w.ready_at = now + static_cast<Cycle>(cfg_.sm.sfu_latency);
+        w.ready_at = now + cfg_.sm.sfu_latency;
         break;
       case InstrKind::Smem:
         ++c.stats.smem_instructions;
         w.state = WarpState::Busy;
-        w.ready_at = now + static_cast<Cycle>(cfg_.sm.smem_latency);
+        w.ready_at = now + cfg_.sm.smem_latency;
         break;
       case InstrKind::MemLoad:
       case InstrKind::MemStore: {
@@ -365,9 +365,9 @@ Sm::tick(Cycle now)
     tryDispatch(now);
 
     for (WarpScheduler &sched : schedulers_) {
-        const int slot =
-            sched.pick(warps_, [&](int s) { return canIssueWarp(s); });
-        if (slot < 0)
+        const WarpSlot slot = sched.pick(
+            warps_, [&](WarpSlot s) { return canIssueWarp(s); });
+        if (!slot.valid())
             continue;
         issueFrom(slot, now);
         sched.onIssue(slot);
@@ -454,8 +454,7 @@ Sm::checkInvariants(Cycle now) const
     int resident = 0;
     for (const KernelCtx &c : ctx_) {
         SIM_INVARIANT(c.resident >= 0,
-                      smCtx(sm_id_, now,
-                            static_cast<KernelId>(&c - ctx_.data())),
+                      smCtx(sm_id_, now, KernelId{&c - ctx_.data()}),
                       "negative resident TB count " << c.resident);
         resident += c.resident;
     }
@@ -463,7 +462,8 @@ Sm::checkInvariants(Cycle now) const
                   "per-kernel resident TBs sum "
                       << resident << " != TB slots in use "
                       << used_.tbs);
-    for (int k = 0; k < numKernels(); ++k) {
+    for (int ki = 0; ki < numKernels(); ++ki) {
+        const KernelId k{ki};
         SIM_INVARIANT(controller_.inflight(k) >= 0,
                       smCtx(sm_id_, now, k),
                       "negative in-flight memory instruction count "
@@ -504,8 +504,9 @@ Sm::describeState() const
     os << " l1_mshr=" << l1d_.mshrsInUse()
        << " l1_missq=" << l1d_.missQueueSize()
        << " wakes=" << wakes_.size();
-    for (int k = 0; k < numKernels(); ++k) {
-        const KernelCtx &c = ctx_[static_cast<std::size_t>(k)];
+    for (int ki = 0; ki < numKernels(); ++ki) {
+        const KernelId k{ki};
+        const KernelCtx &c = ctx_[k.idx()];
         os << " | k" << k << ": tbs=" << c.resident << "/" << c.quota
            << " inflight=" << controller_.inflight(k)
            << " mil=" << controller_.milLimit(k)
@@ -517,14 +518,14 @@ Sm::describeState() const
 // ---- LsuHost ------------------------------------------------------------
 
 void
-Sm::lsuHitReturn(int warp_slot, KernelId k, Cycle ready_at)
+Sm::lsuHitReturn(WarpSlot warp_slot, KernelId k, Cycle ready_at)
 {
     (void)k;
     wakes_.emplace(ready_at, warp_slot);
 }
 
 void
-Sm::lsuEntryDrained(int warp_slot, KernelId k, bool is_store)
+Sm::lsuEntryDrained(WarpSlot warp_slot, KernelId k, bool is_store)
 {
     (void)warp_slot;
     if (is_store)
@@ -532,9 +533,10 @@ Sm::lsuEntryDrained(int warp_slot, KernelId k, bool is_store)
 }
 
 void
-Sm::lsuAccessServiced(KernelId k, Addr line, const L1Outcome &outcome)
+Sm::lsuAccessServiced(KernelId k, LineAddr line,
+                      const L1Outcome &outcome)
 {
-    KernelCtx &c = ctx_[static_cast<std::size_t>(k)];
+    KernelCtx &c = ctx_[k.idx()];
     ++c.stats.l1d_accesses;
     switch (outcome.kind) {
       case L1Outcome::Kind::Hit:
@@ -558,7 +560,7 @@ Sm::lsuAccessServiced(KernelId k, Addr line, const L1Outcome &outcome)
 void
 Sm::lsuReservationFailure(KernelId k, RsFailReason reason)
 {
-    KernelCtx &c = ctx_[static_cast<std::size_t>(k)];
+    KernelCtx &c = ctx_[k.idx()];
     ++c.stats.l1d_rsfails;
     switch (reason) {
       case RsFailReason::Line:

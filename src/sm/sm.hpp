@@ -33,7 +33,7 @@ namespace ckesim {
 class Sm : public LsuHost
 {
   public:
-    Sm(const GpuConfig &cfg, int sm_id, MemorySystem &mem,
+    Sm(const GpuConfig &cfg, SmId sm_id, MemorySystem &mem,
        std::vector<const KernelProfile *> kernels,
        const IssuePolicyConfig &policy);
 
@@ -41,7 +41,7 @@ class Sm : public LsuHost
     void setTbQuota(KernelId k, int quota);
     int tbQuota(KernelId k) const
     {
-        return ctx_[static_cast<std::size_t>(k)].quota;
+        return ctx_[k.idx()].quota;
     }
 
     /** Advance one core cycle. */
@@ -62,23 +62,23 @@ class Sm : public LsuHost
     int numKernels() const { return static_cast<int>(ctx_.size()); }
     const KernelProfile &profile(KernelId k) const
     {
-        return *ctx_[static_cast<std::size_t>(k)].prof;
+        return *ctx_[k.idx()].prof;
     }
     const KernelStats &kernelStats(KernelId k) const
     {
-        return ctx_[static_cast<std::size_t>(k)].stats;
+        return ctx_[k.idx()].stats;
     }
     const SmStats &smStats() const { return sm_stats_; }
     int residentTbs(KernelId k) const
     {
-        return ctx_[static_cast<std::size_t>(k)].resident;
+        return ctx_[k.idx()].resident;
     }
     IssueController &controller() { return controller_; }
     const IssueController &controller() const { return controller_; }
     L1Dcache &l1d() { return l1d_; }
     const L1Dcache &l1d() const { return l1d_; }
     const Lsu &lsu() const { return lsu_; }
-    int smId() const { return sm_id_; }
+    SmId smId() const { return sm_id_; }
 
     // ---- integrity layer ------------------------------------------------
     /** Attach a fault injector (nullptr = fault-free operation). */
@@ -110,15 +110,15 @@ class Sm : public LsuHost
     /** Attach per-kernel samplers (Figures 6 and 8); may be null. */
     void setIssueSeries(KernelId k, TimeSeries *ts)
     {
-        ctx_[static_cast<std::size_t>(k)].issue_series = ts;
+        ctx_[k.idx()].issue_series = ts;
     }
     void setL1dSeries(KernelId k, TimeSeries *ts)
     {
-        ctx_[static_cast<std::size_t>(k)].l1d_series = ts;
+        ctx_[k.idx()].l1d_series = ts;
     }
 
     /** Observer of every serviced L1D access (UCP's UMON taps here). */
-    using AccessObserver = void (*)(void *, KernelId, Addr);
+    using AccessObserver = void (*)(void *, KernelId, LineAddr);
     void
     setAccessObserver(AccessObserver fn, void *opaque)
     {
@@ -127,10 +127,11 @@ class Sm : public LsuHost
     }
 
     // ---- LsuHost --------------------------------------------------------
-    void lsuHitReturn(int warp_slot, KernelId k, Cycle ready_at) override;
-    void lsuEntryDrained(int warp_slot, KernelId k,
+    void lsuHitReturn(WarpSlot warp_slot, KernelId k,
+                      Cycle ready_at) override;
+    void lsuEntryDrained(WarpSlot warp_slot, KernelId k,
                          bool is_store) override;
-    void lsuAccessServiced(KernelId k, Addr line,
+    void lsuAccessServiced(KernelId k, LineAddr line,
                            const L1Outcome &outcome) override;
     void lsuReservationFailure(KernelId k, RsFailReason reason) override;
 
@@ -162,13 +163,13 @@ class Sm : public LsuHost
     void tryDispatch(Cycle now);
     bool resourcesFit(const KernelProfile &prof) const;
     bool launchTb(KernelId k);
-    bool canIssueWarp(int slot) const;
-    void issueFrom(int slot, Cycle now);
-    void requestReturned(int warp_slot, Cycle now);
-    void retireWarp(int slot);
+    bool canIssueWarp(WarpSlot slot) const;
+    void issueFrom(WarpSlot slot, Cycle now);
+    void requestReturned(WarpSlot warp_slot, Cycle now);
+    void retireWarp(WarpSlot slot);
 
     GpuConfig cfg_;
-    int sm_id_;
+    SmId sm_id_;
     MemorySystem &mem_;
     std::vector<KernelCtx> ctx_;
     IssueController controller_;
@@ -181,17 +182,17 @@ class Sm : public LsuHost
     SmStats sm_stats_;
     std::uint64_t age_counter_ = 0;
     int dispatch_rr_ = 0;
-    Cycle now_ = 0;
+    Cycle now_{};
 
     /** Pending (cycle, warp_slot) load-data returns from L1 hits. */
-    using WakeEvent = std::pair<Cycle, int>;
+    using WakeEvent = std::pair<Cycle, WarpSlot>;
     std::priority_queue<WakeEvent, std::vector<WakeEvent>,
                         std::greater<WakeEvent>>
         wakes_;
 
     // Scratch buffers reused every memory instruction.
     std::vector<Addr> scratch_thread_addrs_;
-    std::vector<Addr> scratch_lines_;
+    std::vector<LineAddr> scratch_lines_;
 
     AccessObserver access_observer_ = nullptr;
     void *access_observer_opaque_ = nullptr;

@@ -33,7 +33,7 @@ struct Warp
     WarpState state = WarpState::Invalid;
     KernelId kernel = kInvalidKernel;
     int tb_index = -1;       ///< index into the SM's TB table
-    Cycle ready_at = 0;      ///< valid when Busy
+    Cycle ready_at{};        ///< valid when Busy
     int pending_requests = 0;///< outstanding load line requests
     std::uint64_t age = 0;   ///< TB dispatch order (GTO "oldest")
     InstrStream stream;

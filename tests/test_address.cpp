@@ -15,16 +15,27 @@ namespace {
 
 TEST(Address, LineBaseAndNumber)
 {
-    EXPECT_EQ(lineBase(0x1234, 128), 0x1200u);
-    EXPECT_EQ(lineBase(0x1200, 128), 0x1200u);
-    EXPECT_EQ(lineNumber(0x1234, 128), 0x1234u / 128);
-    EXPECT_EQ(lineNumber(255, 64), 3u);
+    EXPECT_EQ(lineBase(Addr{0x1234}, 128), Addr{0x1200});
+    EXPECT_EQ(lineBase(Addr{0x1200}, 128), Addr{0x1200});
+    EXPECT_EQ(toLineAddr(Addr{0x1234}, 128), LineAddr{0x1234 / 128});
+    EXPECT_EQ(toLineAddr(Addr{255}, 64), LineAddr{3});
+}
+
+TEST(Address, LineByteBaseRoundTrip)
+{
+    // lineByteBase is the inverse of toLineAddr on aligned addresses.
+    for (std::uint64_t n = 0; n < 4096; n += 7) {
+        const LineAddr line{n};
+        const Addr base = lineByteBase(line, 128);
+        EXPECT_EQ(base % 128, 0u);
+        EXPECT_EQ(toLineAddr(base, 128), line);
+    }
 }
 
 TEST(Address, XorIndexInRange)
 {
-    for (Addr line = 0; line < 100000; line += 37) {
-        const int set = xorSetIndex(line, 64);
+    for (std::uint64_t n = 0; n < 100000; n += 37) {
+        const int set = xorSetIndex(LineAddr{n}, 64);
         ASSERT_GE(set, 0);
         ASSERT_LT(set, 64);
     }
@@ -34,8 +45,9 @@ TEST(Address, XorIndexSpreadsSequentialLines)
 {
     // Sequential lines must cover all sets evenly.
     std::vector<int> counts(64, 0);
-    for (Addr line = 0; line < 6400; ++line)
-        ++counts[static_cast<std::size_t>(xorSetIndex(line, 64))];
+    for (std::uint64_t n = 0; n < 6400; ++n)
+        ++counts[static_cast<std::size_t>(
+            xorSetIndex(LineAddr{n}, 64))];
     for (int c : counts)
         EXPECT_EQ(c, 100);
 }
@@ -45,7 +57,7 @@ TEST(Address, XorIndexBreaksPowerOfTwoStrides)
     // A large power-of-two stride should not camp on one set.
     std::vector<int> counts(64, 0);
     for (int i = 0; i < 640; ++i) {
-        const Addr line = static_cast<Addr>(i) << 10;
+        const LineAddr line{static_cast<std::uint64_t>(i) << 10};
         ++counts[static_cast<std::size_t>(xorSetIndex(line, 64))];
     }
     int max_count = 0;
@@ -56,7 +68,8 @@ TEST(Address, XorIndexBreaksPowerOfTwoStrides)
 
 TEST(Address, PartitionInRangeAndChunked)
 {
-    for (Addr line = 0; line < 4096; ++line) {
+    for (std::uint64_t n = 0; n < 4096; ++n) {
+        const LineAddr line{n};
         const int p = linePartition(line, 16);
         ASSERT_GE(p, 0);
         ASSERT_LT(p, 16);
@@ -71,7 +84,8 @@ TEST(Address, PartitionBalanced)
     std::vector<int> counts(16, 0);
     const int chunks = 1600;
     for (int c = 0; c < chunks; ++c) {
-        const Addr line = static_cast<Addr>(c) * kPartitionChunkLines;
+        const LineAddr line{static_cast<std::uint64_t>(c) *
+                            kPartitionChunkLines};
         ++counts[static_cast<std::size_t>(linePartition(line, 16))];
     }
     for (int c : counts) {

@@ -22,7 +22,7 @@ AddrGenState
 makeState(const KernelProfile &p, int warp = 0, std::uint64_t tb = 0)
 {
     AddrGenState st;
-    initAddrGen(st, p, /*kernel_slot=*/0, tb, warp,
+    initAddrGen(st, p, KernelId{0}, tb, warp,
                 p.warpsPerTb(kSimd), /*seed=*/42, kLine);
     return st;
 }
@@ -45,7 +45,8 @@ TEST(AddrGen, CoalescesToReqPerMinst)
     for (const char *name : {"bp", "sv", "ks", "ax", "bs"}) {
         const KernelProfile &p = findProfile(name);
         AddrGenState st = makeState(p);
-        std::vector<Addr> addrs, lines;
+        std::vector<Addr> addrs;
+        std::vector<LineAddr> lines;
         std::uint64_t total = 0;
         const int n = 300;
         for (int i = 0; i < n; ++i) {
@@ -67,19 +68,19 @@ TEST(AddrGen, KernelSlotsAreDisjoint)
 {
     const KernelProfile &p = findProfile("bs");
     AddrGenState a, b;
-    initAddrGen(a, p, 0, 0, 0, 16, 42, kLine);
-    initAddrGen(b, p, 1, 0, 0, 16, 42, kLine);
-    std::set<Addr> seen_a;
+    initAddrGen(a, p, KernelId{0}, 0, 0, 16, 42, kLine);
+    initAddrGen(b, p, KernelId{1}, 0, 0, 16, 42, kLine);
+    std::set<LineAddr> seen_a;
     std::vector<Addr> addrs;
     for (int i = 0; i < 200; ++i) {
         generateAccess(a, p, kLine, kSimd, addrs);
         for (Addr x : addrs)
-            seen_a.insert(lineNumber(x, kLine));
+            seen_a.insert(toLineAddr(x, kLine));
     }
     for (int i = 0; i < 200; ++i) {
         generateAccess(b, p, kLine, kSimd, addrs);
         for (Addr x : addrs)
-            ASSERT_EQ(seen_a.count(lineNumber(x, kLine)), 0u);
+            ASSERT_EQ(seen_a.count(toLineAddr(x, kLine)), 0u);
     }
 }
 
@@ -88,7 +89,7 @@ TEST(AddrGen, FootprintConfinesRandomPatterns)
     const KernelProfile &p = findProfile("ks"); // StridedScatter
     AddrGenState st = makeState(p);
     std::vector<Addr> addrs;
-    Addr mn = ~Addr{0}, mx = 0;
+    Addr mn = Addr::max(), mx{};
     for (int i = 0; i < 500; ++i) {
         generateAccess(st, p, kLine, kSimd, addrs);
         for (Addr a : addrs) {
@@ -96,7 +97,8 @@ TEST(AddrGen, FootprintConfinesRandomPatterns)
             mx = std::max(mx, a);
         }
     }
-    EXPECT_LE(mx - mn, p.footprint_bytes + kLine);
+    EXPECT_LE((mx - mn).get(),
+              p.footprint_bytes + static_cast<std::uint64_t>(kLine));
 }
 
 TEST(AddrGen, StreamingAdvancesThroughRegion)
@@ -104,11 +106,11 @@ TEST(AddrGen, StreamingAdvancesThroughRegion)
     const KernelProfile &p = findProfile("bs"); // pure streaming
     AddrGenState st = makeState(p);
     std::vector<Addr> addrs;
-    std::set<Addr> lines;
+    std::set<LineAddr> lines;
     const int n = 400;
     for (int i = 0; i < n; ++i) {
         generateAccess(st, p, kLine, kSimd, addrs);
-        lines.insert(lineNumber(addrs[0], kLine));
+        lines.insert(toLineAddr(addrs[0], kLine));
     }
     // No reuse: every instruction touches a fresh line.
     EXPECT_EQ(lines.size(), static_cast<std::size_t>(n));
@@ -123,17 +125,17 @@ TEST(AddrGen, TbWarpsInterleaveOneRegion)
     std::vector<AddrGenState> sts;
     for (int w = 0; w < warps; ++w)
         sts.push_back(makeState(p, w, /*tb=*/5));
-    std::set<Addr> lines;
+    std::set<LineAddr> lines;
     std::vector<Addr> addrs;
     for (int w = 0; w < warps; ++w) {
         generateAccess(sts[static_cast<std::size_t>(w)], p, kLine,
                        kSimd, addrs);
-        lines.insert(lineNumber(addrs[0], kLine));
+        lines.insert(toLineAddr(addrs[0], kLine));
     }
     ASSERT_EQ(lines.size(), static_cast<std::size_t>(warps));
     // Contiguous run of `warps` lines.
     EXPECT_EQ(*lines.rbegin() - *lines.begin(),
-              static_cast<Addr>(warps - 1));
+              LineAddr{warps - 1});
 }
 
 TEST(AddrGen, HighReuseRevisitsLines)
@@ -141,12 +143,12 @@ TEST(AddrGen, HighReuseRevisitsLines)
     const KernelProfile &p = findProfile("dc"); // reuse 0.91
     AddrGenState st = makeState(p);
     std::vector<Addr> addrs;
-    std::set<Addr> lines;
+    std::set<LineAddr> lines;
     const int n = 500;
     for (int i = 0; i < n; ++i) {
         generateAccess(st, p, kLine, kSimd, addrs);
         for (Addr a : addrs)
-            lines.insert(lineNumber(a, kLine));
+            lines.insert(toLineAddr(a, kLine));
     }
     // Heavy reuse => far fewer distinct lines than instructions.
     EXPECT_LT(lines.size(), static_cast<std::size_t>(n / 2));

@@ -13,12 +13,12 @@ namespace ckesim {
 namespace {
 
 /** Lines that all land in the same set of a 64-set array. */
-Addr
+LineAddr
 sameSetLine(int num_sets, int set, int i)
 {
     // Scan for the i-th line mapping to `set`.
     int found = 0;
-    for (Addr line = 0;; ++line) {
+    for (LineAddr line{};; ++line) {
         if (xorSetIndex(line, num_sets) == set) {
             if (found == i)
                 return line;
@@ -30,16 +30,16 @@ sameSetLine(int num_sets, int set, int i)
 TEST(CacheArray, ProbeMissOnEmpty)
 {
     CacheArray c(64, 4);
-    EXPECT_EQ(c.probe(123), -1);
+    EXPECT_EQ(c.probe(LineAddr{123}), -1);
 }
 
 TEST(CacheArray, InstallThenHit)
 {
     CacheArray c(64, 4);
-    const Addr line = 777;
-    VictimResult v = c.chooseVictim(line, 0);
+    const LineAddr line{777};
+    VictimResult v = c.chooseVictim(line, KernelId{0});
     ASSERT_TRUE(v.ok);
-    c.install(c.setIndex(line), v.way, line, 0, false);
+    c.install(c.setIndex(line), v.way, line, KernelId{0}, false);
     EXPECT_EQ(c.probe(line), v.way);
 }
 
@@ -47,18 +47,18 @@ TEST(CacheArray, LruEvictsOldest)
 {
     CacheArray c(64, 2);
     const int set = 5;
-    const Addr a = sameSetLine(64, set, 0);
-    const Addr b = sameSetLine(64, set, 1);
-    const Addr d = sameSetLine(64, set, 2);
+    const LineAddr a = sameSetLine(64, set, 0);
+    const LineAddr b = sameSetLine(64, set, 1);
+    const LineAddr d = sameSetLine(64, set, 2);
 
-    VictimResult v = c.chooseVictim(a, 0);
-    c.install(set, v.way, a, 0, false);
-    v = c.chooseVictim(b, 0);
-    c.install(set, v.way, b, 0, false);
+    VictimResult v = c.chooseVictim(a, KernelId{0});
+    c.install(set, v.way, a, KernelId{0}, false);
+    v = c.chooseVictim(b, KernelId{0});
+    c.install(set, v.way, b, KernelId{0}, false);
 
     // Touch a so b is LRU.
     c.touch(set, c.probe(a));
-    v = c.chooseVictim(d, 0);
+    v = c.chooseVictim(d, KernelId{0});
     ASSERT_TRUE(v.ok);
     EXPECT_EQ(v.way, c.probe(b));
 }
@@ -67,22 +67,22 @@ TEST(CacheArray, ReservedLinesAreNotVictims)
 {
     CacheArray c(64, 2);
     const int set = 3;
-    const Addr a = sameSetLine(64, set, 0);
-    const Addr b = sameSetLine(64, set, 1);
-    const Addr d = sameSetLine(64, set, 2);
+    const LineAddr a = sameSetLine(64, set, 0);
+    const LineAddr b = sameSetLine(64, set, 1);
+    const LineAddr d = sameSetLine(64, set, 2);
 
-    VictimResult v = c.chooseVictim(a, 0);
-    c.reserve(set, v.way, a, 0);
-    v = c.chooseVictim(b, 0);
-    c.reserve(set, v.way, b, 0);
+    VictimResult v = c.chooseVictim(a, KernelId{0});
+    c.reserve(set, v.way, a, KernelId{0});
+    v = c.chooseVictim(b, KernelId{0});
+    c.reserve(set, v.way, b, KernelId{0});
 
     // Both ways reserved: reservation failure.
-    v = c.chooseVictim(d, 0);
+    v = c.chooseVictim(d, KernelId{0});
     EXPECT_FALSE(v.ok);
 
     // Fill one; it becomes evictable again.
     c.fill(set, c.probe(a));
-    v = c.chooseVictim(d, 0);
+    v = c.chooseVictim(d, KernelId{0});
     ASSERT_TRUE(v.ok);
     EXPECT_EQ(v.way, c.probe(a));
 }
@@ -90,26 +90,26 @@ TEST(CacheArray, ReservedLinesAreNotVictims)
 TEST(CacheArray, FillMakesLineValid)
 {
     CacheArray c(64, 4);
-    const Addr line = 42;
-    VictimResult v = c.chooseVictim(line, 1);
-    c.reserve(c.setIndex(line), v.way, line, 1);
+    const LineAddr line{42};
+    VictimResult v = c.chooseVictim(line, KernelId{1});
+    c.reserve(c.setIndex(line), v.way, line, KernelId{1});
     EXPECT_FALSE(c.line(c.setIndex(line), v.way).valid);
     c.fill(c.setIndex(line), v.way);
     const CacheLine &l = c.line(c.setIndex(line), v.way);
     EXPECT_TRUE(l.valid);
     EXPECT_FALSE(l.reserved);
-    EXPECT_EQ(l.owner, 1);
+    EXPECT_EQ(l.owner, KernelId{1});
 }
 
 TEST(CacheArray, DirtyEvictionReported)
 {
     CacheArray c(64, 1);
     const int set = 9;
-    const Addr a = sameSetLine(64, set, 0);
-    const Addr b = sameSetLine(64, set, 1);
-    VictimResult v = c.chooseVictim(a, 0);
-    c.install(set, v.way, a, 0, /*dirty=*/true);
-    v = c.chooseVictim(b, 0);
+    const LineAddr a = sameSetLine(64, set, 0);
+    const LineAddr b = sameSetLine(64, set, 1);
+    VictimResult v = c.chooseVictim(a, KernelId{0});
+    c.install(set, v.way, a, KernelId{0}, /*dirty=*/true);
+    v = c.chooseVictim(b, KernelId{0});
     ASSERT_TRUE(v.ok);
     EXPECT_TRUE(v.evicted_dirty);
     EXPECT_EQ(v.evicted_line, a);
@@ -118,9 +118,9 @@ TEST(CacheArray, DirtyEvictionReported)
 TEST(CacheArray, InvalidateFreesWay)
 {
     CacheArray c(64, 2);
-    const Addr line = 55;
-    VictimResult v = c.chooseVictim(line, 0);
-    c.install(c.setIndex(line), v.way, line, 0, false);
+    const LineAddr line{55};
+    VictimResult v = c.chooseVictim(line, KernelId{0});
+    c.install(c.setIndex(line), v.way, line, KernelId{0}, false);
     c.invalidate(c.setIndex(line), c.probe(line));
     EXPECT_EQ(c.probe(line), -1);
 }
@@ -128,14 +128,14 @@ TEST(CacheArray, InvalidateFreesWay)
 TEST(CacheArray, WayRestrictionsConfineVictims)
 {
     CacheArray c(64, 4);
-    c.restrictToWays(0, 0, 2); // kernel 0 -> ways [0,2)
-    c.restrictToWays(1, 2, 2); // kernel 1 -> ways [2,4)
-    const Addr line = 1234;
+    c.restrictToWays(KernelId{0}, 0, 2); // kernel 0 -> ways [0,2)
+    c.restrictToWays(KernelId{1}, 2, 2); // kernel 1 -> ways [2,4)
+    const LineAddr line{1234};
     for (int i = 0; i < 10; ++i) {
-        VictimResult v = c.chooseVictim(line + 64 * i, 0);
+        VictimResult v = c.chooseVictim(line + 64 * i, KernelId{0});
         ASSERT_TRUE(v.ok);
         EXPECT_LT(v.way, 2);
-        v = c.chooseVictim(line + 64 * i, 1);
+        v = c.chooseVictim(line + 64 * i, KernelId{1});
         ASSERT_TRUE(v.ok);
         EXPECT_GE(v.way, 2);
     }
@@ -144,11 +144,11 @@ TEST(CacheArray, WayRestrictionsConfineVictims)
 TEST(CacheArray, WayRestrictionDoesNotBlockLookups)
 {
     CacheArray c(64, 4);
-    c.restrictToWays(0, 0, 2);
-    c.restrictToWays(1, 2, 2);
-    const Addr line = 321;
-    VictimResult v = c.chooseVictim(line, 1);
-    c.install(c.setIndex(line), v.way, line, 1, false);
+    c.restrictToWays(KernelId{0}, 0, 2);
+    c.restrictToWays(KernelId{1}, 2, 2);
+    const LineAddr line{321};
+    VictimResult v = c.chooseVictim(line, KernelId{1});
+    c.install(c.setIndex(line), v.way, line, KernelId{1}, false);
     // Kernel 0 still *sees* kernel 1's line (UCP partitions
     // allocation, not visibility).
     EXPECT_GE(c.probe(line), 0);
@@ -157,14 +157,14 @@ TEST(CacheArray, WayRestrictionDoesNotBlockLookups)
 TEST(CacheArray, ClearWayRestrictions)
 {
     CacheArray c(64, 4);
-    c.restrictToWays(0, 0, 1);
+    c.restrictToWays(KernelId{0}, 0, 1);
     c.clearWayRestrictions();
     bool saw_upper_way = false;
     for (int i = 0; i < 4; ++i) {
-        const Addr line = sameSetLine(64, /*set=*/7, i);
-        VictimResult v = c.chooseVictim(line, 0);
+        const LineAddr line = sameSetLine(64, /*set=*/7, i);
+        VictimResult v = c.chooseVictim(line, KernelId{0});
         ASSERT_TRUE(v.ok);
-        c.install(c.setIndex(line), v.way, line, 0, false);
+        c.install(c.setIndex(line), v.way, line, KernelId{0}, false);
         if (v.way > 0)
             saw_upper_way = true;
     }
@@ -174,9 +174,9 @@ TEST(CacheArray, ClearWayRestrictions)
 TEST(CacheArray, FullWidthRestrictionMeansUnrestricted)
 {
     CacheArray c(64, 4);
-    c.restrictToWays(0, 0, 4);
-    const Addr line = 99;
-    VictimResult v = c.chooseVictim(line, 0);
+    c.restrictToWays(KernelId{0}, 0, 4);
+    const LineAddr line{99};
+    VictimResult v = c.chooseVictim(line, KernelId{0});
     EXPECT_TRUE(v.ok);
 }
 
@@ -184,13 +184,14 @@ TEST(CacheArray, OccupancyPerKernel)
 {
     CacheArray c(64, 4);
     for (int i = 0; i < 6; ++i) {
-        const Addr line = static_cast<Addr>(i) * 64 + 1;
-        VictimResult v = c.chooseVictim(line, i % 2);
-        c.install(c.setIndex(line), v.way, line, i % 2, false);
+        const LineAddr line{static_cast<std::uint64_t>(i) * 64 + 1};
+        const KernelId owner{i % 2};
+        VictimResult v = c.chooseVictim(line, owner);
+        c.install(c.setIndex(line), v.way, line, owner, false);
     }
-    EXPECT_EQ(c.occupancyOf(0), 3);
-    EXPECT_EQ(c.occupancyOf(1), 3);
-    EXPECT_EQ(c.occupancyOf(2), 0);
+    EXPECT_EQ(c.occupancyOf(KernelId{0}), 3);
+    EXPECT_EQ(c.occupancyOf(KernelId{1}), 3);
+    EXPECT_EQ(c.occupancyOf(KernelId{2}), 0);
 }
 
 } // namespace

@@ -30,18 +30,18 @@ TEST(SimCheck, PassingConditionsAreSilent)
 TEST(SimCheck, FailureCarriesFullContext)
 {
     SimCtx ctx;
-    ctx.cycle = 123;
-    ctx.sm_id = 2;
-    ctx.kernel = 1;
+    ctx.cycle = Cycle{123};
+    ctx.sm_id = SmId{2};
+    ctx.kernel = KernelId{1};
     ctx.module = "l1d";
     try {
         SIM_CHECK(2 + 2 == 5, ctx, "value was " << 42);
         FAIL() << "SIM_CHECK did not throw";
     } catch (const SimError &e) {
         EXPECT_EQ(e.kind(), "SIM_CHECK");
-        EXPECT_EQ(e.ctx().cycle, 123u);
-        EXPECT_EQ(e.ctx().sm_id, 2);
-        EXPECT_EQ(e.ctx().kernel, 1);
+        EXPECT_EQ(e.ctx().cycle, Cycle{123});
+        EXPECT_EQ(e.ctx().sm_id, SmId{2});
+        EXPECT_EQ(e.ctx().kernel, KernelId{1});
         EXPECT_EQ(e.detail(), "value was 42");
         const std::string what = e.what();
         EXPECT_NE(what.find("cycle=123"), std::string::npos);
@@ -169,12 +169,12 @@ TEST(SchemeValidate, RejectsBadKnobs)
 
     SchemeSpec ucp;
     ucp.ucp = true;
-    ucp.ucp_interval = 0;
+    ucp.ucp_interval = Cycle{0};
     EXPECT_THROW(ucp.validate(cfg), SimError);
 
     SchemeSpec ws;
     ws.partition = PartitionScheme::WarpedSlicer;
-    ws.ws_profile_window = 0;
+    ws.ws_profile_window = Cycle{0};
     EXPECT_THROW(ws.validate(cfg), SimError);
 
     SchemeSpec smil;
@@ -194,29 +194,35 @@ TEST(SchemeValidate, RejectsBadFaultSpecs)
 
     SchemeSpec window;
     window.faults.push_back(
-        {FaultKind::DropFill, 100, 100, 0, -1, 0}); // empty window
+        {FaultKind::DropFill, Cycle{100}, Cycle{100}, 0, -1,
+         Cycle{}}); // empty window
     EXPECT_THROW(window.validate(cfg), SimError);
 
     SchemeSpec target;
     target.faults.push_back(
-        {FaultKind::DropFill, 0, kNeverCycle, 7, -1, 0}); // no SM 7
+        {FaultKind::DropFill, Cycle{}, kNeverCycle, 7, -1,
+         Cycle{}}); // no SM 7
     EXPECT_THROW(target.validate(cfg), SimError);
 
     SchemeSpec channel;
     channel.faults.push_back(
-        {FaultKind::FreezeDram, 0, kNeverCycle, 5, -1, 0});
+        {FaultKind::FreezeDram, Cycle{}, kNeverCycle, 5, -1,
+         Cycle{}});
     EXPECT_THROW(channel.validate(cfg), SimError);
 
     SchemeSpec delay;
     delay.faults.push_back(
-        {FaultKind::DelayFill, 0, kNeverCycle, 0, -1, 0}); // delay 0
+        {FaultKind::DelayFill, Cycle{}, kNeverCycle, 0, -1,
+         Cycle{}}); // delay 0
     EXPECT_THROW(delay.validate(cfg), SimError);
 
     SchemeSpec ok;
     ok.faults.push_back(
-        {FaultKind::DropFill, 1000, kNeverCycle, 0, 4, 0});
+        {FaultKind::DropFill, Cycle{1000}, kNeverCycle, 0, 4,
+         Cycle{}});
     ok.faults.push_back(
-        {FaultKind::DelayFill, 0, kNeverCycle, -1, -1, 50});
+        {FaultKind::DelayFill, Cycle{}, kNeverCycle, -1, -1,
+         Cycle{50}});
     EXPECT_NO_THROW(ok.validate(cfg));
 }
 

@@ -16,10 +16,10 @@ TEST(Coalescer, FullyCoalescedContiguousFloats)
     // 32 threads x 4B consecutive within 128B -> exactly one line.
     std::vector<Addr> addrs;
     for (int t = 0; t < 32; ++t)
-        addrs.push_back(0x1000 + static_cast<Addr>(t) * 4);
-    std::vector<Addr> out;
+        addrs.push_back(Addr{0x1000 + t * 4});
+    std::vector<LineAddr> out;
     coalesce(addrs, 128, out);
-    EXPECT_EQ(out, std::vector<Addr>{0x1000 / 128});
+    EXPECT_EQ(out, std::vector<LineAddr>{LineAddr{0x1000 / 128}});
 }
 
 TEST(Coalescer, TwoLinesForFloat2Stride)
@@ -27,8 +27,8 @@ TEST(Coalescer, TwoLinesForFloat2Stride)
     // 8B per thread spans two 128B lines.
     std::vector<Addr> addrs;
     for (int t = 0; t < 32; ++t)
-        addrs.push_back(0x2000 + static_cast<Addr>(t) * 8);
-    std::vector<Addr> out;
+        addrs.push_back(Addr{0x2000 + t * 8});
+    std::vector<LineAddr> out;
     coalesce(addrs, 128, out);
     EXPECT_EQ(out.size(), 2u);
 }
@@ -37,32 +37,35 @@ TEST(Coalescer, FullyDivergentScatter)
 {
     std::vector<Addr> addrs;
     for (int t = 0; t < 32; ++t)
-        addrs.push_back(static_cast<Addr>(t) * 4096);
-    std::vector<Addr> out;
+        addrs.push_back(Addr{t * 4096});
+    std::vector<LineAddr> out;
     coalesce(addrs, 128, out);
     EXPECT_EQ(out.size(), 32u);
 }
 
 TEST(Coalescer, PreservesFirstTouchOrder)
 {
-    std::vector<Addr> addrs = {128 * 5, 128 * 2, 128 * 5 + 4,
-                               128 * 9};
-    std::vector<Addr> out;
+    std::vector<Addr> addrs = {Addr{128 * 5}, Addr{128 * 2},
+                               Addr{128 * 5 + 4}, Addr{128 * 9}};
+    std::vector<LineAddr> out;
     coalesce(addrs, 128, out);
-    EXPECT_EQ(out, (std::vector<Addr>{5, 2, 9}));
+    EXPECT_EQ(out, (std::vector<LineAddr>{LineAddr{5}, LineAddr{2},
+                                          LineAddr{9}}));
 }
 
 TEST(Coalescer, EmptyInput)
 {
-    std::vector<Addr> out = {1, 2, 3};
+    std::vector<LineAddr> out = {LineAddr{1}, LineAddr{2},
+                                 LineAddr{3}};
     coalesce({}, 128, out);
     EXPECT_TRUE(out.empty());
 }
 
 TEST(Coalescer, RespectsLineSize)
 {
-    std::vector<Addr> addrs = {0, 64, 127, 128};
-    std::vector<Addr> out;
+    std::vector<Addr> addrs = {Addr{0}, Addr{64}, Addr{127},
+                               Addr{128}};
+    std::vector<LineAddr> out;
     coalesce(addrs, 128, out);
     EXPECT_EQ(out.size(), 2u);
     coalesce(addrs, 64, out);

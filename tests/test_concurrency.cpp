@@ -21,7 +21,7 @@
 namespace ckesim {
 namespace {
 
-constexpr Cycle kCycles = 6000;
+constexpr Cycle kCycles{6000};
 
 struct RunDigest
 {
@@ -40,10 +40,10 @@ simulate(const std::string &a, const std::string &b)
     Gpu gpu(cfg, w, spec);
     gpu.run(kCycles);
     RunDigest d;
-    d.kernel_fp = fingerprint(gpu.kernelStatsTotal(0),
-                              fingerprint(gpu.kernelStatsTotal(1)));
+    d.kernel_fp = fingerprint(gpu.kernelStatsTotal(KernelId{0}),
+                              fingerprint(gpu.kernelStatsTotal(KernelId{1})));
     d.sm_fp = fingerprint(gpu.smStatsTotal());
-    d.ipc = gpu.ipc(0) + gpu.ipc(1);
+    d.ipc = gpu.ipc(KernelId{0}) + gpu.ipc(KernelId{1});
     gpu.audit();
     return d;
 }

@@ -48,13 +48,13 @@ spatialSpec()
 
 TEST(FaultInjector, RespectsWindowTargetAndBudget)
 {
-    FaultInjector inj({{FaultKind::DropFill, 100, 200, 1, 2, 0}});
-    EXPECT_FALSE(inj.dropFill(1, 99));   // before window
-    EXPECT_FALSE(inj.dropFill(0, 150));  // wrong SM
-    EXPECT_TRUE(inj.dropFill(1, 150));   // budget 2 -> 1
-    EXPECT_TRUE(inj.dropFill(1, 151));   // budget 1 -> 0
-    EXPECT_FALSE(inj.dropFill(1, 152));  // exhausted
-    EXPECT_FALSE(inj.dropFill(1, 200));  // window end is exclusive
+    FaultInjector inj({{FaultKind::DropFill, Cycle{100}, Cycle{200}, 1, 2, Cycle{}}});
+    EXPECT_FALSE(inj.dropFill(SmId{1}, Cycle{99}));   // before window
+    EXPECT_FALSE(inj.dropFill(SmId{0}, Cycle{150}));  // wrong SM
+    EXPECT_TRUE(inj.dropFill(SmId{1}, Cycle{150}));   // budget 2 -> 1
+    EXPECT_TRUE(inj.dropFill(SmId{1}, Cycle{151}));   // budget 1 -> 0
+    EXPECT_FALSE(inj.dropFill(SmId{1}, Cycle{152}));  // exhausted
+    EXPECT_FALSE(inj.dropFill(SmId{1}, Cycle{200}));  // window end is exclusive
     EXPECT_EQ(inj.firedCount(FaultKind::DropFill), 2u);
     EXPECT_TRUE(inj.anyFired());
 }
@@ -62,20 +62,20 @@ TEST(FaultInjector, RespectsWindowTargetAndBudget)
 TEST(FaultInjector, WildcardTargetHitsEveryInstance)
 {
     FaultInjector inj(
-        {{FaultKind::StallCrossbar, 0, kNeverCycle, -1, -1, 0}});
-    EXPECT_TRUE(inj.stallCrossbarPort(0, 5));
-    EXPECT_TRUE(inj.stallCrossbarPort(3, 5));
-    EXPECT_FALSE(inj.dramFrozen(0, 5)); // different kind
+        {{FaultKind::StallCrossbar, Cycle{0}, kNeverCycle, -1, -1, Cycle{}}});
+    EXPECT_TRUE(inj.stallCrossbarPort(0, Cycle{5}));
+    EXPECT_TRUE(inj.stallCrossbarPort(3, Cycle{5}));
+    EXPECT_FALSE(inj.dramFrozen(0, Cycle{5})); // different kind
 }
 
 TEST(FaultInjector, FillDelayReturnsConfiguredDelay)
 {
     FaultInjector inj(
-        {{FaultKind::DelayFill, 0, kNeverCycle, -1, -1, 75}});
-    EXPECT_EQ(inj.fillDelay(0, 10), 75u);
+        {{FaultKind::DelayFill, Cycle{0}, kNeverCycle, -1, -1, Cycle{75}}});
+    EXPECT_EQ(inj.fillDelay(SmId{0}, Cycle{10}), Cycle{75});
     FaultInjector none;
     EXPECT_TRUE(none.empty());
-    EXPECT_EQ(none.fillDelay(0, 10), 0u);
+    EXPECT_EQ(none.fillDelay(SmId{0}, Cycle{10}), Cycle{});
     EXPECT_FALSE(none.anyFired());
 }
 
@@ -83,7 +83,7 @@ TEST(FaultInjector, FillDelayReturnsConfiguredDelay)
 
 /** Run @p spec expecting a watchdog trip; return the error. */
 SimError
-expectWatchdog(const SchemeSpec &spec, Cycle run_cycles = 16000)
+expectWatchdog(const SchemeSpec &spec, Cycle run_cycles = Cycle{16000})
 {
     Gpu gpu(faultCfg(), memWorkload(), spec);
     try {
@@ -100,10 +100,10 @@ TEST(FaultDetection, DroppedL1FillsTripTheWatchdogWithin10k)
 {
     SchemeSpec spec = spatialSpec();
     spec.faults.push_back(
-        {FaultKind::DropFill, 0, kNeverCycle, -1, -1, 0});
+        {FaultKind::DropFill, Cycle{0}, kNeverCycle, -1, -1, Cycle{}});
     const SimError e = expectWatchdog(spec);
     // Detection budget: the fault is active from cycle 0.
-    EXPECT_LE(e.ctx().cycle, 10000u);
+    EXPECT_LE(e.ctx().cycle, Cycle{10000});
     // Diagnostics carry per-SM occupancies and the memsys ledger.
     const std::string d = e.detail();
     EXPECT_NE(d.find("sm 0:"), std::string::npos) << d;
@@ -118,9 +118,9 @@ TEST(FaultDetection, JammedCrossbarTripsTheWatchdogWithin10k)
 {
     SchemeSpec spec = spatialSpec();
     spec.faults.push_back(
-        {FaultKind::StallCrossbar, 0, kNeverCycle, -1, -1, 0});
+        {FaultKind::StallCrossbar, Cycle{0}, kNeverCycle, -1, -1, Cycle{}});
     const SimError e = expectWatchdog(spec);
-    EXPECT_LE(e.ctx().cycle, 10000u);
+    EXPECT_LE(e.ctx().cycle, Cycle{10000});
     EXPECT_NE(e.detail().find("l1_missq="), std::string::npos)
         << e.detail();
 }
@@ -129,9 +129,9 @@ TEST(FaultDetection, FrozenDramChannelsTripTheWatchdogWithin10k)
 {
     SchemeSpec spec = spatialSpec();
     spec.faults.push_back(
-        {FaultKind::FreezeDram, 0, kNeverCycle, -1, -1, 0});
+        {FaultKind::FreezeDram, Cycle{0}, kNeverCycle, -1, -1, Cycle{}});
     const SimError e = expectWatchdog(spec);
-    EXPECT_LE(e.ctx().cycle, 10000u);
+    EXPECT_LE(e.ctx().cycle, Cycle{10000});
 }
 
 // ---- hard faults without deadlock: the audit must report the leak ------
@@ -141,15 +141,15 @@ TEST(FaultDetection, PartialFillDropFailsTheConservationAudit)
     // Two dropped fills leak two L1 MSHRs but the machine keeps
     // running on other warps — only the audit can prove the loss.
     SchemeSpec spec = spatialSpec();
-    spec.faults.push_back({FaultKind::DropFill, 500, 600, 0, 2, 0});
+    spec.faults.push_back({FaultKind::DropFill, Cycle{500}, Cycle{600}, 0, 2, Cycle{}});
     Gpu gpu(faultCfg(), memWorkload(), spec);
-    gpu.run(4000);
+    gpu.run(Cycle{4000});
     EXPECT_EQ(gpu.faultInjector().firedCount(FaultKind::DropFill), 2u);
     try {
         gpu.audit();
         FAIL() << "audit passed despite dropped fills";
     } catch (const SimError &e) {
-        EXPECT_EQ(e.ctx().sm_id, 0); // the targeted SM is named
+        EXPECT_EQ(e.ctx().sm_id, SmId{0}); // the targeted SM is named
         EXPECT_NE(std::string(e.what()).find("mshr"),
                   std::string::npos)
             << e.what();
@@ -162,9 +162,9 @@ TEST(FaultRecovery, DelayedFillsCompleteAndPassTheAudit)
 {
     SchemeSpec spec = spatialSpec();
     spec.faults.push_back(
-        {FaultKind::DelayFill, 0, kNeverCycle, -1, -1, 200});
+        {FaultKind::DelayFill, Cycle{0}, kNeverCycle, -1, -1, Cycle{200}});
     Gpu gpu(faultCfg(), memWorkload(), spec);
-    EXPECT_NO_THROW(gpu.run(8000));
+    EXPECT_NO_THROW(gpu.run(Cycle{8000}));
     EXPECT_GT(gpu.faultInjector().firedCount(FaultKind::DelayFill), 0u);
     EXPECT_NO_THROW(gpu.audit());
 }
@@ -172,10 +172,9 @@ TEST(FaultRecovery, DelayedFillsCompleteAndPassTheAudit)
 TEST(FaultRecovery, TransientCrossbarStallRecovers)
 {
     SchemeSpec spec = spatialSpec();
-    spec.faults.push_back({FaultKind::StallCrossbar, 1000, 1400, -1,
-                           -1, 0});
+    spec.faults.push_back({FaultKind::StallCrossbar, Cycle{1000}, Cycle{1400}, -1, -1, Cycle{}});
     Gpu gpu(faultCfg(), memWorkload(), spec);
-    EXPECT_NO_THROW(gpu.run(8000));
+    EXPECT_NO_THROW(gpu.run(Cycle{8000}));
     EXPECT_NO_THROW(gpu.audit());
 }
 
@@ -183,9 +182,9 @@ TEST(FaultRecovery, ForcedRsFailsStallButRetire)
 {
     SchemeSpec spec = spatialSpec();
     spec.faults.push_back(
-        {FaultKind::ForceRsFail, 100, kNeverCycle, 0, 500, 0});
+        {FaultKind::ForceRsFail, Cycle{100}, kNeverCycle, 0, 500, Cycle{}});
     Gpu gpu(faultCfg(), memWorkload(), spec);
-    EXPECT_NO_THROW(gpu.run(8000));
+    EXPECT_NO_THROW(gpu.run(Cycle{8000}));
     EXPECT_EQ(gpu.faultInjector().firedCount(FaultKind::ForceRsFail),
               500u);
     EXPECT_GT(gpu.smStatsTotal().lsu_stall_cycles, 500u);
@@ -198,7 +197,7 @@ TEST(Audit, CleanConcurrentRunsDrainCompletely)
 {
     // Spans compute-heavy, memory-heavy and mixed pairs; Runner::run
     // audits internally after collecting metrics.
-    Runner runner(faultCfg(), 8000);
+    Runner runner(faultCfg(), Cycle{8000});
     const Workload mixed = makeWorkload({"bp", "sv"});
     EXPECT_NO_THROW(runner.run(mixed, NamedScheme::WS_QBMI_DMIL));
     EXPECT_NO_THROW(runner.run(memWorkload(), NamedScheme::WS));
@@ -208,13 +207,13 @@ TEST(Audit, CleanConcurrentRunsDrainCompletely)
 TEST(Audit, ExplicitAuditPassesAndPreservesMetrics)
 {
     Gpu gpu(faultCfg(), memWorkload(), spatialSpec());
-    gpu.run(5000);
+    gpu.run(Cycle{5000});
     const Cycle measured = gpu.measuredCycles();
-    const double ipc0 = gpu.ipc(0);
+    const double ipc0 = gpu.ipc(KernelId{0});
     EXPECT_NO_THROW(gpu.audit());
     // Audit drain is bookkeeping, not simulated time.
     EXPECT_EQ(gpu.measuredCycles(), measured);
-    EXPECT_DOUBLE_EQ(gpu.ipc(0), ipc0);
+    EXPECT_DOUBLE_EQ(gpu.ipc(KernelId{0}), ipc0);
     EXPECT_EQ(gpu.memsys().injectedReads(),
               gpu.memsys().deliveredFills());
     EXPECT_EQ(gpu.memsys().inflightReads(), 0u);
@@ -225,7 +224,7 @@ TEST(Audit, ExplicitAuditPassesAndPreservesMetrics)
 TEST(Watchdog, DoesNotFireOnHealthyRuns)
 {
     Gpu gpu(faultCfg(), memWorkload(), spatialSpec());
-    EXPECT_NO_THROW(gpu.run(20000));
+    EXPECT_NO_THROW(gpu.run(Cycle{20000}));
 }
 
 TEST(Watchdog, DoesNotFireOnAnIdleMachine)
@@ -235,8 +234,8 @@ TEST(Watchdog, DoesNotFireOnAnIdleMachine)
     Gpu gpu(faultCfg(), memWorkload(), spatialSpec());
     for (int s = 0; s < gpu.numSms(); ++s)
         for (int k = 0; k < gpu.numKernels(); ++k)
-            gpu.sm(s).setTbQuota(k, 0);
-    EXPECT_NO_THROW(gpu.run(20000));
+            gpu.sm(s).setTbQuota(KernelId{k}, 0);
+    EXPECT_NO_THROW(gpu.run(Cycle{20000}));
 }
 
 } // namespace

@@ -31,9 +31,9 @@ TEST(Gpu, LeftoverQuotasApplied)
     Gpu gpu(cfg(), wl("bp", "sv"),
             makeScheme(PartitionScheme::Leftover, BmiMode::None,
                        MilMode::None));
-    EXPECT_EQ(gpu.sm(0).tbQuota(0),
+    EXPECT_EQ(gpu.sm(0).tbQuota(KernelId{0}),
               findProfile("bp").maxTbsPerSm(cfg().sm));
-    EXPECT_EQ(gpu.sm(0).tbQuota(1), 0);
+    EXPECT_EQ(gpu.sm(0).tbQuota(KernelId{1}), 0);
 }
 
 TEST(Gpu, SpatialSplitsSms)
@@ -41,10 +41,10 @@ TEST(Gpu, SpatialSplitsSms)
     Gpu gpu(cfg(), wl("bp", "sv"),
             makeScheme(PartitionScheme::Spatial, BmiMode::None,
                        MilMode::None));
-    EXPECT_GT(gpu.sm(0).tbQuota(0), 0);
-    EXPECT_EQ(gpu.sm(0).tbQuota(1), 0);
-    EXPECT_EQ(gpu.sm(3).tbQuota(0), 0);
-    EXPECT_GT(gpu.sm(3).tbQuota(1), 0);
+    EXPECT_GT(gpu.sm(0).tbQuota(KernelId{0}), 0);
+    EXPECT_EQ(gpu.sm(0).tbQuota(KernelId{1}), 0);
+    EXPECT_EQ(gpu.sm(3).tbQuota(KernelId{0}), 0);
+    EXPECT_GT(gpu.sm(3).tbQuota(KernelId{1}), 0);
 }
 
 TEST(Gpu, SmkDrfQuotasBroadcast)
@@ -54,8 +54,8 @@ TEST(Gpu, SmkDrfQuotasBroadcast)
                        MilMode::None));
     ASSERT_EQ(gpu.chosenPartition().size(), 2u);
     for (int s = 0; s < gpu.numSms(); ++s) {
-        EXPECT_EQ(gpu.sm(s).tbQuota(0), gpu.chosenPartition()[0]);
-        EXPECT_EQ(gpu.sm(s).tbQuota(1), gpu.chosenPartition()[1]);
+        EXPECT_EQ(gpu.sm(s).tbQuota(KernelId{0}), gpu.chosenPartition()[0]);
+        EXPECT_EQ(gpu.sm(s).tbQuota(KernelId{1}), gpu.chosenPartition()[1]);
     }
 }
 
@@ -63,17 +63,17 @@ TEST(Gpu, DynamicWsProfilesThenPartitions)
 {
     SchemeSpec spec = makeScheme(PartitionScheme::WarpedSlicer,
                                  BmiMode::None, MilMode::None);
-    spec.ws_profile_window = 3000;
+    spec.ws_profile_window = Cycle{3000};
     Gpu gpu(cfg(), wl("bp", "sv"), spec);
 
     // During profiling each SM runs a single kernel.
     for (int s = 0; s < gpu.numSms(); ++s) {
-        const bool single = (gpu.sm(s).tbQuota(0) == 0) !=
-                            (gpu.sm(s).tbQuota(1) == 0);
+        const bool single = (gpu.sm(s).tbQuota(KernelId{0}) == 0) !=
+                            (gpu.sm(s).tbQuota(KernelId{1}) == 0);
         EXPECT_TRUE(single) << "sm " << s;
     }
 
-    gpu.run(8000);
+    gpu.run(Cycle{8000});
 
     // After the window: a feasible shared partition on every SM.
     ASSERT_EQ(gpu.chosenPartition().size(), 2u);
@@ -98,9 +98,9 @@ TEST(Gpu, OracleCurvesSkipProfiling)
     spec.oracle_curves = {linear, sat};
     Gpu gpu(cfg(), wl("bp", "sv"), spec);
     // Partition decided at construction; both kernels resident.
-    EXPECT_GE(gpu.sm(0).tbQuota(0), 1);
-    EXPECT_GE(gpu.sm(0).tbQuota(1), 1);
-    gpu.run(2000);
+    EXPECT_GE(gpu.sm(0).tbQuota(KernelId{0}), 1);
+    EXPECT_GE(gpu.sm(0).tbQuota(KernelId{1}), 1);
+    gpu.run(Cycle{2000});
     EXPECT_EQ(gpu.measuredCycles(), Cycle{2000});
 }
 
@@ -109,13 +109,13 @@ TEST(Gpu, IpcAggregatesAcrossSms)
     Gpu gpu(cfg(), wl("bp", "sv"),
             makeScheme(PartitionScheme::SmkDrf, BmiMode::None,
                        MilMode::None));
-    gpu.run(4000);
+    gpu.run(Cycle{4000});
     std::uint64_t instrs = 0;
     for (int s = 0; s < gpu.numSms(); ++s)
-        instrs += gpu.sm(s).kernelStats(0).issued_instructions;
-    EXPECT_NEAR(gpu.ipc(0),
+        instrs += gpu.sm(s).kernelStats(KernelId{0}).issued_instructions;
+    EXPECT_NEAR(gpu.ipc(KernelId{0}),
                 static_cast<double>(instrs) / 4000.0, 1e-9);
-    EXPECT_EQ(gpu.kernelStatsTotal(0).issued_instructions, instrs);
+    EXPECT_EQ(gpu.kernelStatsTotal(KernelId{0}).issued_instructions, instrs);
 }
 
 TEST(Gpu, UcpAppliesWayRestrictions)
@@ -123,14 +123,14 @@ TEST(Gpu, UcpAppliesWayRestrictions)
     SchemeSpec spec = makeScheme(PartitionScheme::SmkDrf,
                                  BmiMode::None, MilMode::None);
     spec.ucp = true;
-    spec.ucp_interval = 2000;
+    spec.ucp_interval = Cycle{2000};
     Gpu gpu(cfg(), wl("bp", "ks"), spec);
-    gpu.run(6000);
+    gpu.run(Cycle{6000});
     // After repartitioning, victim choice for the two kernels must be
     // confined to disjoint way ranges; verify via fresh allocations.
     CacheArray &tags = gpu.sm(0).l1d().tags();
-    VictimResult v0 = tags.chooseVictim(0xdead00, 0);
-    VictimResult v1 = tags.chooseVictim(0xdead00, 1);
+    VictimResult v0 = tags.chooseVictim(LineAddr{0xdead00}, KernelId{0});
+    VictimResult v1 = tags.chooseVictim(LineAddr{0xdead00}, KernelId{1});
     ASSERT_TRUE(v0.ok);
     ASSERT_TRUE(v1.ok);
     EXPECT_NE(v0.way, v1.way);
@@ -141,14 +141,14 @@ TEST(Gpu, SeriesAttachAggregatesAllSms)
     Gpu gpu(cfg(), wl("bp", "sv"),
             makeScheme(PartitionScheme::SmkDrf, BmiMode::None,
                        MilMode::None));
-    TimeSeries issue(1000), l1d(1000);
-    gpu.attachSeries(0, &issue, &l1d);
-    gpu.run(3000);
+    TimeSeries issue(Cycle{1000}), l1d(Cycle{1000});
+    gpu.attachSeries(KernelId{0}, &issue, &l1d);
+    gpu.run(Cycle{3000});
     std::uint64_t recorded = 0;
     for (std::uint64_t b : issue.bins())
         recorded += b;
     EXPECT_EQ(recorded,
-              gpu.kernelStatsTotal(0).issued_instructions);
+              gpu.kernelStatsTotal(KernelId{0}).issued_instructions);
 }
 
 TEST(Gpu, SingleKernelWorkloads)
@@ -158,8 +158,8 @@ TEST(Gpu, SingleKernelWorkloads)
     Gpu gpu(cfg(), w,
             makeScheme(PartitionScheme::Leftover, BmiMode::None,
                        MilMode::None));
-    gpu.run(3000);
-    EXPECT_GT(gpu.ipc(0), 0.5);
+    gpu.run(Cycle{3000});
+    EXPECT_GT(gpu.ipc(KernelId{0}), 0.5);
 }
 
 TEST(Gpu, ThreeKernelWorkload)
@@ -169,12 +169,12 @@ TEST(Gpu, ThreeKernelWorkload)
                  &findProfile("pf")};
     SchemeSpec spec = makeScheme(PartitionScheme::WarpedSlicer,
                                  BmiMode::QBMI, MilMode::Dynamic);
-    spec.ws_profile_window = 2000;
+    spec.ws_profile_window = Cycle{2000};
     Gpu gpu(cfg(), w, spec);
-    gpu.run(8000);
+    gpu.run(Cycle{8000});
     ASSERT_EQ(gpu.chosenPartition().size(), 3u);
     for (int k = 0; k < 3; ++k)
-        EXPECT_GT(gpu.ipc(k), 0.0) << k;
+        EXPECT_GT(gpu.ipc(KernelId{k}), 0.0) << k;
 }
 
 } // namespace

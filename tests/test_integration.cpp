@@ -22,7 +22,7 @@ testConfig()
 
 TEST(Integration, IsolatedComputeKernelExecutes)
 {
-    Runner runner(testConfig(), 20000);
+    Runner runner(testConfig(), Cycle{20000});
     const IsolatedResult &res = runner.isolated(findProfile("bp"));
     EXPECT_GT(res.ipc, 0.1);
     EXPECT_GT(res.stats.issued_instructions, 1000u);
@@ -32,7 +32,7 @@ TEST(Integration, IsolatedComputeKernelExecutes)
 
 TEST(Integration, IsolatedMemoryKernelExecutes)
 {
-    Runner runner(testConfig(), 20000);
+    Runner runner(testConfig(), Cycle{20000});
     const IsolatedResult &res = runner.isolated(findProfile("sv"));
     EXPECT_GT(res.ipc, 0.01);
     EXPECT_GT(res.stats.l1dMissRate(), 0.3);
@@ -40,7 +40,7 @@ TEST(Integration, IsolatedMemoryKernelExecutes)
 
 TEST(Integration, ConcurrentPairUnderWsDmil)
 {
-    Runner runner(testConfig(), 20000);
+    Runner runner(testConfig(), Cycle{20000});
     const Workload wl = makeWorkload({"bp", "sv"});
     const ConcurrentResult res = runner.run(wl, NamedScheme::WS_DMIL);
     ASSERT_EQ(res.norm_ipc.size(), 2u);

@@ -22,7 +22,7 @@ cfgOf(int latency, int depth)
 }
 
 MemRequest
-req(Addr line)
+req(LineAddr line)
 {
     MemRequest r;
     r.line_addr = line;
@@ -32,75 +32,76 @@ req(Addr line)
 TEST(Crossbar, DeliversAfterLatencyPlusSerialization)
 {
     Crossbar x(2, cfgOf(4, 8));
-    ASSERT_TRUE(x.tryInject(0, /*flits=*/1, req(1), /*now=*/10));
+    ASSERT_TRUE(
+        x.tryInject(0, /*flits=*/1, req(LineAddr{1}), Cycle{10}));
     // Ready at 10 + 4 (latency) + 1 (flit) = 15.
-    EXPECT_TRUE(x.drain(0, 14, 8).empty());
-    const auto out = x.drain(0, 15, 8);
+    EXPECT_TRUE(x.drain(0, Cycle{14}, 8).empty());
+    const auto out = x.drain(0, Cycle{15}, 8);
     ASSERT_EQ(out.size(), 1u);
-    EXPECT_EQ(out[0].line_addr, 1u);
+    EXPECT_EQ(out[0].line_addr, LineAddr{1});
 }
 
 TEST(Crossbar, PortSerializesFlits)
 {
     Crossbar x(1, cfgOf(0, 8));
-    x.tryInject(0, 4, req(1), 0); // ready at 4
-    x.tryInject(0, 4, req(2), 0); // ready at 8
-    EXPECT_EQ(x.drain(0, 4, 8).size(), 1u);
-    EXPECT_EQ(x.drain(0, 7, 8).size(), 0u);
-    EXPECT_EQ(x.drain(0, 8, 8).size(), 1u);
+    x.tryInject(0, 4, req(LineAddr{1}), Cycle{}); // ready at 4
+    x.tryInject(0, 4, req(LineAddr{2}), Cycle{}); // ready at 8
+    EXPECT_EQ(x.drain(0, Cycle{4}, 8).size(), 1u);
+    EXPECT_EQ(x.drain(0, Cycle{7}, 8).size(), 0u);
+    EXPECT_EQ(x.drain(0, Cycle{8}, 8).size(), 1u);
 }
 
 TEST(Crossbar, IndependentPorts)
 {
     Crossbar x(2, cfgOf(0, 8));
-    x.tryInject(0, 4, req(1), 0);
-    x.tryInject(1, 4, req(2), 0);
+    x.tryInject(0, 4, req(LineAddr{1}), Cycle{});
+    x.tryInject(1, 4, req(LineAddr{2}), Cycle{});
     // Port 1 is not delayed by port 0's serialization.
-    EXPECT_EQ(x.drain(1, 4, 8).size(), 1u);
+    EXPECT_EQ(x.drain(1, Cycle{4}, 8).size(), 1u);
 }
 
 TEST(Crossbar, QueueDepthRejectsInjection)
 {
     Crossbar x(1, cfgOf(0, 2));
-    EXPECT_TRUE(x.tryInject(0, 1, req(1), 0));
-    EXPECT_TRUE(x.tryInject(0, 1, req(2), 0));
-    EXPECT_FALSE(x.tryInject(0, 1, req(3), 0));
+    EXPECT_TRUE(x.tryInject(0, 1, req(LineAddr{1}), Cycle{}));
+    EXPECT_TRUE(x.tryInject(0, 1, req(LineAddr{2}), Cycle{}));
+    EXPECT_FALSE(x.tryInject(0, 1, req(LineAddr{3}), Cycle{}));
     EXPECT_EQ(x.queueLength(0), 2);
     // Draining frees capacity.
-    x.drain(0, 100, 8);
-    EXPECT_TRUE(x.tryInject(0, 1, req(3), 100));
+    x.drain(0, Cycle{100}, 8);
+    EXPECT_TRUE(x.tryInject(0, 1, req(LineAddr{3}), Cycle{100}));
 }
 
 TEST(Crossbar, DrainRespectsMaxCount)
 {
     Crossbar x(1, cfgOf(0, 8));
-    for (int i = 0; i < 4; ++i)
-        x.tryInject(0, 1, req(static_cast<Addr>(i)), 0);
-    EXPECT_EQ(x.drain(0, 100, 2).size(), 2u);
-    EXPECT_EQ(x.drain(0, 100, 8).size(), 2u);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        x.tryInject(0, 1, req(LineAddr{i}), Cycle{});
+    EXPECT_EQ(x.drain(0, Cycle{100}, 2).size(), 2u);
+    EXPECT_EQ(x.drain(0, Cycle{100}, 8).size(), 2u);
 }
 
 TEST(Crossbar, FifoOrderPerPort)
 {
     Crossbar x(1, cfgOf(0, 8));
-    for (Addr i = 0; i < 4; ++i)
-        x.tryInject(0, 1, req(i), 0);
-    const auto out = x.drain(0, 100, 8);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        x.tryInject(0, 1, req(LineAddr{i}), Cycle{});
+    const auto out = x.drain(0, Cycle{100}, 8);
     ASSERT_EQ(out.size(), 4u);
-    for (Addr i = 0; i < 4; ++i)
-        EXPECT_EQ(out[static_cast<std::size_t>(i)].line_addr, i);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(out[i].line_addr, LineAddr{i});
 }
 
 TEST(Crossbar, IdlePortRecoversWireAfterGap)
 {
     Crossbar x(1, cfgOf(2, 8));
-    x.tryInject(0, 1, req(1), 0); // ready at 3
-    x.drain(0, 3, 8);
+    x.tryInject(0, 1, req(LineAddr{1}), Cycle{}); // ready at 3
+    x.drain(0, Cycle{3}, 8);
     // A much later injection sees only latency+flit, not stale
     // next_free.
-    x.tryInject(0, 1, req(2), 100);
-    EXPECT_TRUE(x.drain(0, 102, 8).empty());
-    EXPECT_EQ(x.drain(0, 103, 8).size(), 1u);
+    x.tryInject(0, 1, req(LineAddr{2}), Cycle{100});
+    EXPECT_TRUE(x.drain(0, Cycle{102}, 8).empty());
+    EXPECT_EQ(x.drain(0, Cycle{103}, 8).size(), 1u);
 }
 
 } // namespace

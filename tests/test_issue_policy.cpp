@@ -26,9 +26,9 @@ TEST(IssueController, UnmanagedAdmitsEveryone)
     IssuePolicyConfig cfg;
     IssueController c(cfg, 2);
     c.beginCycle(demand(true, true));
-    EXPECT_TRUE(c.admitMemIssue(0));
-    EXPECT_TRUE(c.admitMemIssue(1));
-    EXPECT_TRUE(c.admitAnyIssue(0));
+    EXPECT_TRUE(c.admitMemIssue(KernelId{0}));
+    EXPECT_TRUE(c.admitMemIssue(KernelId{1}));
+    EXPECT_TRUE(c.admitAnyIssue(KernelId{0}));
 }
 
 TEST(IssueController, RbmiAlternates)
@@ -37,13 +37,13 @@ TEST(IssueController, RbmiAlternates)
     cfg.bmi = BmiMode::RBMI;
     IssueController c(cfg, 2);
     c.beginCycle(demand(true, true));
-    EXPECT_TRUE(c.admitMemIssue(0));
-    EXPECT_FALSE(c.admitMemIssue(1));
-    c.onMemInstrIssued(0); // pointer moves to kernel 1
-    EXPECT_FALSE(c.admitMemIssue(0));
-    EXPECT_TRUE(c.admitMemIssue(1));
-    c.onMemInstrIssued(1);
-    EXPECT_TRUE(c.admitMemIssue(0));
+    EXPECT_TRUE(c.admitMemIssue(KernelId{0}));
+    EXPECT_FALSE(c.admitMemIssue(KernelId{1}));
+    c.onMemInstrIssued(KernelId{0}); // pointer moves to kernel 1
+    EXPECT_FALSE(c.admitMemIssue(KernelId{0}));
+    EXPECT_TRUE(c.admitMemIssue(KernelId{1}));
+    c.onMemInstrIssued(KernelId{1});
+    EXPECT_TRUE(c.admitMemIssue(KernelId{0}));
 }
 
 TEST(IssueController, RbmiSkipsKernelsWithoutDemand)
@@ -52,7 +52,7 @@ TEST(IssueController, RbmiSkipsKernelsWithoutDemand)
     cfg.bmi = BmiMode::RBMI;
     IssueController c(cfg, 2);
     c.beginCycle(demand(false, true));
-    EXPECT_TRUE(c.admitMemIssue(1));
+    EXPECT_TRUE(c.admitMemIssue(KernelId{1}));
 }
 
 TEST(IssueController, QbmiPrefersHigherQuota)
@@ -62,11 +62,11 @@ TEST(IssueController, QbmiPrefersHigherQuota)
     IssueController c(cfg, 2);
     c.beginCycle(demand(true, true));
     // Initial quotas are equal (both rates default to 1): both admit.
-    EXPECT_TRUE(c.admitMemIssue(0));
-    EXPECT_TRUE(c.admitMemIssue(1));
-    c.onMemInstrIssued(0); // quota0 drops below quota1
-    EXPECT_FALSE(c.admitMemIssue(0));
-    EXPECT_TRUE(c.admitMemIssue(1));
+    EXPECT_TRUE(c.admitMemIssue(KernelId{0}));
+    EXPECT_TRUE(c.admitMemIssue(KernelId{1}));
+    c.onMemInstrIssued(KernelId{0}); // quota0 drops below quota1
+    EXPECT_FALSE(c.admitMemIssue(KernelId{0}));
+    EXPECT_TRUE(c.admitMemIssue(KernelId{1}));
 }
 
 TEST(IssueController, QbmiIgnoresKernelsWithoutDemand)
@@ -75,10 +75,10 @@ TEST(IssueController, QbmiIgnoresKernelsWithoutDemand)
     cfg.bmi = BmiMode::QBMI;
     IssueController c(cfg, 2);
     c.beginCycle(demand(true, false));
-    c.onMemInstrIssued(0);
+    c.onMemInstrIssued(KernelId{0});
     c.beginCycle(demand(true, false));
     // Kernel 1 has more quota but no demand: kernel 0 still admitted.
-    EXPECT_TRUE(c.admitMemIssue(0));
+    EXPECT_TRUE(c.admitMemIssue(KernelId{0}));
 }
 
 TEST(IssueController, QbmiReplenishesOnDepletion)
@@ -87,15 +87,15 @@ TEST(IssueController, QbmiReplenishesOnDepletion)
     cfg.bmi = BmiMode::QBMI;
     IssueController c(cfg, 2);
     c.beginCycle(demand(true, true));
-    const int q0 = c.qbmiQuota(0);
+    const int q0 = c.qbmiQuota(KernelId{0});
     // Exhaust kernel 0's quota.
     for (int i = 0; i < q0; ++i)
-        c.onMemInstrIssued(0);
-    EXPECT_LE(c.qbmiQuota(0), 0);
+        c.onMemInstrIssued(KernelId{0});
+    EXPECT_LE(c.qbmiQuota(KernelId{0}), 0);
     c.beginCycle(demand(true, true));
     // A fresh set was *added* to current values (paper semantics).
-    EXPECT_GT(c.qbmiQuota(0), 0);
-    EXPECT_GT(c.qbmiQuota(1), q0);
+    EXPECT_GT(c.qbmiQuota(KernelId{0}), 0);
+    EXPECT_GT(c.qbmiQuota(KernelId{1}), q0);
 }
 
 TEST(IssueController, StaticMilCapsInflight)
@@ -106,13 +106,13 @@ TEST(IssueController, StaticMilCapsInflight)
     cfg.static_limits[1] = 0; // "Inf"
     IssueController c(cfg, 2);
     c.beginCycle(demand(true, true));
-    c.onMemInstrIssued(0);
-    c.onMemInstrIssued(0);
-    EXPECT_FALSE(c.admitMemIssue(0));
-    EXPECT_TRUE(c.admitMemIssue(1));
-    c.onMemInstrCompleted(0);
-    EXPECT_TRUE(c.admitMemIssue(0));
-    EXPECT_EQ(c.milLimit(1), 1 << 20);
+    c.onMemInstrIssued(KernelId{0});
+    c.onMemInstrIssued(KernelId{0});
+    EXPECT_FALSE(c.admitMemIssue(KernelId{0}));
+    EXPECT_TRUE(c.admitMemIssue(KernelId{1}));
+    c.onMemInstrCompleted(KernelId{0});
+    EXPECT_TRUE(c.admitMemIssue(KernelId{0}));
+    EXPECT_EQ(c.milLimit(KernelId{1}), 1 << 20);
 }
 
 TEST(IssueController, DynamicMilFollowsMilg)
@@ -122,32 +122,32 @@ TEST(IssueController, DynamicMilFollowsMilg)
     IssueController c(cfg, 2);
     c.beginCycle(demand(true, true));
     // Drive one congested interval for kernel 0.
-    c.onMemInstrIssued(0);
+    c.onMemInstrIssued(KernelId{0});
     for (int i = 0; i < 40; ++i) {
-        c.onMemInstrIssued(0);
-        c.onMemInstrCompleted(0);
+        c.onMemInstrIssued(KernelId{0});
+        c.onMemInstrCompleted(KernelId{0});
     }
     for (int i = 0; i < 3000; ++i)
-        c.onRsFail(0);
+        c.onRsFail(KernelId{0});
     for (int i = 0; i < 1024; ++i)
-        c.onRequestServiced(0);
-    EXPECT_LT(c.milLimit(0), 42);
-    EXPECT_GE(c.milLimit(0), 1);
+        c.onRequestServiced(KernelId{0});
+    EXPECT_LT(c.milLimit(KernelId{0}), 42);
+    EXPECT_GE(c.milLimit(KernelId{0}), 1);
     // Kernel 1 untouched.
-    EXPECT_GE(c.milLimit(1), 1 << 19);
+    EXPECT_GE(c.milLimit(KernelId{1}), 1 << 19);
 }
 
 TEST(IssueController, InflightTracking)
 {
     IssuePolicyConfig cfg;
     IssueController c(cfg, 2);
-    c.onMemInstrIssued(0);
-    c.onMemInstrIssued(0);
-    c.onMemInstrIssued(1);
-    EXPECT_EQ(c.inflight(0), 2);
-    EXPECT_EQ(c.inflight(1), 1);
-    c.onMemInstrCompleted(0);
-    EXPECT_EQ(c.inflight(0), 1);
+    c.onMemInstrIssued(KernelId{0});
+    c.onMemInstrIssued(KernelId{0});
+    c.onMemInstrIssued(KernelId{1});
+    EXPECT_EQ(c.inflight(KernelId{0}), 2);
+    EXPECT_EQ(c.inflight(KernelId{1}), 1);
+    c.onMemInstrCompleted(KernelId{0});
+    EXPECT_EQ(c.inflight(KernelId{0}), 1);
 }
 
 TEST(IssueController, QbmiIgnoresMilFrozenCompetitors)
@@ -160,11 +160,11 @@ TEST(IssueController, QbmiIgnoresMilFrozenCompetitors)
     cfg.static_limits[1] = 1;
     IssueController c(cfg, 2);
     c.beginCycle(demand(true, true));
-    c.onMemInstrIssued(0); // quota0 now below quota1
-    c.onMemInstrIssued(1); // kernel 1 hits its limit
+    c.onMemInstrIssued(KernelId{0}); // quota0 now below quota1
+    c.onMemInstrIssued(KernelId{1}); // kernel 1 hits its limit
     c.beginCycle(demand(true, true));
-    EXPECT_FALSE(c.admitMemIssue(1));
-    EXPECT_TRUE(c.admitMemIssue(0)); // 1 is frozen: 0 may go
+    EXPECT_FALSE(c.admitMemIssue(KernelId{1}));
+    EXPECT_TRUE(c.admitMemIssue(KernelId{0})); // 1 is frozen: 0 may go
 }
 
 TEST(IssueController, QbmiFrozenKernelNeverDeadlocksCoRunner)
@@ -180,14 +180,14 @@ TEST(IssueController, QbmiFrozenKernelNeverDeadlocksCoRunner)
     cfg.static_limits[1] = 1;
     IssueController c(cfg, 2);
     c.beginCycle(demand(true, true));
-    c.onMemInstrIssued(1); // kernel 1 frozen from here on
+    c.onMemInstrIssued(KernelId{1}); // kernel 1 frozen from here on
     for (int cycle = 0; cycle < 500; ++cycle) {
         ASSERT_NO_THROW(c.beginCycle(demand(true, true)));
-        ASSERT_FALSE(c.admitMemIssue(1));
-        ASSERT_TRUE(c.admitMemIssue(0)) << "cycle " << cycle;
-        c.onMemInstrIssued(0);
+        ASSERT_FALSE(c.admitMemIssue(KernelId{1}));
+        ASSERT_TRUE(c.admitMemIssue(KernelId{0})) << "cycle " << cycle;
+        c.onMemInstrIssued(KernelId{0});
         if (cycle % 3 == 0)
-            c.onMemInstrCompleted(0);
+            c.onMemInstrCompleted(KernelId{0});
     }
 }
 
@@ -195,7 +195,7 @@ TEST(IssueController, CompletionUnderflowIsReported)
 {
     IssuePolicyConfig cfg;
     IssueController c(cfg, 2);
-    EXPECT_THROW(c.onMemInstrCompleted(0), SimError);
+    EXPECT_THROW(c.onMemInstrCompleted(KernelId{0}), SimError);
 }
 
 TEST(IssueController, SmkWarpQuotaGatesAllIssue)
@@ -206,18 +206,18 @@ TEST(IssueController, SmkWarpQuotaGatesAllIssue)
     cfg.warp_quotas[1] = 4;
     IssueController c(cfg, 2);
     c.beginCycle(demand(false, false));
-    EXPECT_TRUE(c.admitAnyIssue(0));
-    c.onInstrIssued(0);
-    c.onInstrIssued(0);
-    EXPECT_FALSE(c.admitAnyIssue(0)); // quota spent
-    EXPECT_TRUE(c.admitAnyIssue(1));
+    EXPECT_TRUE(c.admitAnyIssue(KernelId{0}));
+    c.onInstrIssued(KernelId{0});
+    c.onInstrIssued(KernelId{0});
+    EXPECT_FALSE(c.admitAnyIssue(KernelId{0})); // quota spent
+    EXPECT_TRUE(c.admitAnyIssue(KernelId{1}));
     // Exhaust kernel 1 too: quotas replenish at the cycle boundary.
     for (int i = 0; i < 4; ++i)
-        c.onInstrIssued(1);
-    EXPECT_FALSE(c.admitAnyIssue(1));
+        c.onInstrIssued(KernelId{1});
+    EXPECT_FALSE(c.admitAnyIssue(KernelId{1}));
     c.beginCycle(demand(false, false));
-    EXPECT_TRUE(c.admitAnyIssue(0));
-    EXPECT_TRUE(c.admitAnyIssue(1));
+    EXPECT_TRUE(c.admitAnyIssue(KernelId{0}));
+    EXPECT_TRUE(c.admitAnyIssue(KernelId{1}));
 }
 
 TEST(IssueController, SmkQuotaStallEscape)
@@ -231,11 +231,11 @@ TEST(IssueController, SmkQuotaStallEscape)
     cfg.warp_quotas[1] = 1000;
     IssueController c(cfg, 2);
     c.beginCycle(demand(false, false));
-    c.onInstrIssued(0);
-    EXPECT_FALSE(c.admitAnyIssue(0));
+    c.onInstrIssued(KernelId{0});
+    EXPECT_FALSE(c.admitAnyIssue(KernelId{0}));
     for (int i = 0; i < 400; ++i)
         c.beginCycle(demand(false, false));
-    EXPECT_TRUE(c.admitAnyIssue(0));
+    EXPECT_TRUE(c.admitAnyIssue(KernelId{0}));
 }
 
 } // namespace

@@ -29,17 +29,17 @@ L1Target
 tgt(int warp)
 {
     L1Target t;
-    t.warp_index = warp;
-    t.kernel = 0;
+    t.warp_slot = WarpSlot{warp};
+    t.kernel = KernelId{0};
     return t;
 }
 
 /** i-th line mapping to a given set. */
-Addr
+LineAddr
 sameSetLine(const L1dConfig &cfg, int set, int i)
 {
     int found = 0;
-    for (Addr line = 0;; ++line) {
+    for (LineAddr line{};; ++line) {
         if (xorSetIndex(line, cfg.numSets()) == set) {
             if (found == i)
                 return line;
@@ -50,10 +50,11 @@ sameSetLine(const L1dConfig &cfg, int set, int i)
 
 TEST(L1Dcache, MissThenFillThenHit)
 {
-    L1Dcache l1(smallL1(), 0);
-    const Addr line = 100;
+    L1Dcache l1(smallL1(), SmId{0});
+    const LineAddr line{100};
 
-    L1Outcome out = l1.access(line, 0, false, tgt(7), 0);
+    L1Outcome out =
+        l1.access(line, KernelId{0}, false, tgt(7), Cycle{});
     EXPECT_EQ(out.kind, L1Outcome::Kind::MissToL2);
     ASSERT_NE(l1.peekMissQueue(), nullptr);
     EXPECT_EQ(l1.peekMissQueue()->line_addr, line);
@@ -61,18 +62,19 @@ TEST(L1Dcache, MissThenFillThenHit)
 
     const std::vector<L1Target> targets = l1.fill(line);
     ASSERT_EQ(targets.size(), 1u);
-    EXPECT_EQ(targets[0].warp_index, 7);
+    EXPECT_EQ(targets[0].warp_slot, WarpSlot{7});
 
-    out = l1.access(line, 0, false, tgt(8), 1);
+    out = l1.access(line, KernelId{0}, false, tgt(8), Cycle{1});
     EXPECT_EQ(out.kind, L1Outcome::Kind::Hit);
 }
 
 TEST(L1Dcache, SecondMissToSameLineMerges)
 {
-    L1Dcache l1(smallL1(), 0);
-    const Addr line = 100;
-    l1.access(line, 0, false, tgt(1), 0);
-    const L1Outcome out = l1.access(line, 0, false, tgt(2), 0);
+    L1Dcache l1(smallL1(), SmId{0});
+    const LineAddr line{100};
+    l1.access(line, KernelId{0}, false, tgt(1), Cycle{});
+    const L1Outcome out =
+        l1.access(line, KernelId{0}, false, tgt(2), Cycle{});
     EXPECT_EQ(out.kind, L1Outcome::Kind::MergedMshr);
     // Merge consumed no extra miss-queue entry.
     EXPECT_EQ(l1.missQueueSize(), 1);
@@ -82,21 +84,23 @@ TEST(L1Dcache, SecondMissToSameLineMerges)
 
 TEST(L1Dcache, MergeListFullIsMshrRsFail)
 {
-    L1Dcache l1(smallL1(), 0); // merge cap 2
-    const Addr line = 100;
-    l1.access(line, 0, false, tgt(1), 0);
-    l1.access(line, 0, false, tgt(2), 0);
-    const L1Outcome out = l1.access(line, 0, false, tgt(3), 0);
+    L1Dcache l1(smallL1(), SmId{0}); // merge cap 2
+    const LineAddr line{100};
+    l1.access(line, KernelId{0}, false, tgt(1), Cycle{});
+    l1.access(line, KernelId{0}, false, tgt(2), Cycle{});
+    const L1Outcome out =
+        l1.access(line, KernelId{0}, false, tgt(3), Cycle{});
     EXPECT_EQ(out.kind, L1Outcome::Kind::RsFail);
     EXPECT_EQ(out.fail, RsFailReason::Mshr);
 }
 
 TEST(L1Dcache, MshrTableFullIsRsFail)
 {
-    L1Dcache l1(smallL1(/*mshrs=*/2, /*missq=*/8), 0);
-    l1.access(1, 0, false, tgt(1), 0);
-    l1.access(2, 0, false, tgt(2), 0);
-    const L1Outcome out = l1.access(3, 0, false, tgt(3), 0);
+    L1Dcache l1(smallL1(/*mshrs=*/2, /*missq=*/8), SmId{0});
+    l1.access(LineAddr{1}, KernelId{0}, false, tgt(1), Cycle{});
+    l1.access(LineAddr{2}, KernelId{0}, false, tgt(2), Cycle{});
+    const L1Outcome out =
+        l1.access(LineAddr{3}, KernelId{0}, false, tgt(3), Cycle{});
     EXPECT_EQ(out.kind, L1Outcome::Kind::RsFail);
     EXPECT_EQ(out.fail, RsFailReason::Mshr);
     EXPECT_EQ(l1.mshrsInUse(), 2);
@@ -104,11 +108,12 @@ TEST(L1Dcache, MshrTableFullIsRsFail)
 
 TEST(L1Dcache, MissQueueFullIsRsFail)
 {
-    L1Dcache l1(smallL1(/*mshrs=*/8, /*missq=*/2), 0);
-    l1.access(1, 0, false, tgt(1), 0);
-    l1.access(2, 0, false, tgt(2), 0);
+    L1Dcache l1(smallL1(/*mshrs=*/8, /*missq=*/2), SmId{0});
+    l1.access(LineAddr{1}, KernelId{0}, false, tgt(1), Cycle{});
+    l1.access(LineAddr{2}, KernelId{0}, false, tgt(2), Cycle{});
     // Queue not drained: third new miss cannot enqueue.
-    const L1Outcome out = l1.access(3, 0, false, tgt(3), 0);
+    const L1Outcome out =
+        l1.access(LineAddr{3}, KernelId{0}, false, tgt(3), Cycle{});
     EXPECT_EQ(out.kind, L1Outcome::Kind::RsFail);
     EXPECT_EQ(out.fail, RsFailReason::MissQueue);
 }
@@ -117,74 +122,84 @@ TEST(L1Dcache, AllWaysReservedIsLineRsFail)
 {
     const L1dConfig cfg = smallL1(/*mshrs=*/8, /*missq=*/8,
                                   /*assoc=*/2);
-    L1Dcache l1(cfg, 0);
-    const Addr a = sameSetLine(cfg, 3, 0);
-    const Addr b = sameSetLine(cfg, 3, 1);
-    const Addr c = sameSetLine(cfg, 3, 2);
-    EXPECT_EQ(l1.access(a, 0, false, tgt(1), 0).kind,
+    L1Dcache l1(cfg, SmId{0});
+    const LineAddr a = sameSetLine(cfg, 3, 0);
+    const LineAddr b = sameSetLine(cfg, 3, 1);
+    const LineAddr c = sameSetLine(cfg, 3, 2);
+    EXPECT_EQ(l1.access(a, KernelId{0}, false, tgt(1), Cycle{}).kind,
               L1Outcome::Kind::MissToL2);
-    EXPECT_EQ(l1.access(b, 0, false, tgt(2), 0).kind,
+    EXPECT_EQ(l1.access(b, KernelId{0}, false, tgt(2), Cycle{}).kind,
               L1Outcome::Kind::MissToL2);
-    const L1Outcome out = l1.access(c, 0, false, tgt(3), 0);
+    const L1Outcome out =
+        l1.access(c, KernelId{0}, false, tgt(3), Cycle{});
     EXPECT_EQ(out.kind, L1Outcome::Kind::RsFail);
     EXPECT_EQ(out.fail, RsFailReason::Line);
 
     // A fill frees the set again.
     l1.fill(a);
-    EXPECT_EQ(l1.access(c, 0, false, tgt(3), 1).kind,
+    EXPECT_EQ(l1.access(c, KernelId{0}, false, tgt(3), Cycle{1}).kind,
               L1Outcome::Kind::MissToL2);
 }
 
 TEST(L1Dcache, WriteEvictsAndForwards)
 {
-    L1Dcache l1(smallL1(), 0);
-    const Addr line = 50;
+    L1Dcache l1(smallL1(), SmId{0});
+    const LineAddr line{50};
     // Install via miss+fill.
-    l1.access(line, 0, false, tgt(1), 0);
+    l1.access(line, KernelId{0}, false, tgt(1), Cycle{});
     l1.popMissQueue();
     l1.fill(line);
 
     // WEWN: the write invalidates the cached copy and enqueues a
     // write-through request; no MSHR is used.
     const int mshrs_before = l1.mshrsInUse();
-    const L1Outcome out = l1.access(line, 0, true, tgt(2), 1);
+    const L1Outcome out =
+        l1.access(line, KernelId{0}, true, tgt(2), Cycle{1});
     EXPECT_EQ(out.kind, L1Outcome::Kind::WriteQueued);
     EXPECT_EQ(l1.mshrsInUse(), mshrs_before);
     ASSERT_NE(l1.peekMissQueue(), nullptr);
     EXPECT_EQ(l1.peekMissQueue()->kind, ReqKind::WriteThru);
 
     // The next read misses: write-evict dropped the line.
-    EXPECT_EQ(l1.access(line, 0, false, tgt(3), 2).kind,
-              L1Outcome::Kind::MissToL2);
+    EXPECT_EQ(
+        l1.access(line, KernelId{0}, false, tgt(3), Cycle{2}).kind,
+        L1Outcome::Kind::MissToL2);
 }
 
 TEST(L1Dcache, WriteNeedsOnlyMissQueue)
 {
-    L1Dcache l1(smallL1(/*mshrs=*/1, /*missq=*/2), 0);
+    L1Dcache l1(smallL1(/*mshrs=*/1, /*missq=*/2), SmId{0});
     // Exhaust the single MSHR.
-    l1.access(1, 0, false, tgt(1), 0);
+    l1.access(LineAddr{1}, KernelId{0}, false, tgt(1), Cycle{});
     // A write still succeeds (no MSHR needed).
-    EXPECT_EQ(l1.access(2, 0, true, tgt(2), 0).kind,
-              L1Outcome::Kind::WriteQueued);
+    EXPECT_EQ(
+        l1.access(LineAddr{2}, KernelId{0}, true, tgt(2), Cycle{})
+            .kind,
+        L1Outcome::Kind::WriteQueued);
     // But a full miss queue rejects writes.
-    EXPECT_EQ(l1.access(3, 0, true, tgt(3), 0).kind,
-              L1Outcome::Kind::RsFail);
+    EXPECT_EQ(
+        l1.access(LineAddr{3}, KernelId{0}, true, tgt(3), Cycle{})
+            .kind,
+        L1Outcome::Kind::RsFail);
 }
 
 TEST(L1Dcache, RsFailLeavesNoSideEffects)
 {
-    L1Dcache l1(smallL1(/*mshrs=*/1, /*missq=*/8), 0);
-    l1.access(1, 0, false, tgt(1), 0);
+    L1Dcache l1(smallL1(/*mshrs=*/1, /*missq=*/8), SmId{0});
+    l1.access(LineAddr{1}, KernelId{0}, false, tgt(1), Cycle{});
     const int missq = l1.missQueueSize();
-    const L1Outcome out = l1.access(2, 0, false, tgt(2), 0);
+    const L1Outcome out =
+        l1.access(LineAddr{2}, KernelId{0}, false, tgt(2), Cycle{});
     EXPECT_EQ(out.kind, L1Outcome::Kind::RsFail);
     EXPECT_EQ(l1.missQueueSize(), missq);
     EXPECT_EQ(l1.mshrsInUse(), 1);
     // Retry succeeds after the fill.
     l1.popMissQueue();
-    l1.fill(1);
-    EXPECT_EQ(l1.access(2, 0, false, tgt(2), 1).kind,
-              L1Outcome::Kind::MissToL2);
+    l1.fill(LineAddr{1});
+    EXPECT_EQ(
+        l1.access(LineAddr{2}, KernelId{0}, false, tgt(2), Cycle{1})
+            .kind,
+        L1Outcome::Kind::MissToL2);
 }
 
 } // namespace

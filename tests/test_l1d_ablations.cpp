@@ -28,102 +28,104 @@ L1Target
 tgt(int warp, KernelId k)
 {
     L1Target t;
-    t.warp_index = warp;
+    t.warp_slot = WarpSlot{warp};
     t.kernel = k;
     return t;
 }
 
 TEST(L1dMshrQuota, CapsOneKernelOnly)
 {
-    L1Dcache l1(smallL1(), 0);
-    l1.setMshrQuota(0, 2);
-    EXPECT_EQ(l1.access(1, 0, false, tgt(1, 0), 0).kind,
+    L1Dcache l1(smallL1(), SmId{0});
+    l1.setMshrQuota(KernelId{0}, 2);
+    EXPECT_EQ(l1.access(LineAddr{1}, KernelId{0}, false, tgt(1, KernelId{0}), Cycle{0}).kind,
               L1Outcome::Kind::MissToL2);
-    EXPECT_EQ(l1.access(2, 0, false, tgt(2, 0), 0).kind,
+    EXPECT_EQ(l1.access(LineAddr{2}, KernelId{0}, false, tgt(2, KernelId{0}), Cycle{0}).kind,
               L1Outcome::Kind::MissToL2);
     // Kernel 0 is at its quota.
-    const L1Outcome out = l1.access(3, 0, false, tgt(3, 0), 0);
+    const L1Outcome out = l1.access(LineAddr{3}, KernelId{0}, false, tgt(3, KernelId{0}), Cycle{0});
     EXPECT_EQ(out.kind, L1Outcome::Kind::RsFail);
     EXPECT_EQ(out.fail, RsFailReason::Mshr);
-    EXPECT_EQ(l1.mshrsHeldBy(0), 2);
+    EXPECT_EQ(l1.mshrsHeldBy(KernelId{0}), 2);
     // Kernel 1 is unaffected.
-    EXPECT_EQ(l1.access(4, 1, false, tgt(4, 1), 0).kind,
+    EXPECT_EQ(l1.access(LineAddr{4}, KernelId{1}, false, tgt(4, KernelId{1}), Cycle{0}).kind,
               L1Outcome::Kind::MissToL2);
 }
 
 TEST(L1dMshrQuota, ReleasedOnFill)
 {
-    L1Dcache l1(smallL1(), 0);
-    l1.setMshrQuota(0, 1);
-    l1.access(1, 0, false, tgt(1, 0), 0);
-    EXPECT_EQ(l1.access(2, 0, false, tgt(2, 0), 0).kind,
+    L1Dcache l1(smallL1(), SmId{0});
+    l1.setMshrQuota(KernelId{0}, 1);
+    l1.access(LineAddr{1}, KernelId{0}, false, tgt(1, KernelId{0}), Cycle{0});
+    EXPECT_EQ(l1.access(LineAddr{2}, KernelId{0}, false, tgt(2, KernelId{0}), Cycle{0}).kind,
               L1Outcome::Kind::RsFail);
     l1.popMissQueue();
-    l1.fill(1);
-    EXPECT_EQ(l1.mshrsHeldBy(0), 0);
-    EXPECT_EQ(l1.access(2, 0, false, tgt(2, 0), 1).kind,
+    l1.fill(LineAddr{1});
+    EXPECT_EQ(l1.mshrsHeldBy(KernelId{0}), 0);
+    EXPECT_EQ(l1.access(LineAddr{2}, KernelId{0}, false, tgt(2, KernelId{0}), Cycle{1}).kind,
               L1Outcome::Kind::MissToL2);
 }
 
 TEST(L1dMshrQuota, MergesDoNotCountAgainstQuota)
 {
-    L1Dcache l1(smallL1(), 0);
-    l1.setMshrQuota(0, 1);
-    l1.access(1, 0, false, tgt(1, 0), 0);
+    L1Dcache l1(smallL1(), SmId{0});
+    l1.setMshrQuota(KernelId{0}, 1);
+    l1.access(LineAddr{1}, KernelId{0}, false, tgt(1, KernelId{0}), Cycle{0});
     // Same line: merge, despite the quota being reached.
-    EXPECT_EQ(l1.access(1, 0, false, tgt(2, 0), 0).kind,
+    EXPECT_EQ(l1.access(LineAddr{1}, KernelId{0}, false, tgt(2, KernelId{0}), Cycle{0}).kind,
               L1Outcome::Kind::MergedMshr);
 }
 
 TEST(L1dBypass, MissHoldsNoLineSlot)
 {
-    L1Dcache l1(smallL1(), 0);
-    l1.setBypass(0, true);
-    EXPECT_EQ(l1.access(1, 0, false, tgt(1, 0), 0).kind,
+    L1Dcache l1(smallL1(), SmId{0});
+    l1.setBypass(KernelId{0}, true);
+    EXPECT_EQ(l1.access(LineAddr{1}, KernelId{0}, false, tgt(1, KernelId{0}), Cycle{0}).kind,
               L1Outcome::Kind::MissToL2);
     // No reserved line anywhere in the tags.
-    EXPECT_EQ(l1.tags().probe(1), -1);
+    EXPECT_EQ(l1.tags().probe(LineAddr{1}), -1);
     // The fill returns the target but installs nothing.
     l1.popMissQueue();
-    const auto targets = l1.fill(1);
+    const auto targets = l1.fill(LineAddr{1});
     ASSERT_EQ(targets.size(), 1u);
-    EXPECT_EQ(l1.tags().probe(1), -1);
+    EXPECT_EQ(l1.tags().probe(LineAddr{1}), -1);
     // A later access misses again (never cached).
-    EXPECT_EQ(l1.access(1, 0, false, tgt(2, 0), 1).kind,
+    EXPECT_EQ(l1.access(LineAddr{1}, KernelId{0}, false, tgt(2, KernelId{0}), Cycle{1}).kind,
               L1Outcome::Kind::MissToL2);
 }
 
 TEST(L1dBypass, OutstandingBypassedMissesMerge)
 {
-    L1Dcache l1(smallL1(), 0);
-    l1.setBypass(0, true);
-    l1.access(1, 0, false, tgt(1, 0), 0);
-    EXPECT_EQ(l1.access(1, 0, false, tgt(2, 0), 0).kind,
+    L1Dcache l1(smallL1(), SmId{0});
+    l1.setBypass(KernelId{0}, true);
+    l1.access(LineAddr{1}, KernelId{0}, false, tgt(1, KernelId{0}), Cycle{0});
+    EXPECT_EQ(l1.access(LineAddr{1}, KernelId{0}, false, tgt(2, KernelId{0}), Cycle{0}).kind,
               L1Outcome::Kind::MergedMshr);
-    EXPECT_EQ(l1.fill(1).size(), 2u);
+    EXPECT_EQ(l1.fill(LineAddr{1}).size(), 2u);
 }
 
 TEST(L1dBypass, NonBypassedKernelStillAllocates)
 {
-    L1Dcache l1(smallL1(), 0);
-    l1.setBypass(0, true);
-    EXPECT_EQ(l1.access(5, 1, false, tgt(1, 1), 0).kind,
+    L1Dcache l1(smallL1(), SmId{0});
+    l1.setBypass(KernelId{0}, true);
+    EXPECT_EQ(l1.access(LineAddr{5}, KernelId{1}, false, tgt(1, KernelId{1}), Cycle{0}).kind,
               L1Outcome::Kind::MissToL2);
-    EXPECT_GE(l1.tags().probe(5), 0); // reserved normally
+    EXPECT_GE(l1.tags().probe(LineAddr{5}), 0); // reserved normally
 }
 
 TEST(L1dBypass, RelievesLinePressure)
 {
     // With 2 ways and bypass on, a kernel can have many outstanding
     // misses in one set without line reservation failures.
-    L1Dcache l1(smallL1(), 0);
-    l1.setBypass(0, true);
+    L1Dcache l1(smallL1(), SmId{0});
+    l1.setBypass(KernelId{0}, true);
     int issued = 0;
-    for (Addr line = 0; line < 400 && issued < 6; ++line) {
+    for (LineAddr line{}; line < LineAddr{400} && issued < 6;
+         ++line) {
         if (xorSetIndex(line, l1.tags().numSets()) != 3)
             continue;
         const L1Outcome out =
-            l1.access(line, 0, false, tgt(issued, 0), 0);
+            l1.access(line, KernelId{0}, false,
+                      tgt(issued, KernelId{0}), Cycle{});
         ASSERT_EQ(out.kind, L1Outcome::Kind::MissToL2);
         ++issued;
         l1.popMissQueue();

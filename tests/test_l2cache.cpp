@@ -38,17 +38,17 @@ dramcfg(int queue_depth = 16)
 }
 
 MemRequest
-read(Addr line, int sm = 0)
+read(LineAddr line, int sm = 0)
 {
     MemRequest r;
     r.line_addr = line;
-    r.sm_id = sm;
+    r.sm_id = SmId{sm};
     r.kind = ReqKind::ReadMiss;
     return r;
 }
 
 MemRequest
-write(Addr line)
+write(LineAddr line)
 {
     MemRequest r;
     r.line_addr = line;
@@ -73,18 +73,18 @@ TEST(L2Partition, MissFetchesFromDramThenHits)
     L2Partition part(l2cfg(), 0);
     DramChannel dram(dramcfg(), 64);
 
-    part.acceptInput(read(7, /*sm=*/3));
-    pump(part, dram, 0, 100);
-    const auto replies = part.drainReplies(100);
+    part.acceptInput(read(LineAddr{7}, /*sm=*/3));
+    pump(part, dram, Cycle{}, Cycle{100});
+    const auto replies = part.drainReplies(Cycle{100});
     ASSERT_EQ(replies.size(), 1u);
-    EXPECT_EQ(replies[0].sm_id, 3);
+    EXPECT_EQ(replies[0].sm_id, SmId{3});
     EXPECT_EQ(part.missRate(), 1.0);
 
     // Second access: L2 hit, reply after latency only.
-    part.acceptInput(read(7, 5));
-    part.tick(200, dram);
-    EXPECT_TRUE(part.drainReplies(209).empty());
-    EXPECT_EQ(part.drainReplies(210).size(), 1u);
+    part.acceptInput(read(LineAddr{7}, 5));
+    part.tick(Cycle{200}, dram);
+    EXPECT_TRUE(part.drainReplies(Cycle{209}).empty());
+    EXPECT_EQ(part.drainReplies(Cycle{210}).size(), 1u);
     EXPECT_DOUBLE_EQ(part.missRate(), 0.5);
 }
 
@@ -92,37 +92,33 @@ TEST(L2Partition, ConcurrentMissesMerge)
 {
     L2Partition part(l2cfg(), 0);
     DramChannel dram(dramcfg(), 64);
-    part.acceptInput(read(7, 1));
-    part.acceptInput(read(7, 2));
-    part.tick(0, dram);
-    part.tick(1, dram);
+    part.acceptInput(read(LineAddr{7}, 1));
+    part.acceptInput(read(LineAddr{7}, 2));
+    part.tick(Cycle{0}, dram);
+    part.tick(Cycle{1}, dram);
     // Only one DRAM fetch for the merged line.
     EXPECT_EQ(dram.queueLength(), 1);
-    pump(part, dram, 2, 100);
-    EXPECT_EQ(part.drainReplies(100).size(), 2u);
+    pump(part, dram, Cycle{2}, Cycle{100});
+    EXPECT_EQ(part.drainReplies(Cycle{100}).size(), 2u);
 }
 
 TEST(L2Partition, WriteMissAllocatesAndMarksDirty)
 {
     L2Partition part(l2cfg(), 0);
     DramChannel dram(dramcfg(), 64);
-    part.acceptInput(write(9));
-    pump(part, dram, 0, 100);
+    part.acceptInput(write(LineAddr{9}));
+    pump(part, dram, Cycle{}, Cycle{100});
     // Writes produce no reply.
-    EXPECT_TRUE(part.drainReplies(100).empty());
+    EXPECT_TRUE(part.drainReplies(Cycle{100}).empty());
     // The line is now dirty: evicting it requires a writeback. Fill
     // the set with reads to force the eviction.
-    int evictions_needed = 0;
-    Addr line = 9;
-    const int set9 = part.tags().setIndex(9);
-    std::vector<Addr> same_set;
-    for (Addr l = 100; same_set.size() < 4; ++l)
+    const int set9 = part.tags().setIndex(LineAddr{9});
+    std::vector<LineAddr> same_set;
+    for (LineAddr l{100}; same_set.size() < 4; ++l)
         if (part.tags().setIndex(l) == set9)
             same_set.push_back(l);
-    (void)line;
-    (void)evictions_needed;
-    Cycle t = 200;
-    for (Addr l : same_set) {
+    Cycle t{200};
+    for (LineAddr l : same_set) {
         part.acceptInput(read(l));
         pump(part, dram, t, t + 99);
         t += 100;
@@ -131,7 +127,7 @@ TEST(L2Partition, WriteMissAllocatesAndMarksDirty)
     // DRAM in addition to the 4 fetches + 1 original.
     EXPECT_DOUBLE_EQ(dram.rowHitRate() >= 0.0, true);
     // Line 9 must be gone.
-    const int way = part.tags().probe(9);
+    const int way = part.tags().probe(LineAddr{9});
     EXPECT_EQ(way, -1);
 }
 
@@ -139,17 +135,17 @@ TEST(L2Partition, WriteHitMarksDirtyWithoutDram)
 {
     L2Partition part(l2cfg(), 0);
     DramChannel dram(dramcfg(), 64);
-    part.acceptInput(read(5));
-    pump(part, dram, 0, 100);
-    part.drainReplies(100);
+    part.acceptInput(read(LineAddr{5}));
+    pump(part, dram, Cycle{}, Cycle{100});
+    part.drainReplies(Cycle{100});
     const int dram_q_before = dram.queueLength();
-    part.acceptInput(write(5));
-    part.tick(200, dram);
+    part.acceptInput(write(LineAddr{5}));
+    part.tick(Cycle{200}, dram);
     EXPECT_EQ(dram.queueLength(), dram_q_before);
-    const int way = part.tags().probe(5);
+    const int way = part.tags().probe(LineAddr{5});
     ASSERT_GE(way, 0);
     EXPECT_TRUE(part.tags()
-                    .line(part.tags().setIndex(5), way)
+                    .line(part.tags().setIndex(LineAddr{5}), way)
                     .dirty);
 }
 
@@ -157,34 +153,34 @@ TEST(L2Partition, StallsWhenDramQueueFull)
 {
     L2Partition part(l2cfg(/*mshrs=*/8, /*inputq=*/4), 0);
     DramChannel dram(dramcfg(/*queue_depth=*/1), 64);
-    part.acceptInput(read(1));
-    part.acceptInput(read(2));
-    part.tick(0, dram); // first miss takes the only DRAM slot
-    part.tick(1, dram); // second miss must stall at the head
+    part.acceptInput(read(LineAddr{1}));
+    part.acceptInput(read(LineAddr{2}));
+    part.tick(Cycle{0}, dram); // first miss takes the only DRAM slot
+    part.tick(Cycle{1}, dram); // second miss must stall at the head
     EXPECT_EQ(part.inputRoom(), l2cfg().miss_queue_depth - 1);
     // Drain DRAM; the partition can then proceed.
-    pump(part, dram, 2, 200);
-    EXPECT_EQ(part.drainReplies(200).size(), 2u);
+    pump(part, dram, Cycle{2}, Cycle{200});
+    EXPECT_EQ(part.drainReplies(Cycle{200}).size(), 2u);
 }
 
 TEST(L2Partition, StallsWhenMshrsExhausted)
 {
     L2Partition part(l2cfg(/*mshrs=*/1, /*inputq=*/4), 0);
     DramChannel dram(dramcfg(), 64);
-    part.acceptInput(read(1));
-    part.acceptInput(read(2));
-    part.tick(0, dram);
-    part.tick(1, dram); // blocked: MSHR in use
+    part.acceptInput(read(LineAddr{1}));
+    part.acceptInput(read(LineAddr{2}));
+    part.tick(Cycle{0}, dram);
+    part.tick(Cycle{1}, dram); // blocked: MSHR in use
     EXPECT_EQ(dram.queueLength(), 1);
-    pump(part, dram, 2, 200);
-    EXPECT_EQ(part.drainReplies(200).size(), 2u);
+    pump(part, dram, Cycle{2}, Cycle{200});
+    EXPECT_EQ(part.drainReplies(Cycle{200}).size(), 2u);
 }
 
 TEST(L2Partition, InputRoomReflectsQueue)
 {
     L2Partition part(l2cfg(/*mshrs=*/8, /*inputq=*/2), 0);
     EXPECT_EQ(part.inputRoom(), 2);
-    part.acceptInput(read(1));
+    part.acceptInput(read(LineAddr{1}));
     EXPECT_EQ(part.inputRoom(), 1);
 }
 
@@ -193,11 +189,11 @@ TEST(L2Partition, IdleLifecycle)
     L2Partition part(l2cfg(), 0);
     DramChannel dram(dramcfg(), 64);
     EXPECT_TRUE(part.idle());
-    part.acceptInput(read(1));
+    part.acceptInput(read(LineAddr{1}));
     EXPECT_FALSE(part.idle());
-    pump(part, dram, 0, 100);
+    pump(part, dram, Cycle{}, Cycle{100});
     EXPECT_FALSE(part.idle()); // reply undelivered
-    part.drainReplies(100);
+    part.drainReplies(Cycle{100});
     EXPECT_TRUE(part.idle());
 }
 

@@ -13,24 +13,24 @@ namespace {
 
 struct RecordingHost : LsuHost
 {
-    std::vector<std::pair<int, Cycle>> hits;
-    std::vector<std::pair<int, bool>> drained;
+    std::vector<std::pair<WarpSlot, Cycle>> hits;
+    std::vector<std::pair<WarpSlot, bool>> drained;
     int serviced = 0;
     int rsfails = 0;
     RsFailReason last_reason = RsFailReason::None;
 
     void
-    lsuHitReturn(int warp, KernelId, Cycle ready) override
+    lsuHitReturn(WarpSlot warp, KernelId, Cycle ready) override
     {
         hits.push_back({warp, ready});
     }
     void
-    lsuEntryDrained(int warp, KernelId, bool is_store) override
+    lsuEntryDrained(WarpSlot warp, KernelId, bool is_store) override
     {
         drained.push_back({warp, is_store});
     }
     void
-    lsuAccessServiced(KernelId, Addr, const L1Outcome &) override
+    lsuAccessServiced(KernelId, LineAddr, const L1Outcome &) override
     {
         ++serviced;
     }
@@ -60,61 +60,63 @@ TEST(Lsu, QueueDepthEnforced)
 {
     Lsu lsu(/*depth=*/2, /*hit_latency=*/28);
     EXPECT_TRUE(lsu.hasRoom());
-    lsu.enqueue(0, 0, false, {1});
-    lsu.enqueue(1, 0, false, {2});
+    lsu.enqueue(WarpSlot{0}, KernelId{0}, false, {LineAddr{1}});
+    lsu.enqueue(WarpSlot{1}, KernelId{0}, false, {LineAddr{2}});
     EXPECT_FALSE(lsu.hasRoom());
 }
 
 TEST(Lsu, OneRequestPerCycle)
 {
     Lsu lsu(8, 28);
-    L1Dcache l1(l1cfg(), 0);
+    L1Dcache l1(l1cfg(), SmId{0});
     RecordingHost host;
-    lsu.enqueue(0, 0, false, {1, 2, 3});
-    for (Cycle t = 0; t < 3; ++t)
+    lsu.enqueue(WarpSlot{0}, KernelId{0}, false,
+                {LineAddr{1}, LineAddr{2}, LineAddr{3}});
+    for (Cycle t{}; t < Cycle{3}; ++t)
         EXPECT_FALSE(lsu.tick(t, l1, host));
     EXPECT_EQ(host.serviced, 3);
     ASSERT_EQ(host.drained.size(), 1u);
-    EXPECT_EQ(host.drained[0].first, 0);
+    EXPECT_EQ(host.drained[0].first, WarpSlot{0});
     EXPECT_TRUE(lsu.empty());
 }
 
 TEST(Lsu, HitSchedulesWakeAtHitLatency)
 {
     Lsu lsu(8, 28);
-    L1Dcache l1(l1cfg(), 0);
+    L1Dcache l1(l1cfg(), SmId{0});
     RecordingHost host;
     // Warm the line.
-    lsu.enqueue(0, 0, false, {5});
-    lsu.tick(0, l1, host);
+    lsu.enqueue(WarpSlot{0}, KernelId{0}, false, {LineAddr{5}});
+    lsu.tick(Cycle{}, l1, host);
     l1.popMissQueue();
-    l1.fill(5);
+    l1.fill(LineAddr{5});
     // Hit path.
-    lsu.enqueue(1, 0, false, {5});
-    lsu.tick(10, l1, host);
+    lsu.enqueue(WarpSlot{1}, KernelId{0}, false, {LineAddr{5}});
+    lsu.tick(Cycle{10}, l1, host);
     ASSERT_EQ(host.hits.size(), 1u);
-    EXPECT_EQ(host.hits[0].first, 1);
+    EXPECT_EQ(host.hits[0].first, WarpSlot{1});
     EXPECT_EQ(host.hits[0].second, Cycle{10 + 28});
 }
 
 TEST(Lsu, HeadBlocksOnReservationFailure)
 {
     Lsu lsu(8, 28);
-    L1Dcache l1(l1cfg(/*mshrs=*/1), 0);
+    L1Dcache l1(l1cfg(/*mshrs=*/1), SmId{0});
     RecordingHost host;
-    lsu.enqueue(0, 0, false, {1});
-    lsu.tick(0, l1, host); // takes the only MSHR
-    lsu.enqueue(1, 0, false, {2, 3});
+    lsu.enqueue(WarpSlot{0}, KernelId{0}, false, {LineAddr{1}});
+    lsu.tick(Cycle{}, l1, host); // takes the only MSHR
+    lsu.enqueue(WarpSlot{1}, KernelId{0}, false,
+                {LineAddr{2}, LineAddr{3}});
     // Head retries; the queue does not advance.
-    for (Cycle t = 1; t < 5; ++t)
+    for (Cycle t{1}; t < Cycle{5}; ++t)
         EXPECT_TRUE(lsu.tick(t, l1, host));
     EXPECT_EQ(host.rsfails, 4);
     EXPECT_EQ(host.last_reason, RsFailReason::Mshr);
     EXPECT_EQ(lsu.size(), 1);
     // Free the MSHR: the head proceeds.
     l1.popMissQueue();
-    l1.fill(1);
-    EXPECT_FALSE(lsu.tick(5, l1, host));
+    l1.fill(LineAddr{1});
+    EXPECT_FALSE(lsu.tick(Cycle{5}, l1, host));
     EXPECT_EQ(host.serviced, 2);
 }
 
@@ -123,13 +125,13 @@ TEST(Lsu, InOrderAcrossKernels)
     // A blocked head from kernel 0 delays kernel 1 behind it: the
     // cross-kernel interference of Section 4.5.
     Lsu lsu(8, 28);
-    L1Dcache l1(l1cfg(/*mshrs=*/1), 0);
+    L1Dcache l1(l1cfg(/*mshrs=*/1), SmId{0});
     RecordingHost host;
-    lsu.enqueue(0, /*kernel=*/0, false, {1});
-    lsu.tick(0, l1, host);
-    lsu.enqueue(1, /*kernel=*/0, false, {2});
-    lsu.enqueue(2, /*kernel=*/1, false, {3});
-    for (Cycle t = 1; t < 4; ++t)
+    lsu.enqueue(WarpSlot{0}, KernelId{0}, false, {LineAddr{1}});
+    lsu.tick(Cycle{}, l1, host);
+    lsu.enqueue(WarpSlot{1}, KernelId{0}, false, {LineAddr{2}});
+    lsu.enqueue(WarpSlot{2}, KernelId{1}, false, {LineAddr{3}});
+    for (Cycle t{1}; t < Cycle{4}; ++t)
         lsu.tick(t, l1, host);
     // Kernel 1's entry has not been serviced.
     EXPECT_EQ(host.serviced, 1);
@@ -139,10 +141,11 @@ TEST(Lsu, InOrderAcrossKernels)
 TEST(Lsu, StoreDrainSignalsStore)
 {
     Lsu lsu(8, 28);
-    L1Dcache l1(l1cfg(), 0);
+    L1Dcache l1(l1cfg(), SmId{0});
     RecordingHost host;
-    lsu.enqueue(4, 0, /*is_store=*/true, {9});
-    lsu.tick(0, l1, host);
+    lsu.enqueue(WarpSlot{4}, KernelId{0}, /*is_store=*/true,
+                {LineAddr{9}});
+    lsu.tick(Cycle{}, l1, host);
     ASSERT_EQ(host.drained.size(), 1u);
     EXPECT_TRUE(host.drained[0].second);
     EXPECT_TRUE(host.hits.empty()); // stores never wake warps
@@ -151,9 +154,9 @@ TEST(Lsu, StoreDrainSignalsStore)
 TEST(Lsu, EmptyTickIsNotAStall)
 {
     Lsu lsu(8, 28);
-    L1Dcache l1(l1cfg(), 0);
+    L1Dcache l1(l1cfg(), SmId{0});
     RecordingHost host;
-    EXPECT_FALSE(lsu.tick(0, l1, host));
+    EXPECT_FALSE(lsu.tick(Cycle{}, l1, host));
     EXPECT_EQ(host.rsfails, 0);
 }
 

@@ -18,11 +18,11 @@ cfg()
 }
 
 MemRequest
-read(Addr line, int sm, KernelId k = 0)
+read(LineAddr line, int sm, KernelId k = KernelId{0})
 {
     MemRequest r;
     r.line_addr = line;
-    r.sm_id = sm;
+    r.sm_id = SmId{sm};
     r.kernel = k;
     r.kind = ReqKind::ReadMiss;
     return r;
@@ -31,25 +31,26 @@ read(Addr line, int sm, KernelId k = 0)
 TEST(MemorySystem, ReadRoundTrip)
 {
     MemorySystem mem(cfg());
-    ASSERT_TRUE(mem.injectFromSm(read(1234, /*sm=*/1), 0));
+    ASSERT_TRUE(mem.injectFromSm(read(LineAddr{1234}, /*sm=*/1),
+                                 Cycle{}));
     std::vector<MemRequest> got;
-    for (Cycle t = 0; t < 2000 && got.empty(); ++t) {
+    for (Cycle t{}; t < Cycle{2000} && got.empty(); ++t) {
         mem.tick(t);
-        got = mem.drainRepliesForSm(1, t);
+        got = mem.drainRepliesForSm(SmId{1}, t);
     }
     ASSERT_EQ(got.size(), 1u);
-    EXPECT_EQ(got[0].line_addr, 1234u);
-    EXPECT_EQ(got[0].sm_id, 1);
+    EXPECT_EQ(got[0].line_addr, LineAddr{1234});
+    EXPECT_EQ(got[0].sm_id, SmId{1});
 }
 
 TEST(MemorySystem, ReplyGoesOnlyToRequester)
 {
     MemorySystem mem(cfg());
-    mem.injectFromSm(read(99, 0), 0);
-    for (Cycle t = 0; t < 2000; ++t) {
+    mem.injectFromSm(read(LineAddr{99}, 0), Cycle{});
+    for (Cycle t{}; t < Cycle{2000}; ++t) {
         mem.tick(t);
-        ASSERT_TRUE(mem.drainRepliesForSm(1, t).empty());
-        if (!mem.quiescent() || t < 10)
+        ASSERT_TRUE(mem.drainRepliesForSm(SmId{1}, t).empty());
+        if (!mem.quiescent() || t < Cycle{10})
             continue;
         break;
     }
@@ -58,29 +59,29 @@ TEST(MemorySystem, ReplyGoesOnlyToRequester)
 TEST(MemorySystem, SecondAccessIsL2Hit)
 {
     MemorySystem mem(cfg());
-    mem.injectFromSm(read(77, 0), 0);
-    Cycle t = 0;
-    Cycle first_latency = 0;
-    for (; t < 4000; ++t) {
+    mem.injectFromSm(read(LineAddr{77}, 0), Cycle{});
+    Cycle t{};
+    Cycle first_latency{};
+    for (; t < Cycle{4000}; ++t) {
         mem.tick(t);
-        if (!mem.drainRepliesForSm(0, t).empty()) {
+        if (!mem.drainRepliesForSm(SmId{0}, t).empty()) {
             first_latency = t;
             break;
         }
     }
-    ASSERT_GT(first_latency, 0u);
+    ASSERT_GT(first_latency, Cycle{});
 
     const Cycle start2 = t + 10;
-    mem.injectFromSm(read(77, 0), start2);
-    Cycle second_latency = 0;
+    mem.injectFromSm(read(LineAddr{77}, 0), start2);
+    Cycle second_latency{};
     for (Cycle u = start2; u < start2 + 4000; ++u) {
         mem.tick(u);
-        if (!mem.drainRepliesForSm(0, u).empty()) {
+        if (!mem.drainRepliesForSm(SmId{0}, u).empty()) {
             second_latency = u - start2;
             break;
         }
     }
-    ASSERT_GT(second_latency, 0u);
+    ASSERT_GT(second_latency, Cycle{});
     EXPECT_LT(second_latency, first_latency);
     EXPECT_LT(mem.l2MissRate(), 1.0);
 }
@@ -89,14 +90,14 @@ TEST(MemorySystem, WritesCompleteSilently)
 {
     MemorySystem mem(cfg());
     MemRequest w;
-    w.line_addr = 50;
-    w.sm_id = 0;
+    w.line_addr = LineAddr{50};
+    w.sm_id = SmId{0};
     w.kind = ReqKind::WriteThru;
-    ASSERT_TRUE(mem.injectFromSm(w, 0));
-    for (Cycle t = 0; t < 4000; ++t) {
+    ASSERT_TRUE(mem.injectFromSm(w, Cycle{}));
+    for (Cycle t{}; t < Cycle{4000}; ++t) {
         mem.tick(t);
-        ASSERT_TRUE(mem.drainRepliesForSm(0, t).empty());
-        if (t > 500 && mem.quiescent())
+        ASSERT_TRUE(mem.drainRepliesForSm(SmId{0}, t).empty());
+        if (t > Cycle{500} && mem.quiescent())
             break;
     }
     EXPECT_TRUE(mem.quiescent());
@@ -106,11 +107,11 @@ TEST(MemorySystem, QuiescentLifecycle)
 {
     MemorySystem mem(cfg());
     EXPECT_TRUE(mem.quiescent());
-    mem.injectFromSm(read(7, 0), 0);
+    mem.injectFromSm(read(LineAddr{7}, 0), Cycle{});
     EXPECT_FALSE(mem.quiescent());
-    for (Cycle t = 0; t < 4000; ++t) {
+    for (Cycle t{}; t < Cycle{4000}; ++t) {
         mem.tick(t);
-        mem.drainRepliesForSm(0, t);
+        mem.drainRepliesForSm(SmId{0}, t);
     }
     EXPECT_TRUE(mem.quiescent());
 }
@@ -122,12 +123,14 @@ TEST(MemorySystem, BackpressureOnFloodedPort)
     MemorySystem mem(c);
     // Flood one partition (consecutive chunk-aligned lines that hash
     // to the same partition).
-    const int target = linePartition(0, c.numL2Partitions());
+    const int target =
+        linePartition(LineAddr{}, c.numL2Partitions());
     int accepted = 0;
-    for (Addr l = 0; l < 4096; l += kPartitionChunkLines) {
+    for (LineAddr l{}; l < LineAddr{4096};
+         l += kPartitionChunkLines) {
         if (linePartition(l, c.numL2Partitions()) != target)
             continue;
-        if (mem.injectFromSm(read(l, 0), 0))
+        if (mem.injectFromSm(read(l, 0), Cycle{}))
             ++accepted;
         else
             break;
@@ -142,16 +145,16 @@ TEST(MemorySystem, ManyRequestsAllReturn)
     const int n = 64;
     int sent = 0;
     int received = 0;
-    Addr next = 0;
-    for (Cycle t = 0; t < 20000 && received < n; ++t) {
+    std::uint64_t next = 0;
+    for (Cycle t{}; t < Cycle{20000} && received < n; ++t) {
         if (sent < n &&
-            mem.injectFromSm(read(next * 16 + 3, 0), t)) {
+            mem.injectFromSm(read(LineAddr{next * 16 + 3}, 0), t)) {
             ++sent;
             ++next;
         }
         mem.tick(t);
-        received +=
-            static_cast<int>(mem.drainRepliesForSm(0, t).size());
+        received += static_cast<int>(
+            mem.drainRepliesForSm(SmId{0}, t).size());
     }
     EXPECT_EQ(received, n);
     EXPECT_TRUE(mem.quiescent());

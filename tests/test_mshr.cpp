@@ -16,52 +16,52 @@ using IntMshr = MshrTable<int>;
 TEST(Mshr, AllocateAndPending)
 {
     IntMshr t(4, 2);
-    EXPECT_FALSE(t.pending(10));
+    EXPECT_FALSE(t.pending(LineAddr{10}));
     EXPECT_TRUE(t.hasFree());
-    t.allocate(10, 1);
-    EXPECT_TRUE(t.pending(10));
+    t.allocate(LineAddr{10}, 1);
+    EXPECT_TRUE(t.pending(LineAddr{10}));
     EXPECT_EQ(t.size(), 1);
 }
 
 TEST(Mshr, MergeCollectsTargets)
 {
     IntMshr t(4, 4);
-    t.allocate(10, 1);
-    t.merge(10, 2);
-    t.merge(10, 3);
-    const std::vector<int> targets = t.release(10);
+    t.allocate(LineAddr{10}, 1);
+    t.merge(LineAddr{10}, 2);
+    t.merge(LineAddr{10}, 3);
+    const std::vector<int> targets = t.release(LineAddr{10});
     EXPECT_EQ(targets, (std::vector<int>{1, 2, 3}));
-    EXPECT_FALSE(t.pending(10));
+    EXPECT_FALSE(t.pending(LineAddr{10}));
     EXPECT_EQ(t.size(), 0);
 }
 
 TEST(Mshr, MergeCapEnforced)
 {
     IntMshr t(4, 2);
-    t.allocate(10, 1);
-    EXPECT_TRUE(t.canMerge(10));
-    t.merge(10, 2);
-    EXPECT_FALSE(t.canMerge(10));
+    t.allocate(LineAddr{10}, 1);
+    EXPECT_TRUE(t.canMerge(LineAddr{10}));
+    t.merge(LineAddr{10}, 2);
+    EXPECT_FALSE(t.canMerge(LineAddr{10}));
 }
 
 TEST(Mshr, CapacityEnforced)
 {
     IntMshr t(2, 8);
-    t.allocate(1, 0);
-    t.allocate(2, 0);
+    t.allocate(LineAddr{1}, 0);
+    t.allocate(LineAddr{2}, 0);
     EXPECT_FALSE(t.hasFree());
-    t.release(1);
+    t.release(LineAddr{1});
     EXPECT_TRUE(t.hasFree());
 }
 
 TEST(Mshr, IndependentLines)
 {
     IntMshr t(8, 8);
-    t.allocate(1, 100);
-    t.allocate(2, 200);
-    EXPECT_EQ(t.release(2), std::vector<int>{200});
-    EXPECT_TRUE(t.pending(1));
-    EXPECT_EQ(t.release(1), std::vector<int>{100});
+    t.allocate(LineAddr{1}, 100);
+    t.allocate(LineAddr{2}, 200);
+    EXPECT_EQ(t.release(LineAddr{2}), std::vector<int>{200});
+    EXPECT_TRUE(t.pending(LineAddr{1}));
+    EXPECT_EQ(t.release(LineAddr{1}), std::vector<int>{100});
     EXPECT_TRUE(t.empty());
 }
 
@@ -70,7 +70,7 @@ TEST(Mshr, Table1Capacity)
     // The paper's configuration: 128 MSHRs per SM.
     IntMshr t(128, 8);
     for (int i = 0; i < 128; ++i)
-        t.allocate(static_cast<Addr>(i), i);
+        t.allocate(LineAddr{i}, i);
     EXPECT_FALSE(t.hasFree());
     EXPECT_EQ(t.capacity(), 128);
     EXPECT_EQ(t.maxMerge(), 8);

@@ -26,7 +26,7 @@ class IsolatedInvariants
 
 TEST_P(IsolatedInvariants, HoldForKernel)
 {
-    Runner runner(smallCfg(), 8000);
+    Runner runner(smallCfg(), Cycle{8000});
     const KernelProfile &p = findProfile(GetParam());
     const IsolatedResult &res = runner.isolated(p);
     const KernelStats &s = res.stats;
@@ -83,7 +83,7 @@ class SchemeInvariants
 
 TEST_P(SchemeInvariants, HoldForBpSv)
 {
-    Runner runner(smallCfg(), 8000);
+    Runner runner(smallCfg(), Cycle{8000});
     const Workload w = makeWorkload({"bp", "sv"});
     const ConcurrentResult res = runner.run(w, GetParam());
 
@@ -127,7 +127,7 @@ TEST(Determinism, IdenticalRunsProduceIdenticalStats)
 {
     const Workload w = makeWorkload({"bp", "ks"});
     auto run_once = [&] {
-        Runner runner(smallCfg(), 6000);
+        Runner runner(smallCfg(), Cycle{6000});
         return runner.run(w, NamedScheme::WS_DMIL);
     };
     const ConcurrentResult a = run_once();
@@ -145,7 +145,7 @@ TEST(Determinism, SameSeedAndConfigProduceIdenticalFingerprints)
 {
     const Workload w = makeWorkload({"sv", "ks"});
     auto hash_once = [&] {
-        Runner runner(smallCfg(), 6000);
+        Runner runner(smallCfg(), Cycle{6000});
         const ConcurrentResult res =
             runner.run(w, NamedScheme::WS_QBMI_DMIL);
         std::uint64_t h = fingerprint(res.sm_stats);
@@ -178,7 +178,7 @@ TEST(Determinism, SeedChangesChangeOutcome)
     GpuConfig c1 = smallCfg();
     GpuConfig c2 = smallCfg();
     c2.seed = 0xdeadbeef;
-    Runner r1(c1, 6000), r2(c2, 6000);
+    Runner r1(c1, Cycle{6000}), r2(c2, Cycle{6000});
     const ConcurrentResult a = r1.run(w, NamedScheme::WS);
     const ConcurrentResult b = r2.run(w, NamedScheme::WS);
     EXPECT_NE(a.stats[0].l1d_accesses, b.stats[0].l1d_accesses);
@@ -195,11 +195,11 @@ TEST(SchemeSanity, MilLimitsAreRespectedThroughout)
     spec.smil_limits[0] = 3;
     spec.smil_limits[1] = 1;
     Gpu gpu(cfg, w, spec);
-    for (Cycle t = 0; t < 4000; ++t) {
-        gpu.run(1);
+    for (Cycle t{}; t < Cycle{4000}; ++t) {
+        gpu.run(Cycle{1});
         for (int s = 0; s < gpu.numSms(); ++s) {
-            ASSERT_LE(gpu.sm(s).controller().inflight(0), 3);
-            ASSERT_LE(gpu.sm(s).controller().inflight(1), 1);
+            ASSERT_LE(gpu.sm(s).controller().inflight(KernelId{0}), 3);
+            ASSERT_LE(gpu.sm(s).controller().inflight(KernelId{1}), 1);
         }
     }
 }
@@ -208,7 +208,7 @@ TEST(SchemeSanity, DmilReducesReservationFailures)
 {
     // The core claim of Section 3.3: limiting in-flight memory
     // instructions cuts rsfail rates for memory-intensive pairs.
-    Runner runner(smallCfg(), 12000);
+    Runner runner(smallCfg(), Cycle{12000});
     const Workload w = makeWorkload({"sv", "ks"});
     const ConcurrentResult base = runner.run(w, NamedScheme::WS);
     const ConcurrentResult dmil =
@@ -224,7 +224,7 @@ TEST(SchemeSanity, QbmiBalancesRequestVolume)
 {
     // QBMI should narrow the gap between the kernels' serviced
     // request volumes relative to unmanaged WS.
-    Runner runner(smallCfg(), 12000);
+    Runner runner(smallCfg(), Cycle{12000});
     const Workload w = makeWorkload({"bp", "ks"});
     const ConcurrentResult base = runner.run(w, NamedScheme::WS);
     const ConcurrentResult qbmi =

@@ -12,7 +12,7 @@ namespace ckesim {
 namespace {
 
 Runner
-makeRunner(Cycle cycles = 10000)
+makeRunner(Cycle cycles = Cycle{10000})
 {
     return Runner(makeSmallConfig(4, 4), cycles);
 }
@@ -38,7 +38,7 @@ TEST(Runner, TbLimitReducesParallelism)
 
 TEST(Runner, ScalabilityCurveCoversAllTbCounts)
 {
-    Runner r(makeSmallConfig(2, 2), 5000);
+    Runner r(makeSmallConfig(2, 2), Cycle{5000});
     const ScalabilityCurve c = r.scalability(findProfile("sv"));
     EXPECT_EQ(c.maxTbs(),
               findProfile("sv").maxTbsPerSm(r.config().sm));

@@ -26,8 +26,12 @@ TEST(Scheduler, SlotsAreStriped)
 {
     WarpScheduler s0(0, 4, 16, SchedPolicy::GTO);
     WarpScheduler s1(1, 4, 16, SchedPolicy::GTO);
-    EXPECT_EQ(s0.slots(), (std::vector<int>{0, 4, 8, 12}));
-    EXPECT_EQ(s1.slots(), (std::vector<int>{1, 5, 9, 13}));
+    EXPECT_EQ(s0.slots(),
+              (std::vector<WarpSlot>{WarpSlot{0}, WarpSlot{4},
+                                     WarpSlot{8}, WarpSlot{12}}));
+    EXPECT_EQ(s1.slots(),
+              (std::vector<WarpSlot>{WarpSlot{1}, WarpSlot{5},
+                                     WarpSlot{9}, WarpSlot{13}}));
 }
 
 TEST(Scheduler, GtoPicksOldestFirst)
@@ -38,9 +42,9 @@ TEST(Scheduler, GtoPicksOldestFirst)
     warps[1].age = 10; // oldest
     warps[2].age = 20;
     warps[3].age = 40;
-    const int pick =
-        sched.pick(warps, [](int) { return true; });
-    EXPECT_EQ(pick, 1);
+    const WarpSlot pick =
+        sched.pick(warps, [](WarpSlot) { return true; });
+    EXPECT_EQ(pick, WarpSlot{1});
 }
 
 TEST(Scheduler, GtoIsGreedy)
@@ -51,22 +55,24 @@ TEST(Scheduler, GtoIsGreedy)
     warps[1].age = 20;
     warps[2].age = 5; // oldest
     warps[3].age = 30;
-    int pick = sched.pick(warps, [](int) { return true; });
-    EXPECT_EQ(pick, 2);
+    WarpSlot pick = sched.pick(warps, [](WarpSlot) { return true; });
+    EXPECT_EQ(pick, WarpSlot{2});
     sched.onIssue(pick);
     // Stays on warp 2 while it remains issuable.
-    pick = sched.pick(warps, [](int) { return true; });
-    EXPECT_EQ(pick, 2);
+    pick = sched.pick(warps, [](WarpSlot) { return true; });
+    EXPECT_EQ(pick, WarpSlot{2});
     // When 2 blocks, falls back to the next oldest.
-    pick = sched.pick(warps, [](int s) { return s != 2; });
-    EXPECT_EQ(pick, 0);
+    pick = sched.pick(warps,
+                      [](WarpSlot s) { return s != WarpSlot{2}; });
+    EXPECT_EQ(pick, WarpSlot{0});
 }
 
 TEST(Scheduler, GtoReturnsMinusOneWhenNothingIssuable)
 {
     WarpScheduler sched(0, 1, 4, SchedPolicy::GTO);
     std::vector<Warp> warps = makeWarps(4);
-    EXPECT_EQ(sched.pick(warps, [](int) { return false; }), -1);
+    EXPECT_EQ(sched.pick(warps, [](WarpSlot) { return false; }),
+              kInvalidWarpSlot);
 }
 
 TEST(Scheduler, LrrRotates)
@@ -75,8 +81,9 @@ TEST(Scheduler, LrrRotates)
     std::vector<Warp> warps = makeWarps(4);
     std::vector<int> picks;
     for (int i = 0; i < 8; ++i) {
-        const int p = sched.pick(warps, [](int) { return true; });
-        picks.push_back(p);
+        const WarpSlot p =
+            sched.pick(warps, [](WarpSlot) { return true; });
+        picks.push_back(p.get());
         sched.onIssue(p);
     }
     EXPECT_EQ(picks,
@@ -87,10 +94,10 @@ TEST(Scheduler, LrrSkipsBlockedWarps)
 {
     WarpScheduler sched(0, 1, 4, SchedPolicy::LRR);
     std::vector<Warp> warps = makeWarps(4);
-    auto only_odd = [](int s) { return s % 2 == 1; };
-    EXPECT_EQ(sched.pick(warps, only_odd), 1);
-    EXPECT_EQ(sched.pick(warps, only_odd), 3);
-    EXPECT_EQ(sched.pick(warps, only_odd), 1);
+    auto only_odd = [](WarpSlot s) { return s.get() % 2 == 1; };
+    EXPECT_EQ(sched.pick(warps, only_odd), WarpSlot{1});
+    EXPECT_EQ(sched.pick(warps, only_odd), WarpSlot{3});
+    EXPECT_EQ(sched.pick(warps, only_odd), WarpSlot{1});
 }
 
 TEST(Scheduler, ClearGreedy)
@@ -98,10 +105,12 @@ TEST(Scheduler, ClearGreedy)
     WarpScheduler sched(0, 1, 4, SchedPolicy::GTO);
     std::vector<Warp> warps = makeWarps(4);
     warps[3].age = 0;
-    sched.onIssue(3);
-    sched.clearGreedyIf(3);
+    sched.onIssue(WarpSlot{3});
+    sched.clearGreedyIf(WarpSlot{3});
     // Falls back to oldest issuable rather than stale greedy.
-    EXPECT_EQ(sched.pick(warps, [](int s) { return s != 3; }), 0);
+    EXPECT_EQ(sched.pick(warps,
+                         [](WarpSlot s) { return s != WarpSlot{3}; }),
+              WarpSlot{0});
 }
 
 } // namespace

@@ -21,12 +21,12 @@ struct SmFixture
     makeSm(std::vector<const KernelProfile *> kernels,
            IssuePolicyConfig policy = {})
     {
-        return std::make_unique<Sm>(cfg, 0, mem, std::move(kernels),
-                                    policy);
+        return std::make_unique<Sm>(cfg, SmId{0}, mem,
+                                    std::move(kernels), policy);
     }
 
     void
-    run(Sm &sm, Cycle cycles, Cycle from = 0)
+    run(Sm &sm, Cycle cycles, Cycle from = Cycle{})
     {
         for (Cycle t = from; t < from + cycles; ++t) {
             sm.tick(t);
@@ -39,28 +39,28 @@ TEST(Sm, DispatchRespectsQuota)
 {
     SmFixture f;
     auto sm = f.makeSm({&findProfile("bp")});
-    sm->setTbQuota(0, 3);
-    f.run(*sm, 50);
-    EXPECT_EQ(sm->residentTbs(0), 3);
+    sm->setTbQuota(KernelId{0}, 3);
+    f.run(*sm, Cycle{50});
+    EXPECT_EQ(sm->residentTbs(KernelId{0}), 3);
 }
 
 TEST(Sm, ZeroQuotaMeansIdle)
 {
     SmFixture f;
     auto sm = f.makeSm({&findProfile("bp")});
-    sm->setTbQuota(0, 0);
-    f.run(*sm, 100);
-    EXPECT_EQ(sm->residentTbs(0), 0);
-    EXPECT_EQ(sm->kernelStats(0).issued_instructions, 0u);
+    sm->setTbQuota(KernelId{0}, 0);
+    f.run(*sm, Cycle{100});
+    EXPECT_EQ(sm->residentTbs(KernelId{0}), 0);
+    EXPECT_EQ(sm->kernelStats(KernelId{0}).issued_instructions, 0u);
 }
 
 TEST(Sm, DispatchBoundedByStaticResources)
 {
     SmFixture f;
     auto sm = f.makeSm({&findProfile("bp")});
-    sm->setTbQuota(0, 100); // far beyond feasibility
-    f.run(*sm, 100);
-    EXPECT_EQ(sm->residentTbs(0),
+    sm->setTbQuota(KernelId{0}, 100); // far beyond feasibility
+    f.run(*sm, Cycle{100});
+    EXPECT_EQ(sm->residentTbs(KernelId{0}),
               findProfile("bp").maxTbsPerSm(f.cfg.sm));
 }
 
@@ -68,13 +68,13 @@ TEST(Sm, TwoKernelsShareTheSm)
 {
     SmFixture f;
     auto sm = f.makeSm({&findProfile("bp"), &findProfile("sv")});
-    sm->setTbQuota(0, 9);
-    sm->setTbQuota(1, 4);
-    f.run(*sm, 2000);
-    EXPECT_EQ(sm->residentTbs(0), 9);
-    EXPECT_EQ(sm->residentTbs(1), 4);
-    EXPECT_GT(sm->kernelStats(0).issued_instructions, 0u);
-    EXPECT_GT(sm->kernelStats(1).issued_instructions, 0u);
+    sm->setTbQuota(KernelId{0}, 9);
+    sm->setTbQuota(KernelId{1}, 4);
+    f.run(*sm, Cycle{2000});
+    EXPECT_EQ(sm->residentTbs(KernelId{0}), 9);
+    EXPECT_EQ(sm->residentTbs(KernelId{1}), 4);
+    EXPECT_GT(sm->kernelStats(KernelId{0}).issued_instructions, 0u);
+    EXPECT_GT(sm->kernelStats(KernelId{1}).issued_instructions, 0u);
 }
 
 TEST(Sm, TbsRestartIndefinitely)
@@ -84,19 +84,20 @@ TEST(Sm, TbsRestartIndefinitely)
     KernelProfile p = findProfile("cp");
     p.instrs_per_warp = 64;
     auto sm = f.makeSm({&p});
-    sm->setTbQuota(0, 2);
-    f.run(*sm, 20000);
-    EXPECT_GE(sm->kernelStats(0).tbs_completed, 4u);
-    EXPECT_EQ(sm->residentTbs(0), 2); // refilled after completion
+    sm->setTbQuota(KernelId{0}, 2);
+    f.run(*sm, Cycle{20000});
+    EXPECT_GE(sm->kernelStats(KernelId{0}).tbs_completed, 4u);
+    // Refilled after completion.
+    EXPECT_EQ(sm->residentTbs(KernelId{0}), 2);
 }
 
 TEST(Sm, StatsMixMatchesProfile)
 {
     SmFixture f;
     auto sm = f.makeSm({&findProfile("bp")});
-    sm->setTbQuota(0, 4);
-    f.run(*sm, 8000);
-    const KernelStats &s = sm->kernelStats(0);
+    sm->setTbQuota(KernelId{0}, 4);
+    f.run(*sm, Cycle{8000});
+    const KernelStats &s = sm->kernelStats(KernelId{0});
     ASSERT_GT(s.mem_instructions, 50u);
     EXPECT_NEAR(s.cinstPerMinst(),
                 findProfile("bp").cinst_per_minst, 1.5);
@@ -114,35 +115,37 @@ TEST(Sm, ResetStatsClearsCountersOnly)
 {
     SmFixture f;
     auto sm = f.makeSm({&findProfile("bp")});
-    sm->setTbQuota(0, 2);
-    f.run(*sm, 1000);
-    ASSERT_GT(sm->kernelStats(0).issued_instructions, 0u);
-    const int resident = sm->residentTbs(0);
+    sm->setTbQuota(KernelId{0}, 2);
+    f.run(*sm, Cycle{1000});
+    ASSERT_GT(sm->kernelStats(KernelId{0}).issued_instructions, 0u);
+    const int resident = sm->residentTbs(KernelId{0});
     sm->resetStats();
-    EXPECT_EQ(sm->kernelStats(0).issued_instructions, 0u);
+    EXPECT_EQ(sm->kernelStats(KernelId{0}).issued_instructions, 0u);
     EXPECT_EQ(sm->smStats().cycles, 0u);
-    EXPECT_EQ(sm->residentTbs(0), resident); // warps keep running
-    f.run(*sm, 1000, 1000);
-    EXPECT_GT(sm->kernelStats(0).issued_instructions, 0u);
+    // Warps keep running.
+    EXPECT_EQ(sm->residentTbs(KernelId{0}), resident);
+    f.run(*sm, Cycle{1000}, Cycle{1000});
+    EXPECT_GT(sm->kernelStats(KernelId{0}).issued_instructions, 0u);
 }
 
 TEST(Sm, IssueSeriesRecordsActivity)
 {
     SmFixture f;
     auto sm = f.makeSm({&findProfile("bp")});
-    sm->setTbQuota(0, 4);
-    TimeSeries issue(100), l1d(100);
-    sm->setIssueSeries(0, &issue);
-    sm->setL1dSeries(0, &l1d);
-    f.run(*sm, 1000);
+    sm->setTbQuota(KernelId{0}, 4);
+    TimeSeries issue(Cycle{100}), l1d(Cycle{100});
+    sm->setIssueSeries(KernelId{0}, &issue);
+    sm->setL1dSeries(KernelId{0}, &l1d);
+    f.run(*sm, Cycle{1000});
     std::uint64_t issued = 0;
     for (std::uint64_t b : issue.bins())
         issued += b;
-    EXPECT_EQ(issued, sm->kernelStats(0).issued_instructions);
+    EXPECT_EQ(issued,
+              sm->kernelStats(KernelId{0}).issued_instructions);
     std::uint64_t accesses = 0;
     for (std::uint64_t b : l1d.bins())
         accesses += b;
-    EXPECT_EQ(accesses, sm->kernelStats(0).l1d_accesses);
+    EXPECT_EQ(accesses, sm->kernelStats(KernelId{0}).l1d_accesses);
 }
 
 TEST(Sm, MilLimitsInflightInstructions)
@@ -152,34 +155,35 @@ TEST(Sm, MilLimitsInflightInstructions)
     policy.mil = MilMode::Static;
     policy.static_limits[0] = 2;
     auto sm = f.makeSm({&findProfile("sv")}, policy);
-    sm->setTbQuota(0, 8);
-    for (Cycle t = 0; t < 3000; ++t) {
+    sm->setTbQuota(KernelId{0}, 8);
+    for (Cycle t{}; t < Cycle{3000}; ++t) {
         sm->tick(t);
         f.mem.tick(t);
-        ASSERT_LE(sm->controller().inflight(0), 2);
+        ASSERT_LE(sm->controller().inflight(KernelId{0}), 2);
     }
-    EXPECT_GT(sm->kernelStats(0).mem_instructions, 0u);
+    EXPECT_GT(sm->kernelStats(KernelId{0}).mem_instructions, 0u);
 }
 
 TEST(Sm, AccessObserverSeesEveryServicedAccess)
 {
     SmFixture f;
     auto sm = f.makeSm({&findProfile("bp")});
-    sm->setTbQuota(0, 2);
+    sm->setTbQuota(KernelId{0}, 2);
     static std::uint64_t observed;
     observed = 0;
     sm->setAccessObserver(
-        [](void *, KernelId, Addr) { ++observed; }, nullptr);
-    f.run(*sm, 2000);
-    EXPECT_EQ(observed, sm->kernelStats(0).l1d_accesses);
+        [](void *, KernelId, LineAddr) { ++observed; }, nullptr);
+    f.run(*sm, Cycle{2000});
+    EXPECT_EQ(observed, sm->kernelStats(KernelId{0}).l1d_accesses);
 }
 
 TEST(Sm, ComputeKernelKeepsPipelineBusy)
 {
     SmFixture f;
     auto sm = f.makeSm({&findProfile("cp")});
-    sm->setTbQuota(0, findProfile("cp").maxTbsPerSm(f.cfg.sm));
-    f.run(*sm, 5000);
+    sm->setTbQuota(KernelId{0},
+                   findProfile("cp").maxTbsPerSm(f.cfg.sm));
+    f.run(*sm, Cycle{5000});
     const SmStats &s = sm->smStats();
     const double util =
         static_cast<double>(s.issue_slots_used) /

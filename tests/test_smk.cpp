@@ -77,14 +77,14 @@ TEST(DominantShares, PicksBindingResource)
 
 TEST(SmkQuotas, ProportionalToIsolatedIpc)
 {
-    const auto q = smkWarpQuotas({2.0, 1.0}, 1000);
+    const auto q = smkWarpQuotas({2.0, 1.0}, Cycle{1000});
     EXPECT_EQ(q[0], 2000u);
     EXPECT_EQ(q[1], 1000u);
 }
 
 TEST(SmkQuotas, FloorsTinyIpc)
 {
-    const auto q = smkWarpQuotas({0.0001, 1.0}, 1000);
+    const auto q = smkWarpQuotas({0.0001, 1.0}, Cycle{1000});
     EXPECT_GE(q[0], 50u); // clamped at 0.05 IPC
     EXPECT_GE(q[1], 1u);
 }

@@ -17,7 +17,7 @@
 namespace ckesim {
 namespace {
 
-constexpr Cycle kCycles = 8000;
+constexpr Cycle kCycles{8000};
 
 GpuConfig
 smallCfg()

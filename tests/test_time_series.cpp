@@ -12,11 +12,11 @@ namespace {
 
 TEST(TimeSeries, BinsByInterval)
 {
-    TimeSeries ts(1000);
-    ts.record(0);
-    ts.record(999);
-    ts.record(1000);
-    ts.record(2500, 3);
+    TimeSeries ts(Cycle{1000});
+    ts.record(Cycle{0});
+    ts.record(Cycle{999});
+    ts.record(Cycle{1000});
+    ts.record(Cycle{2500}, 3);
     EXPECT_EQ(ts.binCount(0), 2u);
     EXPECT_EQ(ts.binCount(1), 1u);
     EXPECT_EQ(ts.binCount(2), 3u);
@@ -25,8 +25,8 @@ TEST(TimeSeries, BinsByInterval)
 
 TEST(TimeSeries, SparseRecordingMaterializesGaps)
 {
-    TimeSeries ts(10);
-    ts.record(95);
+    TimeSeries ts(Cycle{10});
+    ts.record(Cycle{95});
     ASSERT_EQ(ts.bins().size(), 10u);
     for (std::size_t i = 0; i < 9; ++i)
         EXPECT_EQ(ts.binCount(i), 0u);
@@ -35,10 +35,10 @@ TEST(TimeSeries, SparseRecordingMaterializesGaps)
 
 TEST(TimeSeries, MeanOverRange)
 {
-    TimeSeries ts(100);
-    ts.record(0, 10);
-    ts.record(100, 20);
-    ts.record(200, 30);
+    TimeSeries ts(Cycle{100});
+    ts.record(Cycle{0}, 10);
+    ts.record(Cycle{100}, 20);
+    ts.record(Cycle{200}, 30);
     EXPECT_DOUBLE_EQ(ts.meanOver(0, 3), 20.0);
     EXPECT_DOUBLE_EQ(ts.meanOver(1, 3), 25.0);
     EXPECT_DOUBLE_EQ(ts.meanOver(2, 2), 0.0);  // empty range
@@ -47,8 +47,8 @@ TEST(TimeSeries, MeanOverRange)
 
 TEST(TimeSeries, ClearResets)
 {
-    TimeSeries ts(10);
-    ts.record(5);
+    TimeSeries ts(Cycle{10});
+    ts.record(Cycle{5});
     ts.clear();
     EXPECT_TRUE(ts.bins().empty());
     EXPECT_EQ(ts.binCount(0), 0u);
@@ -57,9 +57,9 @@ TEST(TimeSeries, ClearResets)
 TEST(TimeSeries, SharedAcrossProducersAccumulates)
 {
     // Multiple SMs record into one GPU-wide series.
-    TimeSeries ts(100);
+    TimeSeries ts(Cycle{100});
     for (int sm = 0; sm < 4; ++sm)
-        ts.record(50, 2);
+        ts.record(Cycle{50}, 2);
     EXPECT_EQ(ts.binCount(0), 8u);
 }
 

@@ -12,11 +12,11 @@ namespace ckesim {
 namespace {
 
 /** Line in a *sampled* set (sample_shift 2 monitors sets 0,4,8,...). */
-Addr
+LineAddr
 sampledLine(int num_sets, int i)
 {
     int found = 0;
-    for (Addr line = 0;; ++line) {
+    for (LineAddr line{};; ++line) {
         if ((xorSetIndex(line, num_sets) & 3) == 0) {
             if (found == i)
                 return line;
@@ -28,7 +28,7 @@ sampledLine(int num_sets, int i)
 TEST(Umon, MruHitCountsAtPositionZero)
 {
     UmonMonitor m(32, 4);
-    const Addr line = sampledLine(32, 0);
+    const LineAddr line = sampledLine(32, 0);
     m.access(line);
     EXPECT_EQ(m.misses(), 1u);
     m.access(line);
@@ -40,13 +40,13 @@ TEST(Umon, StackDepthMatchesRecency)
     UmonMonitor m(32, 4);
     // Four distinct lines in the same sampled set, then re-touch the
     // first: it sits at LRU position 3.
-    std::vector<Addr> lines;
+    std::vector<LineAddr> lines;
     const int set0 = xorSetIndex(sampledLine(32, 0), 32);
-    for (Addr l = 0; lines.size() < 4; ++l)
+    for (LineAddr l{}; lines.size() < 4; ++l)
         if (xorSetIndex(l, 32) == set0 &&
             (xorSetIndex(l, 32) & 3) == 0)
             lines.push_back(l);
-    for (Addr l : lines)
+    for (LineAddr l : lines)
         m.access(l);
     m.access(lines[0]);
     EXPECT_EQ(m.wayHits()[3], 1u);
@@ -56,7 +56,7 @@ TEST(Umon, UnsampledSetsIgnored)
 {
     UmonMonitor m(32, 4);
     // A line in set 1 (not a multiple of 4) is ignored.
-    for (Addr l = 0; l < 10000; ++l) {
+    for (LineAddr l{}; l < LineAddr{10000}; ++l) {
         if (xorSetIndex(l, 32) == 1) {
             m.access(l);
             m.access(l);
@@ -70,7 +70,7 @@ TEST(Umon, UnsampledSetsIgnored)
 TEST(Umon, UtilityIsCumulativeAndMonotone)
 {
     UmonMonitor m(32, 4);
-    const Addr a = sampledLine(32, 0);
+    const LineAddr a = sampledLine(32, 0);
     m.access(a);
     for (int i = 0; i < 5; ++i)
         m.access(a);
@@ -82,7 +82,7 @@ TEST(Umon, UtilityIsCumulativeAndMonotone)
 TEST(Umon, AgeHalvesCounters)
 {
     UmonMonitor m(32, 4);
-    const Addr a = sampledLine(32, 0);
+    const LineAddr a = sampledLine(32, 0);
     m.access(a);
     for (int i = 0; i < 8; ++i)
         m.access(a);
@@ -94,7 +94,7 @@ TEST(UcpLookahead, EveryKernelGetsAtLeastOneWay)
 {
     UmonMonitor a(32, 6), b(32, 6);
     // Kernel a has all the utility.
-    const Addr line = sampledLine(32, 0);
+    const LineAddr line = sampledLine(32, 0);
     a.access(line);
     for (int i = 0; i < 50; ++i)
         a.access(line);
@@ -118,16 +118,16 @@ TEST(UcpLookahead, FavoursDeepStackKernel)
 {
     UmonMonitor deep(32, 6), shallow(32, 6);
     // "deep" cycles 4 lines (needs 4 ways); "shallow" hammers 1.
-    std::vector<Addr> lines;
+    std::vector<LineAddr> lines;
     const int set0 = xorSetIndex(sampledLine(32, 0), 32);
-    for (Addr l = 0; lines.size() < 4; ++l)
+    for (LineAddr l{}; lines.size() < 4; ++l)
         if (xorSetIndex(l, 32) == set0 &&
             (xorSetIndex(l, 32) & 3) == 0)
             lines.push_back(l);
     for (int round = 0; round < 20; ++round)
-        for (Addr l : lines)
+        for (LineAddr l : lines)
             deep.access(l);
-    const Addr s = sampledLine(32, 1);
+    const LineAddr s = sampledLine(32, 1);
     shallow.access(s);
     for (int i = 0; i < 20; ++i)
         shallow.access(s);
