@@ -41,6 +41,13 @@ benchMain(int argc, char **argv, const std::function<void()> &setup)
 {
     BenchOptions opts = parseBenchArgs(argc, argv);
     setBenchJobs(opts.jobs);
+    if (!opts.resume.empty()) {
+        const std::size_t recovered =
+            attachBenchJournal(opts.resume);
+        std::fprintf(stderr,
+                     "journal '%s': %zu result(s) recovered\n",
+                     opts.resume.c_str(), recovered);
+    }
     setup();
 
     const auto &entries = ExperimentRegistry::instance().entries();

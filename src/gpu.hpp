@@ -10,6 +10,7 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,8 @@
 #include "kernels/workload.hpp"
 #include "mem/memsys.hpp"
 #include "sim/config.hpp"
+#include "sim/run_control.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/time_series.hpp"
 #include "sm/sm.hpp"
 
@@ -157,6 +160,41 @@ class Gpu
         return fault_injector_;
     }
 
+    // ---- crash safety ---------------------------------------------------
+    /**
+     * Capture the complete mutable simulator state at the current
+     * cycle: every SM (warps, schedulers, LSU, L1D), the memory
+     * system, scheme state (Warped-Slicer, UCP monitors), the fault
+     * injector and all RNG streams. restore(snapshot(t)) followed by
+     * run(n) is bit-identical to running straight through t+n.
+     */
+    GpuSnapshot snapshot() const;
+
+    /**
+     * Restore a checkpoint taken from an identically constructed Gpu
+     * (same config, workload and scheme). Throws SimError (kind
+     * "Snapshot") on format-version or config-digest mismatch, or
+     * when the payload does not match its fingerprint.
+     */
+    void restore(const GpuSnapshot &snap);
+
+    /** Most recent automatic checkpoint taken by run() every
+     *  cfg.integrity.checkpoint_interval cycles (nullptr if none). */
+    const GpuSnapshot *lastCheckpoint() const
+    {
+        return last_checkpoint_ ? &*last_checkpoint_ : nullptr;
+    }
+
+    /** Attach cooperative cancellation / budget control (nullptr
+     *  detaches). Polled on the integrity-check cadence; a tripped
+     *  control raises SimError kind "Cancelled" or "Timeout". */
+    void setRunControl(RunControl *rc) { run_control_ = rc; }
+
+    /** Any memory request outstanding anywhere in the machine? The
+     *  watchdog only raises while this holds: a compute-only phase
+     *  legitimately makes no memory progress for long stretches. */
+    bool memoryInFlight() const;
+
   private:
     void setupInitialPartition();
     void applyQuotas(const QuotaMatrix &quotas);
@@ -169,11 +207,12 @@ class Gpu
     bool hasPendingWork() const;
     void watchdogPoll();
     void checkInvariants();
+    void pollRunControl();
     [[noreturn]] void raiseWatchdog();
 
-    GpuConfig cfg_;
-    Workload workload_;
-    SchemeSpec spec_;
+    GpuConfig cfg_;      // SNAPSHOT-SKIP(fixed at construction)
+    Workload workload_;  // SNAPSHOT-SKIP(fixed at construction)
+    SchemeSpec spec_;    // SNAPSHOT-SKIP(fixed at construction)
     MemorySystem mem_;
     std::vector<std::unique_ptr<Sm>> sms_;
 
@@ -192,7 +231,7 @@ class Gpu
         int sm = 0;
     };
     std::vector<std::vector<UmonMonitor>> umons_;
-    std::vector<Tap> taps_;
+    std::vector<Tap> taps_; // SNAPSHOT-SKIP(pointer plumbing, fixed at construction)
 
     Cycle now_{};
     Cycle measured_start_{};
@@ -201,6 +240,10 @@ class Gpu
     FaultInjector fault_injector_;
     std::uint64_t last_progress_sig_ = 0;
     Cycle last_progress_cycle_{};
+
+    // Crash-safety state.
+    RunControl *run_control_ = nullptr; // SNAPSHOT-SKIP(owned by the supervising caller)
+    std::optional<GpuSnapshot> last_checkpoint_; // SNAPSHOT-SKIP(checkpoint artifact, not machine state)
 };
 
 /** Convenience: a standard spec for a named scheme combination. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/check.hpp"
+#include "sim/snapshot.hpp"
 
 namespace ckesim {
 
@@ -115,6 +116,63 @@ DramChannel::drainFills(Cycle now)
         fills_.pop_front();
     }
     return out;
+}
+
+void
+DramChannel::snapshot(SnapshotWriter &w) const
+{
+    w.section("dram_channel");
+    w.u64(queue_.size());
+    for (const Txn &t : queue_) {
+        snapshotMemRequest(w, t.req);
+        w.i64(t.bank);
+        w.u64(t.row);
+        w.unit(t.arrival);
+    }
+    w.vecU64(open_row_);
+    w.unit(busy_until_);
+    w.u64(fills_.size());
+    for (const Fill &f : fills_) {
+        w.unit(f.ready);
+        snapshotMemRequest(w, f.req);
+    }
+    w.u64(row_hits_);
+    w.u64(row_misses_);
+}
+
+void
+DramChannel::restore(SnapshotReader &r)
+{
+    r.section("dram_channel");
+    queue_.clear();
+    const std::uint64_t nq = r.u64();
+    for (std::uint64_t i = 0; i < nq; ++i) {
+        Txn t;
+        t.req = restoreMemRequest(r);
+        t.bank = static_cast<int>(r.i64());
+        t.row = r.u64();
+        t.arrival = r.unit<Cycle>();
+        queue_.push_back(std::move(t));
+    }
+    std::vector<std::uint64_t> rows = r.vecU64();
+    SimCtx ctx;
+    ctx.module = "dram";
+    SIM_CHECK(rows.size() == open_row_.size(), ctx,
+              "snapshot holds " << rows.size()
+                                << " bank rows, channel has "
+                                << open_row_.size());
+    open_row_ = std::move(rows);
+    busy_until_ = r.unit<Cycle>();
+    fills_.clear();
+    const std::uint64_t nf = r.u64();
+    for (std::uint64_t i = 0; i < nf; ++i) {
+        Fill f;
+        f.ready = r.unit<Cycle>();
+        f.req = restoreMemRequest(r);
+        fills_.push_back(std::move(f));
+    }
+    row_hits_ = r.u64();
+    row_misses_ = r.u64();
 }
 
 } // namespace ckesim

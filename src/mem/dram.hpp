@@ -22,6 +22,9 @@
 
 namespace ckesim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** One DRAM channel. */
 class DramChannel
 {
@@ -56,6 +59,12 @@ class DramChannel
     /** Occupancy-bound invariants (integrity sweep). */
     void checkInvariants(Cycle now, int channel_index) const;
 
+    /** Serialize queue, open rows, busy timer and pending fills. */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restore into a channel of identical configuration. */
+    void restore(SnapshotReader &r);
+
     /** Row-buffer hit-rate observed so far (diagnostics). */
     double rowHitRate() const
     {
@@ -82,8 +91,8 @@ class DramChannel
     int bankOf(LineAddr line_addr) const;
     std::uint64_t rowOf(LineAddr line_addr) const;
 
-    DramConfig cfg_;
-    int line_bytes_;
+    DramConfig cfg_; // SNAPSHOT-SKIP(fixed at construction)
+    int line_bytes_; // SNAPSHOT-SKIP(fixed at construction)
     std::deque<Txn> queue_;
     std::vector<std::uint64_t> open_row_; ///< per bank; ~0 = closed
     Cycle busy_until_{};

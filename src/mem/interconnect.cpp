@@ -1,5 +1,8 @@
 #include "mem/interconnect.hpp"
 
+#include "sim/check.hpp"
+#include "sim/snapshot.hpp"
+
 namespace ckesim {
 
 Crossbar::Crossbar(int num_dests, const IcntConfig &cfg)
@@ -34,6 +37,44 @@ Crossbar::drain(int dest, Cycle now, int max_count)
         port.queue.pop_front();
     }
     return out;
+}
+
+void
+Crossbar::snapshot(SnapshotWriter &w) const
+{
+    w.section("crossbar");
+    w.u64(ports_.size());
+    for (const Port &port : ports_) {
+        w.unit(port.next_free);
+        w.u64(port.queue.size());
+        for (const Packet &p : port.queue) {
+            w.unit(p.ready);
+            snapshotMemRequest(w, p.req);
+        }
+    }
+}
+
+void
+Crossbar::restore(SnapshotReader &r)
+{
+    r.section("crossbar");
+    const std::uint64_t n = r.u64();
+    SimCtx ctx;
+    ctx.module = "icnt";
+    SIM_CHECK(n == ports_.size(), ctx,
+              "snapshot holds " << n << " crossbar ports, model has "
+                                << ports_.size());
+    for (Port &port : ports_) {
+        port.next_free = r.unit<Cycle>();
+        port.queue.clear();
+        const std::uint64_t m = r.u64();
+        for (std::uint64_t i = 0; i < m; ++i) {
+            Packet p;
+            p.ready = r.unit<Cycle>();
+            p.req = restoreMemRequest(r);
+            port.queue.push_back(std::move(p));
+        }
+    }
 }
 
 } // namespace ckesim

@@ -1,8 +1,10 @@
 #include "mem/l1d.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "sim/check.hpp"
+#include "sim/snapshot.hpp"
 
 namespace ckesim {
 
@@ -187,6 +189,71 @@ L1Dcache::checkInvariants(Cycle now) const
                   "per-kernel MSHR holdings sum "
                       << held_total << " != MSHRs in use "
                       << mshrs_.size());
+}
+
+void
+L1Dcache::snapshot(SnapshotWriter &w) const
+{
+    w.section("l1d");
+    tags_.snapshot(w);
+    mshrs_.snapshot(w, [](SnapshotWriter &sw, const L1Target &t) {
+        sw.id(t.warp_slot);
+        sw.id(t.kernel);
+    });
+    w.u64(miss_queue_.size());
+    for (const MemRequest &req : miss_queue_)
+        snapshotMemRequest(w, req);
+    w.u64(mshr_quota_.size());
+    for (int q : mshr_quota_)
+        w.i64(q);
+    w.u64(mshr_held_.size());
+    for (int h : mshr_held_)
+        w.i64(h);
+    // unordered_map: sorted key order so the payload is deterministic.
+    std::vector<LineAddr> owners;
+    owners.reserve(miss_owner_.size());
+    for (const auto &kv : miss_owner_)
+        owners.push_back(kv.first);
+    std::sort(owners.begin(), owners.end());
+    w.u64(owners.size());
+    for (LineAddr line_number : owners) {
+        w.unit(line_number);
+        w.id(miss_owner_.at(line_number));
+    }
+    w.vecBool(bypass_);
+}
+
+void
+L1Dcache::restore(SnapshotReader &r)
+{
+    r.section("l1d");
+    tags_.restore(r);
+    mshrs_.restore(r, [](SnapshotReader &sr) {
+        L1Target t;
+        t.warp_slot = sr.id<WarpSlot>();
+        t.kernel = sr.id<KernelId>();
+        return t;
+    });
+    miss_queue_.clear();
+    const std::uint64_t nq = r.u64();
+    for (std::uint64_t i = 0; i < nq; ++i)
+        miss_queue_.push_back(restoreMemRequest(r));
+    const std::uint64_t nquota = r.u64();
+    mshr_quota_.assign(static_cast<std::size_t>(nquota), 0);
+    for (int &q : mshr_quota_)
+        q = static_cast<int>(r.i64());
+    const std::uint64_t nheld = r.u64();
+    mshr_held_.assign(static_cast<std::size_t>(nheld), 0);
+    for (int &h : mshr_held_)
+        h = static_cast<int>(r.i64());
+    miss_owner_.clear();
+    const std::uint64_t nowner = r.u64();
+    for (std::uint64_t i = 0; i < nowner; ++i) {
+        const LineAddr line_number = r.unit<LineAddr>();
+        const KernelId kernel = r.id<KernelId>();
+        miss_owner_.emplace(line_number, kernel);
+    }
+    bypass_ = r.vecBool();
 }
 
 void

@@ -1,6 +1,7 @@
 #include "mem/l2cache.hpp"
 
 #include "sim/check.hpp"
+#include "sim/snapshot.hpp"
 
 namespace ckesim {
 
@@ -163,6 +164,49 @@ L2Partition::drainReplies(Cycle now)
         replies_.pop_front();
     }
     return out;
+}
+
+void
+L2Partition::snapshot(SnapshotWriter &w) const
+{
+    w.section("l2_partition");
+    tags_.snapshot(w);
+    mshrs_.snapshot(w, [](SnapshotWriter &sw, const MemRequest &req) {
+        snapshotMemRequest(sw, req);
+    });
+    w.u64(input_.size());
+    for (const MemRequest &req : input_)
+        snapshotMemRequest(w, req);
+    w.u64(replies_.size());
+    for (const Reply &rep : replies_) {
+        w.unit(rep.ready);
+        snapshotMemRequest(w, rep.req);
+    }
+    w.u64(accesses_);
+    w.u64(misses_);
+}
+
+void
+L2Partition::restore(SnapshotReader &r)
+{
+    r.section("l2_partition");
+    tags_.restore(r);
+    mshrs_.restore(r,
+                   [](SnapshotReader &sr) { return restoreMemRequest(sr); });
+    input_.clear();
+    const std::uint64_t ni = r.u64();
+    for (std::uint64_t i = 0; i < ni; ++i)
+        input_.push_back(restoreMemRequest(r));
+    replies_.clear();
+    const std::uint64_t nr = r.u64();
+    for (std::uint64_t i = 0; i < nr; ++i) {
+        Reply rep;
+        rep.ready = r.unit<Cycle>();
+        rep.req = restoreMemRequest(r);
+        replies_.push_back(std::move(rep));
+    }
+    accesses_ = r.u64();
+    misses_ = r.u64();
 }
 
 } // namespace ckesim

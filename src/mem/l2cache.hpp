@@ -72,6 +72,12 @@ class L2Partition
     /** Occupancy-bound and MSHR-ledger invariants (integrity sweep). */
     void checkInvariants(Cycle now) const;
 
+    /** Serialize tags, MSHRs, input queue and pending replies. */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restore into a partition of identical configuration. */
+    void restore(SnapshotReader &r);
+
     std::uint64_t accesses() const { return accesses_; }
     std::uint64_t misses() const { return misses_; }
     double missRate() const
@@ -88,8 +94,8 @@ class L2Partition
         MemRequest req;
     };
 
-    L2Config cfg_;
-    int partition_index_;
+    L2Config cfg_;        // SNAPSHOT-SKIP(fixed at construction)
+    int partition_index_; // SNAPSHOT-SKIP(fixed at construction)
     CacheArray tags_;
     MshrTable<MemRequest> mshrs_;
     std::deque<MemRequest> input_;

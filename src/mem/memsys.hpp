@@ -87,8 +87,14 @@ class MemorySystem
     /** Multi-line occupancy dump for watchdog diagnostics. */
     std::string describeState() const;
 
+    /** Serialize every component below the L1s plus the ledger. */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restore into a memory system of identical configuration. */
+    void restore(SnapshotReader &r);
+
   private:
-    GpuConfig cfg_;
+    GpuConfig cfg_;  // SNAPSHOT-SKIP(fixed at construction)
     Crossbar fwd_;   ///< SM -> partition
     Crossbar reply_; ///< partition -> SM
     std::vector<std::unique_ptr<L2Partition>> partitions_;
@@ -102,7 +108,7 @@ class MemorySystem
         MemRequest req;
     };
     std::vector<std::deque<DelayedFill>> delayed_;
-    FaultInjector *faults_ = nullptr;
+    FaultInjector *faults_ = nullptr; // SNAPSHOT-SKIP(rebound by owner; injector state snapshotted by Gpu)
     std::uint64_t inflight_ = 0; ///< read requests below the L1s
     std::uint64_t injected_reads_ = 0;
     std::uint64_t injected_writes_ = 0;

@@ -11,11 +11,13 @@
 #ifndef CKESIM_MEM_MSHR_HPP
 #define CKESIM_MEM_MSHR_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "sim/check.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/types.hpp"
 
 namespace ckesim {
@@ -144,13 +146,65 @@ class MshrTable
                                         << capacity_);
     }
 
+    // ---- checkpointing --------------------------------------------------
+    /**
+     * Serialize outstanding entries in sorted key order (the map's
+     * iteration order is host-dependent and must never reach the
+     * payload). @p write_target emits one Target: (writer, target).
+     */
+    template <typename WriteTarget>
+    void
+    snapshot(SnapshotWriter &w, const WriteTarget &write_target) const
+    {
+        w.section("mshr");
+        std::vector<LineAddr> keys;
+        keys.reserve(entries_.size());
+        for (const auto &kv : entries_)
+            keys.push_back(kv.first);
+        std::sort(keys.begin(), keys.end());
+        w.u64(keys.size());
+        for (LineAddr key : keys) {
+            w.unit(key);
+            const std::vector<Target> &targets = entries_.at(key);
+            w.u64(targets.size());
+            for (const Target &t : targets)
+                write_target(w, t);
+        }
+        w.u64(allocated_);
+        w.u64(released_);
+    }
+
+    /** Inverse of snapshot(); @p read_target parses one Target. */
+    template <typename ReadTarget>
+    void
+    restore(SnapshotReader &r, const ReadTarget &read_target)
+    {
+        r.section("mshr");
+        entries_.clear();
+        const std::uint64_t n = r.u64();
+        SIM_CHECK(n <= static_cast<std::uint64_t>(capacity_), ctx_,
+                  "snapshot holds " << n << " MSHR entries, capacity "
+                                    << capacity_);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const LineAddr key = r.unit<LineAddr>();
+            const std::uint64_t m = r.u64();
+            std::vector<Target> targets;
+            targets.reserve(static_cast<std::size_t>(m));
+            for (std::uint64_t j = 0; j < m; ++j)
+                targets.push_back(read_target(r));
+            entries_.emplace(key, std::move(targets));
+        }
+        allocated_ = r.u64();
+        released_ = r.u64();
+    }
+
   private:
-    int capacity_;
-    int max_merge_;
+    int capacity_;      // SNAPSHOT-SKIP(fixed at construction)
+    int max_merge_;     // SNAPSHOT-SKIP(fixed at construction)
     std::unordered_map<LineAddr, std::vector<Target>> entries_;
     std::uint64_t allocated_ = 0;
     std::uint64_t released_ = 0;
-    SimCtx ctx_;
+    SimCtx ctx_;        // SNAPSHOT-SKIP(diagnostic context, rebound by owner)
 };
 
 } // namespace ckesim

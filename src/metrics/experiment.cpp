@@ -4,6 +4,8 @@
 #include <cstring>
 #include <memory>
 
+#include "metrics/journal.hpp"
+
 namespace ckesim {
 
 bool
@@ -102,6 +104,8 @@ parseBenchArgs(int &argc, char **argv)
                 opts.jobs = static_cast<int>(v);
         } else if (takeValueFlag("--filter", argc, argv, i, value)) {
             opts.filter = value;
+        } else if (takeValueFlag("--resume", argc, argv, i, value)) {
+            opts.resume = value;
         } else {
             argv[out++] = argv[i];
         }
@@ -151,6 +155,17 @@ benchEngine()
     static SweepEngine engine(benchJobsSlot() > 0 ? benchJobsSlot()
                                                   : jobsFromEnv());
     return engine;
+}
+
+std::size_t
+attachBenchJournal(const std::string &path)
+{
+    // Static: the journal must outlive every job the engine ever
+    // runs, exactly like the engine itself.
+    static ResultJournal journal;
+    journal.open(path);
+    benchEngine().setJournal(&journal);
+    return journal.size();
 }
 
 void

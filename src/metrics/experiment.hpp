@@ -52,14 +52,18 @@ struct BenchOptions
     bool tables_only = false;
     /** --filter substr: run only experiments whose name contains it. */
     std::string filter;
+    /** --resume path: journal completed jobs to @p path and serve any
+     *  already-journaled results instead of re-simulating, so a killed
+     *  sweep picks up where it died. */
+    std::string resume;
 
     bool matches(const std::string &name) const;
 };
 
 /**
- * Extract --jobs N / --list / --filter S / --tables from argv (both
- * "--flag value" and "--flag=value" forms), compacting argv so the
- * remaining flags can go to the benchmark library untouched.
+ * Extract --jobs N / --list / --filter S / --tables / --resume P from
+ * argv (both "--flag value" and "--flag=value" forms), compacting argv
+ * so the remaining flags can go to the benchmark library untouched.
  */
 BenchOptions parseBenchArgs(int &argc, char **argv);
 
@@ -109,6 +113,14 @@ void setBenchJobs(int jobs);
  * the next.
  */
 SweepEngine &benchEngine();
+
+/**
+ * Open (or create) the write-ahead results journal at @p path and
+ * attach it to benchEngine(): completed jobs are durably recorded and
+ * a re-run resumes instead of recomputing. Returns the number of
+ * results recovered from an earlier (possibly killed) run.
+ */
+std::size_t attachBenchJournal(const std::string &path);
 
 /** One-line execution/memo summary of benchEngine() to @p out. */
 void printSweepStats(std::FILE *out);

@@ -1,0 +1,402 @@
+#include "metrics/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "sim/check.hpp"
+#include "sim/snapshot.hpp"
+
+namespace ckesim {
+
+namespace {
+
+constexpr std::uint32_t kJournalMagic = 0x4c4a4b43u; // "CKJL"
+
+SimCtx
+journalCtx()
+{
+    SimCtx ctx;
+    ctx.module = "journal";
+    return ctx;
+}
+
+[[noreturn]] void
+journalFail(const std::string &what)
+{
+    raiseSimError("Journal", journalCtx(), what);
+}
+
+void
+putU32(std::vector<std::uint8_t> &buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** magic + version + key + payload_len + crc32. */
+constexpr std::size_t kHeaderBytes = 4 + 1 + 8 + 4 + 4;
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *bytes, std::size_t n)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = table[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+// ---- result payload codec -----------------------------------------------
+
+namespace {
+
+void
+encodeSeries(SnapshotWriter &w, const std::vector<TimeSeries> &series)
+{
+    w.u64(series.size());
+    for (const TimeSeries &ts : series) {
+        w.unit(ts.interval());
+        w.vecU64(ts.bins());
+    }
+}
+
+std::vector<TimeSeries>
+decodeSeries(SnapshotReader &r)
+{
+    std::vector<TimeSeries> series;
+    const std::uint64_t n = r.u64();
+    series.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        TimeSeries ts(r.unit<Cycle>());
+        ts.setBins(r.vecU64());
+        series.push_back(std::move(ts));
+    }
+    return series;
+}
+
+void
+encodeMemSide(SnapshotWriter &w, const MemSideStats &mem)
+{
+    w.f64(mem.l2_miss_rate);
+    w.f64(mem.dram_row_hit_rate);
+}
+
+MemSideStats
+decodeMemSide(SnapshotReader &r)
+{
+    MemSideStats mem;
+    mem.l2_miss_rate = r.f64();
+    mem.dram_row_hit_rate = r.f64();
+    return mem;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeSimResult(const SimResult &result)
+{
+    SnapshotWriter w;
+    w.section("sim_result");
+    if (result.isolated) {
+        const IsolatedResult &iso = *result.isolated;
+        w.u8(1);
+        w.f64(iso.ipc);
+        w.f64(iso.ipc_per_sm);
+        snapshotKernelStats(w, iso.stats);
+        snapshotSmStats(w, iso.sm_stats);
+        w.i64(iso.max_tbs);
+        encodeMemSide(w, iso.mem);
+        encodeSeries(w, iso.issue_series);
+        encodeSeries(w, iso.l1d_series);
+    } else if (result.concurrent) {
+        const ConcurrentResult &con = *result.concurrent;
+        w.u8(2);
+        w.str(con.workload_name);
+        w.u64(con.ipc.size());
+        for (const double v : con.ipc)
+            w.f64(v);
+        w.u64(con.norm_ipc.size());
+        for (const double v : con.norm_ipc)
+            w.f64(v);
+        w.f64(con.weighted_speedup);
+        w.f64(con.antt_value);
+        w.f64(con.fairness);
+        w.f64(con.theoretical_ws);
+        w.u64(con.stats.size());
+        for (const KernelStats &s : con.stats)
+            snapshotKernelStats(w, s);
+        snapshotSmStats(w, con.sm_stats);
+        w.u64(con.partition.size());
+        for (const int t : con.partition)
+            w.i64(t);
+        encodeMemSide(w, con.mem);
+        encodeSeries(w, con.issue_series);
+        encodeSeries(w, con.l1d_series);
+    } else {
+        w.u8(0);
+    }
+    return w.take();
+}
+
+SimResult
+decodeSimResult(const std::vector<std::uint8_t> &bytes)
+{
+    SnapshotReader r(bytes);
+    r.section("sim_result");
+    SimResult result;
+    const std::uint8_t kind = r.u8();
+    if (kind == 1) {
+        auto iso = std::make_shared<IsolatedResult>();
+        iso->ipc = r.f64();
+        iso->ipc_per_sm = r.f64();
+        iso->stats = restoreKernelStats(r);
+        iso->sm_stats = restoreSmStats(r);
+        iso->max_tbs = static_cast<int>(r.i64());
+        iso->mem = decodeMemSide(r);
+        iso->issue_series = decodeSeries(r);
+        iso->l1d_series = decodeSeries(r);
+        result.isolated = std::move(iso);
+    } else if (kind == 2) {
+        auto con = std::make_shared<ConcurrentResult>();
+        con->workload_name = r.str();
+        con->ipc.assign(static_cast<std::size_t>(r.u64()), 0.0);
+        for (double &v : con->ipc)
+            v = r.f64();
+        con->norm_ipc.assign(static_cast<std::size_t>(r.u64()), 0.0);
+        for (double &v : con->norm_ipc)
+            v = r.f64();
+        con->weighted_speedup = r.f64();
+        con->antt_value = r.f64();
+        con->fairness = r.f64();
+        con->theoretical_ws = r.f64();
+        const std::uint64_t nstats = r.u64();
+        con->stats.reserve(static_cast<std::size_t>(nstats));
+        for (std::uint64_t i = 0; i < nstats; ++i)
+            con->stats.push_back(restoreKernelStats(r));
+        con->sm_stats = restoreSmStats(r);
+        con->partition.assign(static_cast<std::size_t>(r.u64()), 0);
+        for (int &t : con->partition)
+            t = static_cast<int>(r.i64());
+        con->mem = decodeMemSide(r);
+        con->issue_series = decodeSeries(r);
+        con->l1d_series = decodeSeries(r);
+        result.concurrent = std::move(con);
+    } else if (kind != 0) {
+        SimCtx ctx;
+        ctx.module = "journal";
+        raiseSimError("Snapshot", ctx,
+                      "unknown SimResult kind byte " +
+                          std::to_string(kind));
+    }
+    if (!r.atEnd()) {
+        SimCtx ctx;
+        ctx.module = "journal";
+        raiseSimError("Snapshot", ctx,
+                      "trailing bytes after SimResult payload");
+    }
+    return result;
+}
+
+// ---- ResultJournal ------------------------------------------------------
+
+ResultJournal::~ResultJournal()
+{
+    close();
+}
+
+void
+ResultJournal::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+ResultJournal::open(const std::string &path)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    close();
+    records_.clear();
+    stats_ = JournalStats{};
+    path_ = path;
+
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0)
+        journalFail("cannot open '" + path +
+                    "': " + std::strerror(errno));
+
+    // Slurp the whole file: journals are result tables, not traces.
+    std::vector<std::uint8_t> data;
+    std::uint8_t chunk[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+        if (n < 0)
+            journalFail("read('" + path +
+                        "') failed: " + std::strerror(errno));
+        if (n == 0)
+            break;
+        data.insert(data.end(), chunk, chunk + n);
+    }
+
+    // Replay intact records; stop at (and truncate away) a torn tail.
+    std::size_t pos = 0;
+    bool torn = false;
+    while (data.size() - pos >= kHeaderBytes) {
+        const std::uint8_t *h = data.data() + pos;
+        if (getU32(h) != kJournalMagic) {
+            torn = true;
+            break;
+        }
+        const std::uint8_t version = h[4];
+        if (version != kSnapshotFormatVersion) {
+            if (pos == 0)
+                journalFail(
+                    "'" + path + "' was written by format version " +
+                    std::to_string(version) + ", this build is " +
+                    std::to_string(kSnapshotFormatVersion) +
+                    " (delete the journal and re-run)");
+            torn = true;
+            break;
+        }
+        const std::uint64_t key = getU64(h + 5);
+        const std::uint32_t len = getU32(h + 13);
+        const std::uint32_t crc = getU32(h + 17);
+        if (data.size() - pos - kHeaderBytes < len) {
+            torn = true;
+            break;
+        }
+        const std::uint8_t *payload = h + kHeaderBytes;
+        if (crc32(payload, len) != crc) {
+            torn = true;
+            break;
+        }
+        std::vector<std::uint8_t> bytes(payload, payload + len);
+        try {
+            records_[key] = decodeSimResult(bytes);
+        } catch (const SimError &) {
+            torn = true;
+            break;
+        }
+        ++stats_.loaded;
+        pos += kHeaderBytes + len;
+    }
+    if (pos < data.size())
+        torn = true;
+
+    if (torn) {
+        stats_.truncated_bytes = data.size() - pos;
+        if (::ftruncate(fd_, static_cast<off_t>(pos)) != 0)
+            journalFail("ftruncate('" + path +
+                        "') failed: " + std::strerror(errno));
+    }
+    if (::lseek(fd_, static_cast<off_t>(pos), SEEK_SET) < 0)
+        journalFail("lseek('" + path +
+                    "') failed: " + std::strerror(errno));
+}
+
+void
+ResultJournal::append(std::uint64_t key, const SimResult &result)
+{
+    const std::vector<std::uint8_t> payload = encodeSimResult(result);
+
+    std::vector<std::uint8_t> record;
+    record.reserve(kHeaderBytes + payload.size());
+    putU32(record, kJournalMagic);
+    record.push_back(kSnapshotFormatVersion);
+    putU64(record, key);
+    putU32(record, static_cast<std::uint32_t>(payload.size()));
+    putU32(record, crc32(payload.data(), payload.size()));
+    record.insert(record.end(), payload.begin(), payload.end());
+
+    std::lock_guard<std::mutex> lk(mu_);
+    if (fd_ < 0)
+        journalFail("append to a journal that is not open");
+    std::size_t off = 0;
+    while (off < record.size()) {
+        const ssize_t n =
+            ::write(fd_, record.data() + off, record.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            journalFail("write('" + path_ +
+                        "') failed: " + std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    // The write-ahead contract: the record is durable before the
+    // result is handed to anyone.
+    if (::fsync(fd_) != 0)
+        journalFail("fsync('" + path_ +
+                    "') failed: " + std::strerror(errno));
+    records_[key] = result;
+    ++stats_.appended;
+}
+
+bool
+ResultJournal::find(std::uint64_t key, SimResult &out) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = records_.find(key);
+    if (it == records_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+std::size_t
+ResultJournal::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return records_.size();
+}
+
+JournalStats
+ResultJournal::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+} // namespace ckesim

@@ -26,8 +26,11 @@
 
 #include "core/warped_slicer.hpp"
 #include "metrics/sim_job.hpp"
+#include "sim/run_control.hpp"
 
 namespace ckesim {
+
+class ResultJournal;
 
 /** Memo-cache and execution accounting for one engine. */
 struct SweepStats
@@ -47,6 +50,31 @@ struct SweepStats
                    : static_cast<double>(memo_hits) /
                          static_cast<double>(total);
     }
+};
+
+/** Bounded re-execution of failed jobs (resilience layer). */
+struct RetryPolicy
+{
+    int max_retries = 0;          ///< extra attempts after the first
+    std::uint64_t backoff_ms = 0; ///< base sleep; doubles per attempt
+};
+
+/** Per-job execution budgets; 0 disables either cap. */
+struct JobBudget
+{
+    std::uint64_t cycle_budget = 0;   ///< max simulated cycles per job
+    std::uint64_t wall_budget_ms = 0; ///< max host wall time per job
+};
+
+/** What became of the jobs an engine executed. */
+struct ResilienceReport
+{
+    std::uint64_t completed = 0;    ///< jobs that produced a result
+    std::uint64_t retried = 0;      ///< re-attempts performed
+    std::uint64_t timed_out = 0;    ///< Timeout errors observed
+    std::uint64_t cancelled = 0;    ///< Cancelled errors observed
+    std::uint64_t abandoned = 0;    ///< jobs that failed permanently
+    std::uint64_t journal_hits = 0; ///< results served from a journal
 };
 
 /**
@@ -144,12 +172,39 @@ class SweepEngine
     SweepStats stats() const;
     void clearCache();
 
+    // ---- resilience layer -----------------------------------------------
+
+    /** Attach a write-ahead results journal (nullptr detaches): run()
+     *  serves journaled results without simulating and durably records
+     *  every fresh result before returning it. */
+    void setJournal(ResultJournal *journal) { journal_ = journal; }
+    ResultJournal *journal() const { return journal_; }
+
+    /** Retry failed jobs (Timeout errors, and any failure of a
+     *  fault-injection job) up to policy.max_retries times. */
+    void setRetryPolicy(const RetryPolicy &policy) { retry_ = policy; }
+
+    /** Apply cycle/wall budgets to every subsequently started job. */
+    void setJobBudget(const JobBudget &budget) { budget_ = budget; }
+
+    /** Cooperatively cancel every in-flight and future job; each dies
+     *  with SimError kind "Cancelled" at its next control poll. */
+    void cancelAll();
+
+    /** Re-arm after cancelAll() so new jobs run again. */
+    void clearCancel();
+
+    ResilienceReport resilience() const;
+
   private:
+    class ActiveControl;
+
     SimResult compute(const SimJob &job);
+    SimResult computeWithResilience(const SimJob &job);
     std::shared_ptr<const IsolatedResult>
-    computeIsolated(const SimJob &job);
+    computeIsolated(const SimJob &job, RunControl *rc);
     std::shared_ptr<const ConcurrentResult>
-    computeConcurrent(const SimJob &job);
+    computeConcurrent(const SimJob &job, RunControl *rc);
 
     int jobs_;
     WorkStealingPool pool_;
@@ -163,6 +218,20 @@ class SweepEngine
     std::atomic<std::uint64_t> memo_hits_{0};
     std::atomic<std::uint64_t> isolated_runs_{0};
     std::atomic<std::uint64_t> isolated_hits_{0};
+
+    // Resilience state.
+    ResultJournal *journal_ = nullptr;
+    RetryPolicy retry_;
+    JobBudget budget_;
+    std::mutex rc_mu_; ///< guards active_rcs_ and cancel_all_
+    std::vector<RunControl *> active_rcs_;
+    bool cancel_all_ = false;
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> retried_{0};
+    std::atomic<std::uint64_t> timed_out_{0};
+    std::atomic<std::uint64_t> cancelled_jobs_{0};
+    std::atomic<std::uint64_t> abandoned_{0};
+    std::atomic<std::uint64_t> journal_hits_{0};
 };
 
 } // namespace ckesim

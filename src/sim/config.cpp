@@ -141,6 +141,8 @@ GpuConfig::validate() const
                        "integrity.watchdog_timeout");
     requirePositive(integrity.audit_drain_limit,
                     "integrity.audit_drain_limit");
+    requireNonNegative(integrity.checkpoint_interval,
+                       "integrity.checkpoint_interval");
     if (integrity.watchdog_timeout > 0 &&
         integrity.watchdog_timeout < integrity.check_interval)
         configFail("integrity.watchdog_timeout",

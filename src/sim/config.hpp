@@ -121,6 +121,11 @@ struct IntegrityConfig
     /** Max extra drain cycles Gpu::audit() spends reaching
      *  quiescence before declaring a leak. */
     int audit_drain_limit = 100000;
+    /** Cycles between automatic checkpoints taken by the run loop
+     *  (sim/snapshot.hpp); 0 disables auto-checkpointing. Does not
+     *  affect simulated state or results, so it is deliberately
+     *  excluded from SimJob content hashes. */
+    int checkpoint_interval = 0;
 };
 
 /**

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Cooperative run control for long simulations: cancellation,
+ * wall-clock deadlines, and total-cycle budgets.
+ *
+ * A RunControl is shared between the thread driving a Gpu and any
+ * supervisor (SweepEngine, a signal handler, a test harness). The Gpu
+ * polls it from its run loop at the integrity check cadence and
+ * converts a tripped control into a structured SimError — kind
+ * "Cancelled" for an external stop, "Timeout" for an exhausted
+ * budget — so a hung or abandoned job dies with full machine context
+ * instead of spinning forever or being killed from outside.
+ *
+ * The wall-clock deadline is the one intentional non-determinism in
+ * the simulator core: it never influences simulated state, only
+ * whether the simulation is allowed to continue at all. Two runs that
+ * both finish produce bit-identical results regardless of deadline.
+ */
+
+#ifndef CKESIM_SIM_RUN_CONTROL_HPP
+#define CKESIM_SIM_RUN_CONTROL_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace ckesim {
+
+/** Shared stop/budget state polled cooperatively by Gpu::run(). */
+class RunControl
+{
+  public:
+    RunControl() = default;
+
+    /** Request a cooperative stop. Safe from any thread. */
+    void requestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+    bool
+    cancelRequested() const
+    {
+        return cancel_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Cap the total simulated time: once the Gpu's clock reaches
+     * @p cycles the run fails with a Timeout error. 0 disables.
+     */
+    void setCycleBudget(std::uint64_t cycles) { cycle_budget_ = cycles; }
+
+    std::uint64_t cycleBudget() const { return cycle_budget_; }
+
+    /**
+     * Cap host wall time from now: the run fails with a Timeout error
+     * once @p ms milliseconds have elapsed. 0 disables.
+     */
+    void
+    setWallBudgetMs(std::uint64_t ms)
+    {
+        wall_ms_ = ms;
+        if (ms > 0)
+            deadline_ =
+                std::chrono::steady_clock::now() + // LINT-ALLOW(determinism): wall budget only gates continuation, never simulated state
+                std::chrono::milliseconds(ms);
+    }
+
+    std::uint64_t wallBudgetMs() const { return wall_ms_; }
+
+    /** Has the wall-clock deadline passed? */
+    bool
+    wallExpired() const
+    {
+        if (wall_ms_ == 0)
+            return false;
+        return
+            std::chrono::steady_clock::now() >= deadline_; // LINT-ALLOW(determinism): wall budget only gates continuation, never simulated state
+    }
+
+  private:
+    std::atomic<bool> cancel_{false};
+    std::uint64_t cycle_budget_ = 0;
+    std::uint64_t wall_ms_ = 0;
+    std::chrono::steady_clock::time_point deadline_{}; // LINT-ALLOW(determinism): deadline bookkeeping for the wall budget
+};
+
+} // namespace ckesim
+
+#endif // CKESIM_SIM_RUN_CONTROL_HPP

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sim/snapshot.hpp"
+
 namespace ckesim {
 
 KernelStats &
@@ -78,6 +80,68 @@ fingerprint(const SmStats &s, std::uint64_t seed)
     h = fnv1a(h, s.sfu_issue_slots);
     h = fnv1a(h, s.issue_slots_used);
     return h;
+}
+
+void
+snapshotKernelStats(SnapshotWriter &w, const KernelStats &s)
+{
+    w.u64(s.issued_instructions);
+    w.u64(s.alu_instructions);
+    w.u64(s.sfu_instructions);
+    w.u64(s.smem_instructions);
+    w.u64(s.mem_instructions);
+    w.u64(s.mem_requests);
+    w.u64(s.l1d_accesses);
+    w.u64(s.l1d_hits);
+    w.u64(s.l1d_misses);
+    w.u64(s.l1d_rsfails);
+    w.u64(s.l1d_rsfail_line);
+    w.u64(s.l1d_rsfail_mshr);
+    w.u64(s.l1d_rsfail_missq);
+    w.u64(s.tbs_completed);
+}
+
+KernelStats
+restoreKernelStats(SnapshotReader &r)
+{
+    KernelStats s;
+    s.issued_instructions = r.u64();
+    s.alu_instructions = r.u64();
+    s.sfu_instructions = r.u64();
+    s.smem_instructions = r.u64();
+    s.mem_instructions = r.u64();
+    s.mem_requests = r.u64();
+    s.l1d_accesses = r.u64();
+    s.l1d_hits = r.u64();
+    s.l1d_misses = r.u64();
+    s.l1d_rsfails = r.u64();
+    s.l1d_rsfail_line = r.u64();
+    s.l1d_rsfail_mshr = r.u64();
+    s.l1d_rsfail_missq = r.u64();
+    s.tbs_completed = r.u64();
+    return s;
+}
+
+void
+snapshotSmStats(SnapshotWriter &w, const SmStats &s)
+{
+    w.u64(s.cycles);
+    w.u64(s.lsu_stall_cycles);
+    w.u64(s.alu_issue_slots);
+    w.u64(s.sfu_issue_slots);
+    w.u64(s.issue_slots_used);
+}
+
+SmStats
+restoreSmStats(SnapshotReader &r)
+{
+    SmStats s;
+    s.cycles = r.u64();
+    s.lsu_stall_cycles = r.u64();
+    s.alu_issue_slots = r.u64();
+    s.sfu_issue_slots = r.u64();
+    s.issue_slots_used = r.u64();
+    return s;
 }
 
 double

@@ -18,6 +18,9 @@
 
 namespace ckesim {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Why an L1D access could not be serviced this cycle. */
 enum class RsFailReason {
     None,      ///< access was serviced (hit or miss queued)
@@ -127,6 +130,12 @@ std::uint64_t fingerprint(const KernelStats &s,
                           std::uint64_t seed = 0xcbf29ce484222325ULL);
 std::uint64_t fingerprint(const SmStats &s,
                           std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/** Serialize/restore every counter (checkpoints + results journal). */
+void snapshotKernelStats(SnapshotWriter &w, const KernelStats &s);
+KernelStats restoreKernelStats(SnapshotReader &r);
+void snapshotSmStats(SnapshotWriter &w, const SmStats &s);
+SmStats restoreSmStats(SnapshotReader &r);
 
 } // namespace ckesim
 

@@ -53,6 +53,9 @@ class TimeSeries
 
     void clear() { bins_.clear(); }
 
+    /** Replace all bins verbatim (checkpoint restore, journal load). */
+    void setBins(std::vector<std::uint64_t> bins) { bins_ = std::move(bins); }
+
   private:
     Cycle interval_;
     std::vector<std::uint64_t> bins_;

@@ -289,6 +289,16 @@ inline constexpr Cycle kNeverCycle = Cycle::max();
 /** Maximum number of kernels that may share one SM. */
 inline constexpr int kMaxKernelsPerSm = 4;
 
+/**
+ * On-disk/in-memory snapshot format version (sim/snapshot.hpp).
+ * Bump on ANY change to what Gpu::snapshot() serializes or how:
+ * adding/removing/reordering a field, changing a type tag, changing
+ * the fingerprint algorithm. restore() refuses mismatched versions
+ * outright — there is no cross-version migration; checkpoints are
+ * cheap to regenerate, silent misdecodes are not.
+ */
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
 } // namespace ckesim
 
 // ---- hashing ------------------------------------------------------

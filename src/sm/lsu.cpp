@@ -1,6 +1,7 @@
 #include "sm/lsu.hpp"
 
 #include "sim/check.hpp"
+#include "sim/snapshot.hpp"
 
 namespace ckesim {
 
@@ -64,6 +65,51 @@ Lsu::tick(Cycle now, L1Dcache &l1d, LsuHost &host)
         host.lsuEntryDrained(warp_slot, kernel, is_store);
     }
     return false;
+}
+
+void
+Lsu::snapshot(SnapshotWriter &w) const
+{
+    w.section("lsu");
+    w.u64(queue_.size());
+    for (const Entry &e : queue_) {
+        w.id(e.warp_slot);
+        w.id(e.kernel);
+        w.boolean(e.is_store);
+        w.u64(e.lines.size());
+        for (const LineAddr line : e.lines)
+            w.unit(line);
+        w.u64(e.next);
+    }
+}
+
+void
+Lsu::restore(SnapshotReader &r)
+{
+    r.section("lsu");
+    SimCtx ctx;
+    ctx.sm_id = sm_id_;
+    ctx.module = "lsu";
+    const std::uint64_t n = r.u64();
+    SIM_CHECK(n <= static_cast<std::uint64_t>(depth_), ctx,
+              "snapshot holds " << n << " LSU entries, queue depth is "
+                                << depth_);
+    queue_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Entry e;
+        e.warp_slot = r.id<WarpSlot>();
+        e.kernel = r.id<KernelId>();
+        e.is_store = r.boolean();
+        const std::uint64_t lines = r.u64();
+        e.lines.reserve(static_cast<std::size_t>(lines));
+        for (std::uint64_t j = 0; j < lines; ++j)
+            e.lines.push_back(r.unit<LineAddr>());
+        e.next = static_cast<std::size_t>(r.u64());
+        SIM_CHECK(e.next <= e.lines.size(), ctx,
+                  "LSU entry cursor " << e.next << " past line count "
+                                      << e.lines.size());
+        queue_.push_back(std::move(e));
+    }
 }
 
 } // namespace ckesim

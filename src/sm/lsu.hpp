@@ -71,6 +71,12 @@ class Lsu
         return queue_.empty() ? kInvalidKernel : queue_.front().kernel;
     }
 
+    /** Serialize the queue (entries, line lists, progress cursors). */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restore into an LSU of identical configuration. */
+    void restore(SnapshotReader &r);
+
   private:
     struct Entry
     {
@@ -81,9 +87,9 @@ class Lsu
         std::size_t next = 0;
     };
 
-    int depth_;
-    int hit_latency_;
-    SmId sm_id_;
+    int depth_;       // SNAPSHOT-SKIP(fixed at construction)
+    int hit_latency_; // SNAPSHOT-SKIP(fixed at construction)
+    SmId sm_id_;      // SNAPSHOT-SKIP(fixed at construction)
     std::deque<Entry> queue_;
 };
 

@@ -126,6 +126,13 @@ class Sm : public LsuHost
         access_observer_opaque_ = opaque;
     }
 
+    /** Serialize the SM's entire mutable state (checkpointing). */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restore into an SM of identical construction. Warp instruction
+     *  streams have their profile pointers rebound from ctx_. */
+    void restore(SnapshotReader &r);
+
     // ---- LsuHost --------------------------------------------------------
     void lsuHitReturn(WarpSlot warp_slot, KernelId k,
                       Cycle ready_at) override;
@@ -138,13 +145,13 @@ class Sm : public LsuHost
   private:
     struct KernelCtx
     {
-        const KernelProfile *prof = nullptr;
+        const KernelProfile *prof = nullptr; // SNAPSHOT-SKIP(fixed at construction)
         int quota = 0;
         int resident = 0;
         std::uint64_t tb_seq = 0;
         KernelStats stats;
-        TimeSeries *issue_series = nullptr;
-        TimeSeries *l1d_series = nullptr;
+        TimeSeries *issue_series = nullptr; // SNAPSHOT-SKIP(owned and snapshotted by the experiment)
+        TimeSeries *l1d_series = nullptr;   // SNAPSHOT-SKIP(owned and snapshotted by the experiment)
     };
 
     struct Resources
@@ -168,9 +175,9 @@ class Sm : public LsuHost
     void requestReturned(WarpSlot warp_slot, Cycle now);
     void retireWarp(WarpSlot slot);
 
-    GpuConfig cfg_;
-    SmId sm_id_;
-    MemorySystem &mem_;
+    GpuConfig cfg_;     // SNAPSHOT-SKIP(fixed at construction)
+    SmId sm_id_;        // SNAPSHOT-SKIP(fixed at construction)
+    MemorySystem &mem_; // SNAPSHOT-SKIP(reference; snapshotted by the Gpu)
     std::vector<KernelCtx> ctx_;
     IssueController controller_;
     L1Dcache l1d_;
@@ -191,13 +198,13 @@ class Sm : public LsuHost
         wakes_;
 
     // Scratch buffers reused every memory instruction.
-    std::vector<Addr> scratch_thread_addrs_;
-    std::vector<LineAddr> scratch_lines_;
+    std::vector<Addr> scratch_thread_addrs_; // SNAPSHOT-SKIP(scratch; dead between instructions)
+    std::vector<LineAddr> scratch_lines_;    // SNAPSHOT-SKIP(scratch; dead between instructions)
 
-    AccessObserver access_observer_ = nullptr;
-    void *access_observer_opaque_ = nullptr;
+    AccessObserver access_observer_ = nullptr; // SNAPSHOT-SKIP(rebound by the experiment on restore)
+    void *access_observer_opaque_ = nullptr;   // SNAPSHOT-SKIP(rebound by the experiment on restore)
 
-    FaultInjector *faults_ = nullptr;
+    FaultInjector *faults_ = nullptr; // SNAPSHOT-SKIP(rebound by the Gpu; injector state snapshotted there)
     std::uint64_t lifetime_issued_ = 0;
     std::uint64_t lifetime_returns_ = 0;
 };

@@ -238,5 +238,59 @@ TEST(Watchdog, DoesNotFireOnAnIdleMachine)
     EXPECT_NO_THROW(gpu.run(Cycle{20000}));
 }
 
+TEST(Watchdog, DoesNotFireOnComputeOnlyLatencyStalls)
+{
+    // Regression: a single warp of pure SFU work with a 2000-cycle
+    // dependent-issue latency makes no progress for stretches far
+    // beyond the watchdog timeout — with zero memory requests in
+    // flight. The watchdog gates on memory occupancy (its only
+    // legitimate hang mode is a stuck memory pipeline), so this must
+    // be treated as a latency stall, not a hang.
+    KernelProfile prof;
+    prof.name = "compute_only";
+    prof.threads_per_tb = 32; // one warp per TB
+    prof.cinst_per_minst = 1e9; // no memory instructions at all
+    prof.sfu_fraction = 1.0;
+    prof.write_fraction = 0.0;
+    prof.instrs_per_warp = 64;
+    Workload wl;
+    wl.kernels = {&prof};
+
+    GpuConfig cfg = makeSmallConfig(1, 1);
+    cfg.sm.sfu_latency = 2000;
+    cfg.integrity.check_interval = 64;
+    cfg.integrity.watchdog_timeout = 256;
+    const SchemeSpec spec = makeScheme(PartitionScheme::Leftover,
+                                       BmiMode::None, MilMode::None);
+    Gpu gpu(cfg, wl, spec);
+    gpu.sm(0).setTbQuota(KernelId{0}, 1);
+    EXPECT_NO_THROW(gpu.run(Cycle{30000}));
+    EXPECT_FALSE(gpu.memoryInFlight());
+    EXPECT_GT(gpu.kernelStatsTotal(KernelId{0}).issued_instructions,
+              0u);
+}
+
+TEST(Watchdog, StillFiresWhenMemoryIsActuallyStuck)
+{
+    // The memory-occupancy gate must not swallow real hangs: a
+    // dropped fill leaves an L1 MSHR allocated forever, so
+    // memoryInFlight() stays true and the watchdog still trips on
+    // the same tightened timeouts as the compute-only test above.
+    GpuConfig cfg = faultCfg();
+    cfg.integrity.check_interval = 64;
+    cfg.integrity.watchdog_timeout = 256;
+    SchemeSpec spec = spatialSpec();
+    spec.faults.push_back(
+        {FaultKind::DropFill, Cycle{0}, kNeverCycle, -1, -1, Cycle{}});
+    Gpu gpu(cfg, memWorkload(), spec);
+    try {
+        gpu.run(Cycle{16000});
+        FAIL() << "watchdog never fired";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), "Watchdog") << e.what();
+        EXPECT_TRUE(gpu.memoryInFlight());
+    }
+}
+
 } // namespace
 } // namespace ckesim
