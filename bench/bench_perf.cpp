@@ -1,0 +1,161 @@
+/**
+ * @file
+ * First throughput baseline of the execution layers: jobs/sec of the
+ * smoke campaign run (a) in-process through a SweepEngine and (b)
+ * through the multi-process campaign orchestrator at 1, 2 and 4
+ * workers. Emits BENCH_perf.json (stable key order) so successive
+ * PRs can diff orchestration overhead and scaling.
+ *
+ * This measures the harness, not the simulator: every mode runs the
+ * identical job list with fresh caches, so the delta between modes is
+ * pure dispatch/IPC/journal overhead.
+ *
+ * Usage: bench_perf [--out BENCH_perf.json] [--cycles N]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_engine.hpp"
+#include "campaign/campaign_spec.hpp"
+#include "metrics/sweep_engine.hpp"
+#include "sim/check.hpp"
+
+namespace {
+
+using namespace ckesim;
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+struct ModeResult
+{
+    std::string mode;
+    int workers = 1;
+    double wall_ms = 0.0;
+    double jobs_per_sec = 0.0;
+    bool all_completed = false;
+};
+
+ModeResult
+runInProcess(const std::vector<SimJob> &jobs)
+{
+    ModeResult r;
+    r.mode = "in-process";
+    r.workers = 1;
+    SweepEngine engine(1); // fresh engine: empty memo cache
+    const auto start = Clock::now();
+    const std::vector<SimResult> results = engine.sweep(jobs);
+    r.wall_ms = msSince(start);
+    r.all_completed = results.size() == jobs.size();
+    r.jobs_per_sec = static_cast<double>(jobs.size()) * 1000.0 /
+                     (r.wall_ms > 0.0 ? r.wall_ms : 1.0);
+    return r;
+}
+
+ModeResult
+runCampaign(const std::vector<SimJob> &jobs, int workers)
+{
+    ModeResult r;
+    r.mode = "campaign";
+    r.workers = workers;
+    CampaignOptions opts;
+    opts.workers = workers;
+    CampaignEngine engine(opts);
+    const auto start = Clock::now();
+    const CampaignOutcome outcome = engine.run(jobs);
+    r.wall_ms = msSince(start);
+    r.all_completed = outcome.allCompleted();
+    r.jobs_per_sec = static_cast<double>(jobs.size()) * 1000.0 /
+                     (r.wall_ms > 0.0 ? r.wall_ms : 1.0);
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_perf.json";
+    long long cycles = 2000;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--cycles" && i + 1 < argc) {
+            cycles = std::strtoll(argv[++i], nullptr, 10);
+            if (cycles <= 0) {
+                std::fprintf(stderr, "bad --cycles\n");
+                return 2;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_perf [--out FILE] "
+                         "[--cycles N]\n");
+            return 2;
+        }
+    }
+
+    try {
+        const std::vector<SimJob> jobs = buildNamedCampaign(
+            "smoke", Cycle{static_cast<std::uint64_t>(cycles)});
+
+        std::vector<ModeResult> modes;
+        modes.push_back(runInProcess(jobs));
+        for (const int workers : {1, 2, 4})
+            modes.push_back(runCampaign(jobs, workers));
+
+        std::FILE *f = std::fopen(out_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         out_path.c_str());
+            return 2;
+        }
+        std::fprintf(f,
+                     "{\n"
+                     "  \"bench\": \"campaign_throughput\",\n"
+                     "  \"campaign\": \"smoke\",\n"
+                     "  \"cycles\": %lld,\n"
+                     "  \"jobs\": %zu,\n"
+                     "  \"modes\": [\n",
+                     cycles, jobs.size());
+        for (std::size_t i = 0; i < modes.size(); ++i) {
+            const ModeResult &m = modes[i];
+            std::fprintf(
+                f,
+                "    {\"mode\": \"%s\", \"workers\": %d, "
+                "\"wall_ms\": %.3f, \"jobs_per_sec\": %.3f, "
+                "\"all_completed\": %s}%s\n",
+                m.mode.c_str(), m.workers, m.wall_ms,
+                m.jobs_per_sec, m.all_completed ? "true" : "false",
+                i + 1 < modes.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+
+        for (const ModeResult &m : modes)
+            std::printf("%-10s workers=%d  %8.1f ms  %7.2f "
+                        "jobs/sec%s\n",
+                        m.mode.c_str(), m.workers, m.wall_ms,
+                        m.jobs_per_sec,
+                        m.all_completed ? "" : "  INCOMPLETE");
+        for (const ModeResult &m : modes)
+            if (!m.all_completed)
+                return 1;
+        return 0;
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "bench_perf: [%s] %s\n",
+                     e.kind().c_str(), e.what());
+        return 2;
+    }
+}

@@ -1,0 +1,74 @@
+#include "campaign/campaign_spec.hpp"
+
+#include "kernels/workload.hpp"
+#include "metrics/experiment.hpp"
+#include "sim/check.hpp"
+#include "sim/config.hpp"
+
+namespace ckesim {
+
+std::vector<std::string>
+namedCampaigns()
+{
+    return {"smoke", "pairs"};
+}
+
+namespace {
+
+std::vector<SimJob>
+smokeCampaign(Cycle cycles)
+{
+    const GpuConfig cfg = makeSmallConfig(2, 2);
+    const Workload mixed = makeWorkload({"bp", "sv"});
+    const Workload mem = makeWorkload({"sv", "ks"});
+    const Workload compute = makeWorkload({"bp", "hs"});
+
+    std::vector<SimJob> jobs;
+    jobs.push_back(SimJob::isolated(cfg, cycles, *mixed.kernels[0]));
+    jobs.push_back(SimJob::isolated(cfg, cycles, *mixed.kernels[1]));
+    jobs.push_back(
+        SimJob::concurrent(cfg, cycles, mixed, NamedScheme::WS));
+    jobs.push_back(SimJob::concurrent(cfg, cycles, mixed,
+                                      NamedScheme::WS_QBMI_DMIL));
+    jobs.push_back(
+        SimJob::concurrent(cfg, cycles, mem, NamedScheme::WS_DMIL));
+    jobs.push_back(
+        SimJob::concurrent(cfg, cycles, mem, NamedScheme::SMK_PW));
+    jobs.push_back(SimJob::concurrent(cfg, cycles, compute,
+                                      NamedScheme::WS_QBMI));
+    jobs.push_back(SimJob::concurrent(cfg, cycles, compute,
+                                      NamedScheme::Spatial));
+    return jobs;
+}
+
+std::vector<SimJob>
+pairsCampaign(Cycle cycles)
+{
+    const GpuConfig cfg = benchConfig();
+    const std::vector<NamedScheme> schemes = {
+        NamedScheme::WS, NamedScheme::WS_QBMI_DMIL,
+        NamedScheme::SMK_PW};
+    std::vector<SimJob> jobs;
+    for (const Workload &wl : representativePairs())
+        for (const NamedScheme s : schemes)
+            jobs.push_back(SimJob::concurrent(cfg, cycles, wl, s));
+    return jobs;
+}
+
+} // namespace
+
+std::vector<SimJob>
+buildNamedCampaign(const std::string &name, Cycle cycles)
+{
+    if (name == "smoke")
+        return smokeCampaign(cycles);
+    if (name == "pairs")
+        return pairsCampaign(cycles);
+    SimCtx ctx;
+    ctx.module = "campaign.spec";
+    raiseSimError("Config", ctx,
+                  "unknown campaign '" + name +
+                      "' (try: smoke, pairs)");
+}
+
+} // namespace ckesim

@@ -1,0 +1,277 @@
+#include "campaign/wire.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "metrics/journal.hpp"
+#include "sim/check.hpp"
+#include "sim/snapshot.hpp"
+
+namespace ckesim {
+
+namespace {
+
+void
+putU32(std::vector<std::uint8_t> &buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+bool
+validFrameType(std::uint8_t t)
+{
+    return t >= static_cast<std::uint8_t>(FrameType::Hello) &&
+           t <= static_cast<std::uint8_t>(FrameType::Shutdown);
+}
+
+/** Largest payload either side may legitimately send; anything above
+ *  is a corrupted length field, not a real frame. */
+constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/**
+ * Validate a complete header. Returns empty on success, else the
+ * reason the stream cannot be trusted.
+ */
+std::string
+checkHeader(const std::uint8_t *h)
+{
+    if (getU32(h) != kWireMagic)
+        return "bad frame magic";
+    if (h[4] != kWireVersion)
+        return "wire version " + std::to_string(h[4]) +
+               " (this build speaks " + std::to_string(kWireVersion) +
+               ")";
+    if (!validFrameType(h[5]))
+        return "unknown frame type " + std::to_string(h[5]);
+    if (getU32(h + 22) > kMaxFramePayload)
+        return "implausible payload length";
+    return "";
+}
+
+Frame
+headerFrame(const std::uint8_t *h)
+{
+    Frame f;
+    f.type = static_cast<FrameType>(h[5]);
+    f.job_index = getU32(h + 6);
+    f.aux = getU32(h + 10);
+    f.key = getU64(h + 14);
+    return f;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeFrame(const Frame &frame)
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(kFrameHeaderBytes + frame.payload.size());
+    putU32(bytes, kWireMagic);
+    bytes.push_back(kWireVersion);
+    bytes.push_back(static_cast<std::uint8_t>(frame.type));
+    putU32(bytes, frame.job_index);
+    putU32(bytes, frame.aux);
+    putU64(bytes, frame.key);
+    putU32(bytes,
+           static_cast<std::uint32_t>(frame.payload.size()));
+    putU32(bytes, crc32(frame.payload.data(), frame.payload.size()));
+    bytes.insert(bytes.end(), frame.payload.begin(),
+                 frame.payload.end());
+    return bytes;
+}
+
+bool
+writeAll(int fd, const std::vector<std::uint8_t> &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        // MSG_NOSIGNAL: a dead peer must surface as EPIPE, never as
+        // a process-killing SIGPIPE.
+        const ssize_t n =
+            ::send(fd, bytes.data() + off, bytes.size() - off,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // Non-blocking sender (the orchestrator): wait
+                // briefly for the peer to drain its buffer. A peer
+                // that stays jammed past the grace window is treated
+                // as gone — the caller's recovery path handles it.
+                struct pollfd pfd;
+                pfd.fd = fd;
+                pfd.events = POLLOUT;
+                pfd.revents = 0;
+                if (::poll(&pfd, 1, 1000) <= 0)
+                    return false;
+                continue;
+            }
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeFrame(int fd, const Frame &frame)
+{
+    return writeAll(fd, encodeFrame(frame));
+}
+
+namespace {
+
+/** Blocking read of exactly @p n bytes. 0 = EOF mid-way, -1 error. */
+int
+readExact(int fd, std::uint8_t *out, std::size_t n)
+{
+    std::size_t off = 0;
+    while (off < n) {
+        const ssize_t got = ::read(fd, out + off, n - off);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (got == 0)
+            return 0;
+        off += static_cast<std::size_t>(got);
+    }
+    return 1;
+}
+
+} // namespace
+
+WireStatus
+readFrameBlocking(int fd, Frame &out)
+{
+    std::uint8_t header[kFrameHeaderBytes];
+    const ssize_t first = ::read(fd, header, 1);
+    if (first == 0)
+        return WireStatus::Eof;
+    if (first < 0)
+        return errno == EINTR ? readFrameBlocking(fd, out)
+                              : WireStatus::Corrupt;
+    const int rest =
+        readExact(fd, header + 1, kFrameHeaderBytes - 1);
+    if (rest <= 0)
+        return WireStatus::Corrupt;
+    if (!checkHeader(header).empty())
+        return WireStatus::Corrupt;
+    out = headerFrame(header);
+    const std::uint32_t len = getU32(header + 22);
+    const std::uint32_t crc = getU32(header + 26);
+    out.payload.assign(len, 0);
+    if (len > 0 && readExact(fd, out.payload.data(), len) <= 0)
+        return WireStatus::Corrupt;
+    if (crc32(out.payload.data(), out.payload.size()) != crc)
+        return WireStatus::Corrupt;
+    return WireStatus::Ok;
+}
+
+void
+FrameParser::feed(const std::uint8_t *bytes, std::size_t n)
+{
+    if (corrupt_)
+        return;
+    buf_.insert(buf_.end(), bytes, bytes + n);
+    for (;;) {
+        if (buf_.size() - pos_ < kFrameHeaderBytes)
+            break;
+        const std::uint8_t *h = buf_.data() + pos_;
+        const std::string why = checkHeader(h);
+        if (!why.empty()) {
+            corrupt_ = true;
+            reason_ = why;
+            return;
+        }
+        const std::uint32_t len = getU32(h + 22);
+        const std::uint32_t crc = getU32(h + 26);
+        if (buf_.size() - pos_ - kFrameHeaderBytes < len)
+            break; // payload still in flight
+        Frame f = headerFrame(h);
+        const std::uint8_t *payload = h + kFrameHeaderBytes;
+        if (crc32(payload, len) != crc) {
+            corrupt_ = true;
+            reason_ = "payload CRC mismatch";
+            return;
+        }
+        f.payload.assign(payload, payload + len);
+        ready_.push_back(std::move(f));
+        pos_ += kFrameHeaderBytes + len;
+    }
+    // Reclaim the consumed prefix once it dominates the buffer.
+    if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+}
+
+bool
+FrameParser::next(Frame &out)
+{
+    if (ready_.empty())
+        return false;
+    out = std::move(ready_.front());
+    ready_.pop_front();
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeJobError(const std::string &kind, const std::string &detail)
+{
+    SnapshotWriter w;
+    w.section("job_error");
+    w.str(kind);
+    w.str(detail);
+    return w.take();
+}
+
+void
+decodeJobError(const std::vector<std::uint8_t> &bytes,
+               std::string &kind, std::string &detail)
+{
+    SnapshotReader r(bytes);
+    r.section("job_error");
+    kind = r.str();
+    detail = r.str();
+    if (!r.atEnd()) {
+        SimCtx ctx;
+        ctx.module = "campaign.wire";
+        raiseSimError("Snapshot", ctx,
+                      "trailing bytes after JobError payload");
+    }
+}
+
+} // namespace ckesim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Campaign worker: the child-process half of the campaign layer. A
+ * worker is forked by the orchestrator (so it inherits the campaign's
+ * job list by value — dispatch is by index + content hash, and the
+ * hash is verified on every dispatch), runs one SimJob at a time on a
+ * serial in-process SweepEngine, and reports results, structured
+ * errors and heartbeats over its socket.
+ *
+ * Heartbeats ride the simulator's run-control poll cadence: the
+ * worker proves liveness exactly as often as the simulation proves
+ * forward progress, so a wedged simulation (or a worker stalled by
+ * fault injection) goes silent and the orchestrator's liveness
+ * deadline reclaims the job.
+ */
+
+#ifndef CKESIM_CAMPAIGN_WORKER_HPP
+#define CKESIM_CAMPAIGN_WORKER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/sim_job.hpp"
+#include "sim/procfault.hpp"
+
+namespace ckesim {
+
+/** Everything a forked worker needs to serve its socket. */
+struct WorkerConfig
+{
+    int fd = -1;          ///< worker end of the socketpair
+    int worker_index = 0; ///< this worker's slot
+    std::uint64_t heartbeat_ms = 25; ///< min gap between heartbeats
+    ProcFaultPlan faults; ///< inherited fleet-fault plan
+};
+
+/**
+ * Serve dispatches from @p cfg.fd against @p jobs until Shutdown or
+ * EOF. Returns the intended process exit status (0 = clean shutdown);
+ * the caller must pass it to _exit() without running atexit handlers
+ * — the worker shares the parent's forked address space.
+ */
+int runCampaignWorker(const WorkerConfig &cfg,
+                      const std::vector<SimJob> &jobs);
+
+} // namespace ckesim
+
+#endif // CKESIM_CAMPAIGN_WORKER_HPP

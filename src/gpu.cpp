@@ -332,6 +332,9 @@ Gpu::run(Cycle cycles)
 void
 Gpu::pollRunControl()
 {
+    // Liveness hook first: heartbeats must flow even when no budget
+    // or cancellation is configured.
+    run_control_->onPoll();
     if (run_control_->cancelRequested()) {
         raiseSimError("Cancelled", gpuCtx(now_),
                       "cooperative cancellation requested at cycle " +

@@ -237,6 +237,140 @@ decodeSimResult(const std::vector<std::uint8_t> &bytes)
     return result;
 }
 
+// ---- offline integrity checking (journal_fsck) ---------------------------
+
+const char *
+journalRecordStatusName(JournalRecordStatus status)
+{
+    switch (status) {
+      case JournalRecordStatus::Ok:
+        return "ok";
+      case JournalRecordStatus::BadMagic:
+        return "bad-magic";
+      case JournalRecordStatus::BadVersion:
+        return "bad-version";
+      case JournalRecordStatus::BadCrc:
+        return "bad-crc";
+      case JournalRecordStatus::BadPayload:
+        return "bad-payload";
+      case JournalRecordStatus::Torn:
+        return "torn";
+    }
+    return "unknown";
+}
+
+JournalFsckReport
+fsckJournal(const std::string &path)
+{
+    JournalFsckReport report;
+    report.path = path;
+
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        journalFail("fsck cannot open '" + path +
+                    "': " + std::strerror(errno));
+    std::vector<std::uint8_t> data;
+    std::uint8_t chunk[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n < 0) {
+            const int err = errno;
+            ::close(fd);
+            journalFail("fsck read('" + path +
+                        "') failed: " + std::strerror(err));
+        }
+        if (n == 0)
+            break;
+        data.insert(data.end(), chunk, chunk + n);
+    }
+    ::close(fd);
+    report.file_bytes = data.size();
+
+    std::unordered_map<std::uint64_t, bool> keys;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        JournalFsckRecord rec;
+        rec.offset = pos;
+        const std::size_t left = data.size() - pos;
+
+        if (left < kHeaderBytes) {
+            // Not even a full header: a crash mid-append. Benign.
+            rec.status = JournalRecordStatus::Torn;
+            rec.detail = "only " + std::to_string(left) +
+                         " of " + std::to_string(kHeaderBytes) +
+                         " header bytes present";
+            report.torn_bytes = left;
+            report.records.push_back(std::move(rec));
+            break;
+        }
+        const std::uint8_t *h = data.data() + pos;
+        if (getU32(h) != kJournalMagic) {
+            rec.status = JournalRecordStatus::BadMagic;
+            rec.detail = "record does not start with the journal "
+                         "magic; the file is not a journal or an "
+                         "earlier length field lied";
+            report.hard_corrupt = true;
+            report.records.push_back(std::move(rec));
+            break; // no way to resynchronize safely
+        }
+        const std::uint8_t version = h[4];
+        rec.key = getU64(h + 5);
+        rec.payload_len = getU32(h + 13);
+        const std::uint32_t crc = getU32(h + 17);
+        if (version != kSnapshotFormatVersion) {
+            rec.status = JournalRecordStatus::BadVersion;
+            rec.detail = "format version " +
+                         std::to_string(version) +
+                         " (this build reads " +
+                         std::to_string(kSnapshotFormatVersion) +
+                         ")";
+            report.hard_corrupt = true;
+            report.records.push_back(std::move(rec));
+            break;
+        }
+        if (left - kHeaderBytes < rec.payload_len) {
+            // Payload cut off at EOF: interrupted append. Benign.
+            rec.status = JournalRecordStatus::Torn;
+            rec.detail =
+                "payload claims " + std::to_string(rec.payload_len) +
+                " bytes but only " +
+                std::to_string(left - kHeaderBytes) + " remain";
+            report.torn_bytes = left;
+            report.records.push_back(std::move(rec));
+            break;
+        }
+        const std::uint8_t *payload = h + kHeaderBytes;
+        if (crc32(payload, rec.payload_len) != crc) {
+            rec.status = JournalRecordStatus::BadCrc;
+            rec.detail = "payload bytes all present but CRC32 "
+                         "mismatch: flipped bits, not a torn tail";
+            report.hard_corrupt = true;
+            report.records.push_back(std::move(rec));
+            break;
+        }
+        std::vector<std::uint8_t> bytes(payload,
+                                        payload + rec.payload_len);
+        try {
+            (void)decodeSimResult(bytes);
+        } catch (const SimError &e) {
+            rec.status = JournalRecordStatus::BadPayload;
+            rec.detail = std::string("CRC fine but SimResult "
+                                     "decode failed: ") +
+                         e.what();
+            report.hard_corrupt = true;
+            report.records.push_back(std::move(rec));
+            break;
+        }
+        rec.status = JournalRecordStatus::Ok;
+        ++report.ok_records;
+        keys[rec.key] = true;
+        pos += kHeaderBytes + rec.payload_len;
+        report.records.push_back(std::move(rec));
+    }
+    report.distinct_keys = keys.size();
+    return report;
+}
+
 // ---- ResultJournal ------------------------------------------------------
 
 ResultJournal::~ResultJournal()

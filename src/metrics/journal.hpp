@@ -82,6 +82,62 @@ class ResultJournal
     JournalStats stats_;
 };
 
+// ---- offline integrity checking (journal_fsck) ---------------------------
+
+/** Verdict for one on-disk journal record (or the spot where one
+ *  should have been). */
+enum class JournalRecordStatus : std::uint8_t {
+    Ok = 0,     ///< magic, version, CRC and payload all check out
+    BadMagic,   ///< record boundary does not start with the magic
+    BadVersion, ///< record written by a different format version
+    BadCrc,     ///< payload bytes present but CRC mismatch
+    BadPayload, ///< CRC fine, SimResult decode failed
+    Torn,       ///< record runs past EOF (interrupted append)
+};
+
+/** Display name, e.g. "ok", "bad-crc", "torn". */
+const char *journalRecordStatusName(JournalRecordStatus status);
+
+/** One scanned record of a journal file. */
+struct JournalFsckRecord
+{
+    std::uint64_t offset = 0;      ///< byte offset of the record
+    std::uint64_t key = 0;         ///< job key (when header parsed)
+    std::uint32_t payload_len = 0; ///< claimed payload length
+    JournalRecordStatus status = JournalRecordStatus::Ok;
+    std::string detail;            ///< human-readable diagnosis
+};
+
+/**
+ * Everything fsckJournal() learned about one file. A torn tail
+ * (records cut off by a crash mid-append) is expected wear and keeps
+ * clean() true; any failure *before* the final bytes — bad magic, a
+ * CRC mismatch on a fully-present record, an undecodable payload —
+ * is hard corruption.
+ */
+struct JournalFsckReport
+{
+    std::string path;
+    std::uint64_t file_bytes = 0;
+    std::uint64_t ok_records = 0;
+    std::uint64_t distinct_keys = 0;
+    std::uint64_t torn_bytes = 0; ///< benign torn tail length
+    bool hard_corrupt = false;
+    std::vector<JournalFsckRecord> records; ///< file order
+
+    /** No hard corruption (torn tails allowed). */
+    bool clean() const { return !hard_corrupt; }
+};
+
+/**
+ * Read-only integrity scan of the journal at @p path: walk every
+ * record, validate magic/version/CRC/payload, and distinguish a
+ * benign torn tail from hard corruption. Never modifies the file
+ * (unlike ResultJournal::open, which truncates torn tails). Throws
+ * SimError (kind "Journal") only when the file cannot be read at all.
+ */
+JournalFsckReport fsckJournal(const std::string &path);
+
 // ---- result payload codec (shared with tests) ---------------------------
 
 /** Encode a SimResult with the snapshot codec (bit-exact doubles). */

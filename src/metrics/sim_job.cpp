@@ -266,4 +266,14 @@ SimJob::describe() const
     return d;
 }
 
+std::uint64_t
+campaignFingerprint(const std::vector<SimJob> &jobs)
+{
+    JobHasher h;
+    h.i(static_cast<long long>(jobs.size()));
+    for (const SimJob &job : jobs)
+        h.i(static_cast<long long>(job.key()));
+    return h.value();
+}
+
 } // namespace ckesim

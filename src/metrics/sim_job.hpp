@@ -170,6 +170,15 @@ class JobHasher
     std::uint64_t h_ = 0xcbf29ce484222325ULL;
 };
 
+/**
+ * Order-sensitive FNV-1a over the content hashes of a whole job
+ * list: one value that identifies a campaign. The orchestrator and
+ * its workers must agree on it before any index-based dispatch, and
+ * a resumed campaign refuses a journal recorded under a different
+ * fingerprint's merged table.
+ */
+std::uint64_t campaignFingerprint(const std::vector<SimJob> &jobs);
+
 void hashInto(JobHasher &h, const GpuConfig &cfg);
 void hashInto(JobHasher &h, const SchemeSpec &spec);
 void hashInto(JobHasher &h, const KernelProfile &prof);

@@ -142,6 +142,29 @@ resolveJobCount(int jobs)
 
 } // namespace
 
+std::uint64_t
+retryBackoffMs(const RetryPolicy &policy, std::uint64_t key,
+               int attempt)
+{
+    if (policy.backoff_ms == 0)
+        return 0;
+    const int shift = std::min(attempt, 32);
+    const std::uint64_t base = policy.backoff_ms
+                               << static_cast<unsigned>(shift);
+    const std::uint64_t span = base * policy.jitter_pct / 100;
+    if (span == 0)
+        return base;
+    // splitmix64 over (key, attempt): high-quality, seedable, and —
+    // unlike wall-clock or RNG jitter — bit-reproducible per job.
+    std::uint64_t z = key ^
+                      (static_cast<std::uint64_t>(attempt) + 1) *
+                          0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return base + z % (span + 1);
+}
+
 SweepEngine::SweepEngine(int jobs)
     : jobs_(resolveJobCount(jobs)), pool_(jobs_ - 1)
 {
@@ -356,6 +379,8 @@ class SweepEngine::ActiveControl
     {
         rc_.setCycleBudget(eng.budget_.cycle_budget);
         rc_.setWallBudgetMs(eng.budget_.wall_budget_ms);
+        if (eng.poll_hook_)
+            rc_.setPollHook(eng.poll_hook_);
         std::lock_guard<std::mutex> lk(eng.rc_mu_);
         if (eng.cancel_all_)
             rc_.requestCancel();
@@ -449,10 +474,11 @@ SweepEngine::computeWithResilience(const SimJob &job)
                 throw;
             }
             retried_.fetch_add(1);
-            if (retry_.backoff_ms > 0)
+            const std::uint64_t backoff =
+                retryBackoffMs(retry_, key, attempt);
+            if (backoff > 0)
                 std::this_thread::sleep_for(
-                    std::chrono::milliseconds(retry_.backoff_ms
-                                              << attempt));
+                    std::chrono::milliseconds(backoff));
         }
     }
 }

@@ -57,7 +57,22 @@ struct RetryPolicy
 {
     int max_retries = 0;          ///< extra attempts after the first
     std::uint64_t backoff_ms = 0; ///< base sleep; doubles per attempt
+    /** Jitter added on top of the doubled base, as a percentage of
+     *  it, drawn deterministically from the job's content hash — so
+     *  identical jobs back off identically across runs while
+     *  distinct jobs desynchronize instead of retrying in lockstep. */
+    std::uint32_t jitter_pct = 50;
 };
+
+/**
+ * Deterministic jittered backoff for attempt @p attempt (0-based) of
+ * the job whose content hash is @p key: base << attempt, plus up to
+ * jitter_pct% of that, mixed from (key, attempt). Pure function —
+ * reproducible anywhere (the campaign layer reuses it for
+ * re-dispatch backoff).
+ */
+std::uint64_t retryBackoffMs(const RetryPolicy &policy,
+                             std::uint64_t key, int attempt);
 
 /** Per-job execution budgets; 0 disables either cap. */
 struct JobBudget
@@ -194,6 +209,17 @@ class SweepEngine
     /** Re-arm after cancelAll() so new jobs run again. */
     void clearCancel();
 
+    /**
+     * Install a liveness hook copied into every subsequently started
+     * job's RunControl and invoked at the simulator's control-poll
+     * cadence (see RunControl::setPollHook). Set before submitting
+     * jobs; not synchronized against in-flight ones.
+     */
+    void setPollHook(std::function<void()> hook)
+    {
+        poll_hook_ = std::move(hook);
+    }
+
     ResilienceReport resilience() const;
 
   private:
@@ -223,6 +249,7 @@ class SweepEngine
     ResultJournal *journal_ = nullptr;
     RetryPolicy retry_;
     JobBudget budget_;
+    std::function<void()> poll_hook_;
     std::mutex rc_mu_; ///< guards active_rcs_ and cancel_all_
     std::vector<RunControl *> active_rcs_;
     bool cancel_all_ = false;

@@ -1,0 +1,89 @@
+#include "sim/procfault.hpp"
+
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace ckesim {
+
+const char *
+procFaultKindName(ProcFaultKind kind)
+{
+    switch (kind) {
+      case ProcFaultKind::None:
+        return "none";
+      case ProcFaultKind::KillWorkerMidJob:
+        return "kill-worker-mid-job";
+      case ProcFaultKind::StallHeartbeat:
+        return "stall-heartbeat";
+      case ProcFaultKind::CorruptFrame:
+        return "corrupt-frame";
+      case ProcFaultKind::DropResult:
+        return "drop-result";
+      case ProcFaultKind::FailSpawn:
+        return "fail-spawn";
+    }
+    return "unknown";
+}
+
+ProcFaultPlan::ProcFaultPlan(std::vector<ProcFaultSpec> faults)
+    : faults_(std::move(faults))
+{
+    for (const ProcFaultSpec &spec : faults_)
+        validateProcFaultSpec(spec);
+}
+
+bool
+ProcFaultPlan::fire(ProcFaultKind kind, int worker, int job_index,
+                    int attempt)
+{
+    for (ProcFaultSpec &spec : faults_) {
+        if (spec.kind != kind)
+            continue;
+        if (spec.worker >= 0 && spec.worker != worker)
+            continue;
+        if (spec.job_index >= 0 && spec.job_index != job_index)
+            continue;
+        if (attempt >= spec.attempts)
+            continue;
+        if (spec.budget == 0)
+            continue;
+        if (spec.budget > 0)
+            --spec.budget;
+        ++fired_[static_cast<std::size_t>(kind)];
+        return true;
+    }
+    return false;
+}
+
+void
+validateProcFaultSpec(const ProcFaultSpec &spec)
+{
+    SimCtx ctx;
+    ctx.module = "procfault";
+    if (spec.kind == ProcFaultKind::None)
+        raiseSimError("Config", ctx,
+                      "ProcFaultSpec kind None in a fault plan");
+    if (spec.worker < -1)
+        raiseSimError("Config", ctx,
+                      "ProcFaultSpec worker " +
+                          std::to_string(spec.worker) +
+                          " (want -1 or a worker slot)");
+    if (spec.job_index < -1)
+        raiseSimError("Config", ctx,
+                      "ProcFaultSpec job_index " +
+                          std::to_string(spec.job_index) +
+                          " (want -1 or a job index)");
+    if (spec.attempts <= 0)
+        raiseSimError("Config", ctx,
+                      "ProcFaultSpec attempts " +
+                          std::to_string(spec.attempts) +
+                          " must be positive");
+    if (spec.budget < -1)
+        raiseSimError("Config", ctx,
+                      "ProcFaultSpec budget " +
+                          std::to_string(spec.budget) +
+                          " (want -1 or a count)");
+}
+
+} // namespace ckesim

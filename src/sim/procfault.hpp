@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Process-level fault injection for the campaign layer.
+ *
+ * PR 1's FaultInjector breaks the *simulated* memory pipeline; this
+ * plan breaks the *host* fleet: workers that die mid-job, workers
+ * that wedge and stop heartbeating, frames corrupted on the wire,
+ * results silently dropped, and spawns that fail outright. The same
+ * philosophy applies — faults are deterministic (no RNG, no clock):
+ * a spec names the worker slot, the campaign job index, and the
+ * dispatch attempts on which it fires, so a kill/recover soak is
+ * exactly reproducible.
+ *
+ * The plan is a value: the orchestrator owns one copy and each forked
+ * worker inherits it, filtering by its own slot. Because a fault can
+ * be limited to the first @ref ProcFaultSpec::attempts dispatch
+ * attempts of a job, "kill the worker once, then let the re-dispatch
+ * succeed" and "kill every worker that ever touches this job" (a
+ * poison job) are both single specs.
+ */
+
+#ifndef CKESIM_SIM_PROCFAULT_HPP
+#define CKESIM_SIM_PROCFAULT_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ckesim {
+
+/** What to break at the process/fleet level. */
+enum class ProcFaultKind : std::uint8_t {
+    None = 0,
+    /** The worker SIGKILLs itself partway through the job (at its
+     *  first run-control poll). The orchestrator must observe the
+     *  death and re-dispatch the job. */
+    KillWorkerMidJob,
+    /** The worker wedges mid-job: it stops polling, heartbeating and
+     *  responding forever. The orchestrator's liveness deadline must
+     *  fire, SIGKILL it, and re-dispatch. */
+    StallHeartbeat,
+    /** The worker flips a byte in its next result frame's payload.
+     *  The orchestrator must detect the CRC mismatch, distrust the
+     *  worker, kill it, and re-dispatch. */
+    CorruptFrame,
+    /** The worker completes the job but never sends the result and
+     *  goes silent. Indistinguishable from a hang upstream: the
+     *  liveness deadline must reclaim the job. */
+    DropResult,
+    /** Orchestrator-side: pretend fork() failed for this spawn
+     *  attempt. With an unlimited spec the campaign must degrade to
+     *  in-process execution instead of failing. */
+    FailSpawn,
+};
+
+inline constexpr int kNumProcFaultKinds = 6;
+
+/** Short display name, e.g. "kill-worker-mid-job". */
+const char *procFaultKindName(ProcFaultKind kind);
+
+/** One injected fleet fault. */
+struct ProcFaultSpec
+{
+    ProcFaultKind kind = ProcFaultKind::None;
+    /** Worker slot it applies to; -1 = every worker. */
+    int worker = -1;
+    /** Campaign job index it applies to; -1 = every job. */
+    int job_index = -1;
+    /** Fires only while the job's dispatch attempt is < attempts, so
+     *  a re-dispatched job escapes the fault. Use a large value for a
+     *  poison job that kills every worker that runs it. */
+    int attempts = 1;
+    /** Max total firings of this spec in one process; -1 = all. */
+    int budget = -1;
+};
+
+/** Deterministic fleet-fault oracle consulted by orchestrator and
+ *  workers at their fault points. */
+class ProcFaultPlan
+{
+  public:
+    ProcFaultPlan() = default;
+    explicit ProcFaultPlan(std::vector<ProcFaultSpec> faults);
+
+    bool empty() const { return faults_.empty(); }
+
+    const std::vector<ProcFaultSpec> &specs() const { return faults_; }
+
+    /**
+     * Should a fault of @p kind fire for (@p worker, @p job_index,
+     * @p attempt)? Consumes one unit of the matching spec's budget.
+     */
+    bool fire(ProcFaultKind kind, int worker, int job_index,
+              int attempt);
+
+    /** How often faults of @p kind actually fired (this process). */
+    std::uint64_t firedCount(ProcFaultKind kind) const
+    {
+        return fired_[static_cast<std::size_t>(kind)];
+    }
+
+  private:
+    std::vector<ProcFaultSpec> faults_;
+    std::array<std::uint64_t, kNumProcFaultKinds> fired_{};
+};
+
+/** Validate one spec; throws SimError (kind "Config") on nonsense. */
+void validateProcFaultSpec(const ProcFaultSpec &spec);
+
+} // namespace ckesim
+
+#endif // CKESIM_SIM_PROCFAULT_HPP

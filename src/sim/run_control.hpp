@@ -23,6 +23,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "sim/types.hpp"
 
@@ -67,6 +69,28 @@ class RunControl
 
     std::uint64_t wallBudgetMs() const { return wall_ms_; }
 
+    /**
+     * Install a hook invoked at every control poll, from the thread
+     * driving the Gpu. The campaign worker uses this to emit
+     * heartbeats (and to host process-fault trigger points) exactly
+     * as often as the simulation proves it is making progress: a
+     * wedged simulation stops polling, the heartbeats stop, and the
+     * orchestrator's liveness deadline can fire. The hook must never
+     * touch simulated state.
+     */
+    void setPollHook(std::function<void()> hook)
+    {
+        poll_hook_ = std::move(hook);
+    }
+
+    /** Run the poll hook, if any (called by Gpu::run's poll site). */
+    void
+    onPoll() const
+    {
+        if (poll_hook_)
+            poll_hook_();
+    }
+
     /** Has the wall-clock deadline passed? */
     bool
     wallExpired() const
@@ -79,6 +103,7 @@ class RunControl
 
   private:
     std::atomic<bool> cancel_{false};
+    std::function<void()> poll_hook_;
     std::uint64_t cycle_budget_ = 0;
     std::uint64_t wall_ms_ = 0;
     std::chrono::steady_clock::time_point deadline_{}; // LINT-ALLOW(determinism): deadline bookkeeping for the wall budget

@@ -15,10 +15,12 @@
 #include <thread>
 #include <vector>
 
+#include "campaign/campaign_engine.hpp"
 #include "metrics/experiment.hpp"
 #include "metrics/journal.hpp"
 #include "metrics/sweep_engine.hpp"
 #include "sim/check.hpp"
+#include "sim/procfault.hpp"
 
 namespace ckesim {
 namespace {
@@ -285,6 +287,122 @@ TEST(Recovery, FaultJobFailuresAreRetriedThenSurfaced)
     const ResilienceReport r = engine.resilience();
     EXPECT_EQ(r.retried, 1u);
     EXPECT_EQ(r.abandoned, 1u);
+}
+
+// ---- deterministic jittered backoff ------------------------------------
+
+TEST(Recovery, RetryBackoffIsDeterministicAndBounded)
+{
+    RetryPolicy policy;
+    policy.backoff_ms = 100;
+    policy.jitter_pct = 50;
+    for (const std::uint64_t key :
+         {0x1ULL, 0xdeadbeefULL, 0xffffffffffffffffULL}) {
+        for (int attempt = 0; attempt < 6; ++attempt) {
+            const std::uint64_t base = policy.backoff_ms
+                                       << static_cast<unsigned>(
+                                              attempt);
+            const std::uint64_t ms =
+                retryBackoffMs(policy, key, attempt);
+            // Same (key, attempt) -> same backoff, every time.
+            EXPECT_EQ(ms, retryBackoffMs(policy, key, attempt));
+            // Bounded: base <= ms <= base + jitter_pct% of base.
+            EXPECT_GE(ms, base);
+            EXPECT_LE(ms, base + base * policy.jitter_pct / 100);
+        }
+    }
+    // Distinct keys must desynchronize (not retry in lockstep).
+    EXPECT_NE(retryBackoffMs(policy, 0x1ULL, 3),
+              retryBackoffMs(policy, 0xdeadbeefULL, 3));
+}
+
+TEST(Recovery, RetryBackoffZeroJitterIsExact)
+{
+    RetryPolicy policy;
+    policy.backoff_ms = 40;
+    policy.jitter_pct = 0;
+    EXPECT_EQ(retryBackoffMs(policy, 0xabcULL, 0), 40u);
+    EXPECT_EQ(retryBackoffMs(policy, 0xabcULL, 1), 80u);
+    EXPECT_EQ(retryBackoffMs(policy, 0xabcULL, 2), 160u);
+    // Zero base: always immediate, jitter or not.
+    policy.backoff_ms = 0;
+    policy.jitter_pct = 50;
+    EXPECT_EQ(retryBackoffMs(policy, 0xabcULL, 4), 0u);
+}
+
+// ---- campaign shard-merge determinism ----------------------------------
+
+/** Raw bytes of a file (empty if absent). */
+std::vector<std::uint8_t>
+fileBytes(const std::string &path)
+{
+    std::vector<std::uint8_t> bytes;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return bytes;
+    std::uint8_t chunk[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + n);
+    std::fclose(f);
+    return bytes;
+}
+
+TEST(Recovery, CampaignMergeIsByteIdenticalAcrossWorkersAndKills)
+{
+    // Workers=1 without faults is the ground truth; 2 and 4 workers
+    // run the same campaign while every worker touching job 1 is
+    // SIGKILLed on the first dispatch attempt. The merged journal and
+    // the outcome table must be byte-identical in all cases — the
+    // core promise of submission-order merge + kill-and-redispatch.
+    const std::vector<SimJob> jobs = buildJobs();
+
+    std::vector<std::uint8_t> want_merged;
+    std::vector<std::vector<std::uint8_t>> want_table;
+    for (const int workers : {1, 2, 4}) {
+        TempFile tmp("campaign_w" + std::to_string(workers));
+        CampaignOptions opts;
+        opts.workers = workers;
+        opts.journal_base = tmp.path();
+        opts.heartbeat_ms = 5;
+        if (workers > 1) {
+            ProcFaultSpec kill;
+            kill.kind = ProcFaultKind::KillWorkerMidJob;
+            kill.job_index = 1;
+            kill.attempts = 1;
+            opts.faults = ProcFaultPlan({kill});
+        }
+        CampaignEngine engine(opts);
+        const CampaignOutcome outcome = engine.run(jobs);
+        ASSERT_TRUE(outcome.allCompleted())
+            << workers << " workers";
+        if (workers > 1)
+            EXPECT_GE(outcome.report.worker_deaths, 1u);
+
+        std::vector<std::vector<std::uint8_t>> table;
+        for (const CampaignJobOutcome &job : outcome.jobs)
+            table.push_back(encodeSimResult(job.result));
+        const std::vector<std::uint8_t> merged = fileBytes(
+            CampaignEngine::mergedPath(tmp.path()));
+        ASSERT_FALSE(merged.empty());
+        if (workers == 1) {
+            want_merged = merged;
+            want_table = table;
+        } else {
+            EXPECT_EQ(merged, want_merged)
+                << workers
+                << "-worker merged journal diverged from the "
+                   "single-worker ground truth";
+            EXPECT_EQ(table, want_table)
+                << workers << "-worker table diverged";
+        }
+        // Cleanup the shards TempFile does not know about.
+        for (int slot = 0; slot < workers; ++slot)
+            std::remove(CampaignEngine::shardPath(tmp.path(), slot)
+                            .c_str());
+        std::remove(
+            CampaignEngine::mergedPath(tmp.path()).c_str());
+    }
 }
 
 // ---- the bench CLI plumbing --------------------------------------------

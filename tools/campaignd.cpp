@@ -1,0 +1,272 @@
+/**
+ * @file
+ * ckesim-campaignd: command-line front end of the fault-tolerant
+ * campaign orchestrator. Builds a named campaign, runs it over a
+ * forked worker fleet (or in-process), and prints a diff-stable
+ * result table.
+ *
+ * Output contract: stdout carries ONLY the table — campaign header
+ * (name, cycles, fingerprint) plus one line per job with its content
+ * key, terminal state and result fingerprint — and is byte-identical
+ * for any worker count, chaos plan or crash/redispatch history that
+ * reaches the same terminal states. Fleet accounting (dispatches,
+ * deaths, respawns, heartbeats) goes to stderr. The CI kill-soak
+ * leans on this: `campaignd ... > table.txt` then diff.
+ *
+ * Usage:
+ *   ckesim-campaignd [--campaign smoke] [--cycles N] [--workers N]
+ *                    [--journal BASE] [--resume] [--in-process]
+ *                    [--chaos kill-worker] [--heartbeat-ms N]
+ *                    [--liveness-ms N] [--max-attempts N]
+ *                    [--poison-deaths N]
+ *
+ *   --journal BASE   durable shard/merged journals at BASE.*
+ *   --resume         keep existing journals (default wipes them)
+ *   --chaos MODE     inject fleet faults; kill-worker = SIGKILL the
+ *                    worker on every job's first dispatch attempt
+ *
+ * SIGTERM/SIGINT drain the campaign: in-flight jobs finish, pending
+ * jobs are marked drained, workers shut down cleanly.
+ *
+ * Exit codes: 0 = all jobs completed, 1 = failures (failed, poisoned
+ * or exhausted jobs), 2 = usage/config error, 3 = drained.
+ */
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_engine.hpp"
+#include "campaign/campaign_spec.hpp"
+#include "metrics/journal.hpp"
+#include "sim/check.hpp"
+
+namespace {
+
+using namespace ckesim;
+
+CampaignEngine *g_engine = nullptr;
+
+void
+onDrainSignal(int)
+{
+    if (g_engine != nullptr)
+        g_engine->requestDrain(); // atomic store: signal-safe
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ckesim-campaignd [--campaign smoke|pairs] "
+        "[--cycles N] [--workers N]\n"
+        "                        [--journal BASE] [--resume] "
+        "[--in-process]\n"
+        "                        [--chaos kill-worker] "
+        "[--heartbeat-ms N] [--liveness-ms N]\n"
+        "                        [--max-attempts N] "
+        "[--poison-deaths N]\n");
+}
+
+/** Stable 32-bit fingerprint of a result (CRC of its canonical
+ *  encoding — the same bytes the journal stores). */
+std::uint32_t
+resultFingerprint(const SimResult &result)
+{
+    const std::vector<std::uint8_t> bytes = encodeSimResult(result);
+    return crc32(bytes.data(), bytes.size());
+}
+
+bool
+parseLong(const char *s, long long &out)
+{
+    char *end = nullptr;
+    out = std::strtoll(s, &end, 10);
+    return end != nullptr && *end == '\0' && end != s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string campaign = "smoke";
+    std::string chaos;
+    long long cycles = 20000;
+    CampaignOptions opts;
+
+    bool resume = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--campaign" && has_value) {
+            campaign = argv[++i];
+        } else if (arg == "--cycles" && has_value) {
+            if (!parseLong(argv[++i], cycles) || cycles <= 0) {
+                usage();
+                return 2;
+            }
+        } else if (arg == "--workers" && has_value) {
+            long long v = 0;
+            if (!parseLong(argv[++i], v) || v < 1 || v > 256) {
+                usage();
+                return 2;
+            }
+            opts.workers = static_cast<int>(v);
+        } else if (arg == "--journal" && has_value) {
+            opts.journal_base = argv[++i];
+        } else if (arg == "--resume") {
+            resume = true;
+        } else if (arg == "--in-process") {
+            opts.force_in_process = true;
+        } else if (arg == "--chaos" && has_value) {
+            chaos = argv[++i];
+        } else if (arg == "--heartbeat-ms" && has_value) {
+            long long v = 0;
+            if (!parseLong(argv[++i], v) || v < 1) {
+                usage();
+                return 2;
+            }
+            opts.heartbeat_ms = static_cast<std::uint64_t>(v);
+        } else if (arg == "--liveness-ms" && has_value) {
+            long long v = 0;
+            if (!parseLong(argv[++i], v) || v < 1) {
+                usage();
+                return 2;
+            }
+            opts.liveness_deadline_ms =
+                static_cast<std::uint64_t>(v);
+        } else if (arg == "--max-attempts" && has_value) {
+            long long v = 0;
+            if (!parseLong(argv[++i], v) || v < 1) {
+                usage();
+                return 2;
+            }
+            opts.max_dispatch_attempts = static_cast<int>(v);
+        } else if (arg == "--poison-deaths" && has_value) {
+            long long v = 0;
+            if (!parseLong(argv[++i], v) || v < 1) {
+                usage();
+                return 2;
+            }
+            opts.poison_worker_deaths = static_cast<int>(v);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    if (!chaos.empty()) {
+        if (chaos == "kill-worker") {
+            // SIGKILL the worker on every job's FIRST dispatch
+            // attempt; re-dispatches (attempt >= 1) run clean. The
+            // terminal states — and therefore the stdout table —
+            // match an unharassed run exactly.
+            ProcFaultSpec spec;
+            spec.kind = ProcFaultKind::KillWorkerMidJob;
+            spec.attempts = 1;
+            opts.faults = ProcFaultPlan({spec});
+        } else {
+            std::fprintf(stderr,
+                         "unknown chaos mode '%s' (try: "
+                         "kill-worker)\n",
+                         chaos.c_str());
+            return 2;
+        }
+    }
+
+    if (!resume && !opts.journal_base.empty()) {
+        // Fresh campaign: drop stale shards and the merged journal so
+        // the run cannot be satisfied by a previous campaign's
+        // results.
+        for (int slot = 0; slot < 256; ++slot) {
+            const std::string p =
+                CampaignEngine::shardPath(opts.journal_base, slot);
+            if (::unlink(p.c_str()) != 0)
+                break;
+        }
+        (void)::unlink(
+            CampaignEngine::mergedPath(opts.journal_base).c_str());
+    }
+
+    try {
+        const std::vector<SimJob> jobs =
+            buildNamedCampaign(campaign, Cycle{
+                static_cast<std::uint64_t>(cycles)});
+
+        CampaignEngine engine(opts);
+        g_engine = &engine;
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof sa);
+        sa.sa_handler = onDrainSignal;
+        ::sigaction(SIGTERM, &sa, nullptr);
+        ::sigaction(SIGINT, &sa, nullptr);
+
+        const CampaignOutcome outcome = engine.run(jobs);
+        g_engine = nullptr;
+
+        // ---- diff-stable table (stdout) ----------------------------
+        std::printf("campaign %s cycles=%lld jobs=%zu "
+                    "fingerprint=%016" PRIx64 "\n",
+                    campaign.c_str(), cycles, jobs.size(),
+                    campaignFingerprint(jobs));
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const CampaignJobOutcome &out = outcome.jobs[i];
+            if (out.ok())
+                std::printf("%4zu %016" PRIx64 " %-10s %08" PRIx32
+                            " %s\n",
+                            i, jobs[i].key(),
+                            campaignJobStateName(out.state),
+                            resultFingerprint(out.result),
+                            jobs[i].describe().c_str());
+            else
+                std::printf("%4zu %016" PRIx64 " %-10s %-8s %s\n",
+                            i, jobs[i].key(),
+                            campaignJobStateName(out.state),
+                            out.error_kind.c_str(),
+                            jobs[i].describe().c_str());
+        }
+
+        // ---- fleet accounting (stderr) -----------------------------
+        const CampaignReport &r = outcome.report;
+        std::fprintf(
+            stderr,
+            "workers=%d%s completed=%" PRIu64 " journal_hits=%" PRIu64
+            " dispatched=%" PRIu64 " redispatched=%" PRIu64 "\n"
+            "worker_deaths=%" PRIu64 " respawned=%" PRIu64
+            " hung_killed=%" PRIu64 " corrupt_frames=%" PRIu64
+            " heartbeats=%" PRIu64 "\n"
+            "poisoned=%" PRIu64 " failed=%" PRIu64 " drained=%" PRIu64
+            "%s%s\n",
+            opts.workers,
+            r.degraded_in_process ? " (degraded in-process)" : "",
+            r.completed, r.journal_hits, r.dispatched,
+            r.redispatched, r.worker_deaths, r.workers_respawned,
+            r.hung_workers_killed, r.corrupt_frames, r.heartbeats,
+            r.poisoned, r.failed, r.drained,
+            r.drain_requested ? " drain_requested" : "",
+            outcome.allCompleted() ? " ALL-COMPLETED" : "");
+
+        if (outcome.allCompleted())
+            return 0;
+        if (r.drain_requested && r.poisoned == 0 && r.failed == 0)
+            return 3;
+        return 1;
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "campaignd: [%s] %s\n",
+                     e.kind().c_str(), e.what());
+        return 2;
+    }
+}
