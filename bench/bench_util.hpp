@@ -4,7 +4,8 @@
  * experiments themselves live in the shared ExperimentRegistry
  * (src/metrics/experiment.hpp) and know nothing about the benchmark
  * framework; this header wires the registry into benchmark cases and
- * handles the shared --jobs/--list/--filter/--tables CLI knobs, so
+ * handles the shared --jobs/--list/--filter/--tables/--fast CLI
+ * knobs, so
  * every bench runs standalone, supports parallel sweeps, and also
  * reports wall time + headline counters through the framework.
  */
@@ -41,6 +42,7 @@ benchMain(int argc, char **argv, const std::function<void()> &setup)
 {
     BenchOptions opts = parseBenchArgs(argc, argv);
     setBenchJobs(opts.jobs);
+    benchEngine().setFastForward(opts.fast);
     if (!opts.resume.empty()) {
         const std::size_t recovered =
             attachBenchJournal(opts.resume);

@@ -1,6 +1,7 @@
 #include "mem/interconnect.hpp"
 
 #include "sim/check.hpp"
+#include "sim/clockable.hpp"
 #include "sim/snapshot.hpp"
 
 namespace ckesim {
@@ -37,6 +38,19 @@ Crossbar::drain(int dest, Cycle now, int max_count)
         port.queue.pop_front();
     }
     return out;
+}
+
+Cycle
+Crossbar::nextEventCycle(Cycle now) const
+{
+    Cycle horizon = kNeverCycle;
+    for (const Port &port : ports_) {
+        if (port.queue.empty())
+            continue;
+        horizon = earliestEvent(
+            horizon, clampHorizon(port.queue.front().ready, now));
+    }
+    return horizon;
 }
 
 void

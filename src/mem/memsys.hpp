@@ -42,6 +42,14 @@ class MemorySystem
     /** Advance every partition, channel and reply port one cycle. */
     void tick(Cycle now);
 
+    /**
+     * Clockable horizon (sim/clockable.hpp): minimum over both
+     * crossbars, every partition and every channel, with refused
+     * reply retries and fault-delayed fills forcing `now` (both are
+     * re-examined each cycle). kNeverCycle iff quiescent().
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     /** Pop read fills delivered to SM @p sm_id by cycle @p now. */
     std::vector<MemRequest> drainRepliesForSm(SmId sm_id, Cycle now);
 

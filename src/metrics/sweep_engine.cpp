@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <utility>
 
@@ -10,6 +11,13 @@
 #include "sim/check.hpp"
 
 namespace ckesim {
+
+bool
+fastFromEnv()
+{
+    const char *env = std::getenv("CKESIM_FAST");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
 
 // ---- WorkStealingPool --------------------------------------------------
 
@@ -166,7 +174,8 @@ retryBackoffMs(const RetryPolicy &policy, std::uint64_t key,
 }
 
 SweepEngine::SweepEngine(int jobs)
-    : jobs_(resolveJobCount(jobs)), pool_(jobs_ - 1)
+    : jobs_(resolveJobCount(jobs)), pool_(jobs_ - 1),
+      fast_forward_(fastFromEnv())
 {
     // Touch the lazily-built profile suite before any worker can race
     // on its magic-static initialization (the init is thread-safe per
@@ -544,6 +553,7 @@ SweepEngine::computeIsolated(const SimJob &job, RunControl *rc)
     const SchemeSpec spec = makeScheme(PartitionScheme::Leftover,
                                        BmiMode::None, MilMode::None);
     Gpu gpu(job.cfg, wl, spec);
+    gpu.setFastForward(fast_forward_);
     gpu.setRunControl(rc);
     const int quota = job.tb_limit > 0
                           ? job.tb_limit
@@ -582,6 +592,7 @@ SweepEngine::computeConcurrent(const SimJob &job, RunControl *rc)
         total += spec.ws_profile_window;
 
     Gpu gpu(job.cfg, job.workload, spec);
+    gpu.setFastForward(fast_forward_);
     gpu.setRunControl(rc);
     auto res = std::make_shared<ConcurrentResult>();
     attachRequestedSeries(job, gpu, res->issue_series,

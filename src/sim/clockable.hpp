@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The Clockable contract: ticked components additionally report a
+ * *next-event horizon* so the GPU's run loop can skip dead cycles.
+ *
+ * A component that exposes `tick(Cycle now)` (or an equivalent
+ * per-cycle advance) also exposes
+ *
+ *     Cycle nextEventCycle(Cycle now) const;
+ *
+ * returning the earliest future cycle at which ticking it could
+ * change *any* observable state — including statistics counters and
+ * anything its snapshot() serializes. The contract, exactly:
+ *
+ *  - The horizon is never in the past: result >= now.
+ *  - result == now means "ticking this cycle may mutate state"; the
+ *    caller must tick strictly.
+ *  - result == h > now is a *promise*: ticking the component at every
+ *    cycle in [now, h) is a complete no-op (bit-for-bit, snapshot
+ *    included), so the caller may skip straight to h.
+ *  - result == kNeverCycle means the component is genuinely idle: no
+ *    queued work, no in-flight state, nothing that ever fires without
+ *    new input.
+ *  - Monotone under no input: absent external stimulus (injections,
+ *    fills, issue events), the horizon never moves earlier.
+ *
+ * The promise is conservative by design — returning `now` is always
+ * correct (it merely degrades to strict stepping), so components with
+ * per-cycle bookkeeping (SMK epoch quota counters, a stalled L2 head
+ * re-arbitrating its victim way) simply report `now` while that state
+ * persists. Gpu::run additionally caps every skip at the next
+ * cadenced-event boundary (watchdog/integrity poll, checkpoint, UCP,
+ * global-DMIL, profiling end), so cadenced events inside a skipped
+ * span still fire in order; see DESIGN.md section 13.
+ *
+ * Components with no tick at all (warp schedulers mutate only on
+ * pick/issue; the L1D is driven by the LSU) either omit the method or
+ * provide it for uniformity; tools/lint_sim.py enforces the pairing
+ * for anything declaring a tick, waivable with FASTPATH-SKIP(reason).
+ */
+
+#ifndef CKESIM_SIM_CLOCKABLE_HPP
+#define CKESIM_SIM_CLOCKABLE_HPP
+
+#include <type_traits>
+
+#include "sim/types.hpp"
+
+namespace ckesim {
+
+/** Detection trait: does T expose `Cycle nextEventCycle(Cycle) const`? */
+template <class T, class = void>
+struct has_next_event_cycle : std::false_type
+{
+};
+
+template <class T>
+struct has_next_event_cycle<
+    T, std::void_t<decltype(std::declval<const T &>().nextEventCycle(
+           std::declval<Cycle>()))>>
+    : std::is_same<decltype(std::declval<const T &>().nextEventCycle(
+                       std::declval<Cycle>())),
+                   Cycle>
+{
+};
+
+template <class T>
+inline constexpr bool has_next_event_cycle_v =
+    has_next_event_cycle<T>::value;
+
+/** min of two horizons (kNeverCycle is the identity). */
+constexpr Cycle
+earliestEvent(Cycle a, Cycle b)
+{
+    return a < b ? a : b;
+}
+
+/** Clamp a component-reported horizon to the contract's floor. */
+constexpr Cycle
+clampHorizon(Cycle horizon, Cycle now)
+{
+    return horizon < now ? now : horizon;
+}
+
+/**
+ * Next cycle >= now that is a multiple of @p interval — the boundary
+ * at which a cadenced event (integrity poll, checkpoint, UCP,
+ * global-DMIL repartition) fires. @p interval must be > 0. Returns
+ * @p now itself on a boundary: that cycle must execute strictly.
+ */
+constexpr Cycle
+nextCadence(Cycle now, int interval)
+{
+    const auto ivl = static_cast<Cycle::rep_type>(interval);
+    const Cycle::rep_type rem = now.get() % ivl;
+    return rem == 0 ? now : Cycle{now.get() + (ivl - rem)};
+}
+
+} // namespace ckesim
+
+#endif // CKESIM_SIM_CLOCKABLE_HPP

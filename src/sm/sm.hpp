@@ -48,6 +48,28 @@ class Sm : public LsuHost
     void tick(Cycle now);
 
     /**
+     * Clockable horizon (sim/clockable.hpp): earliest future cycle a
+     * tick could change any snapshotted state beyond the idle-tick
+     * bookkeeping skipIdleCycles() replicates. `now` while any
+     * same-cycle work exists (LSU/miss-queue occupancy, an issuable
+     * warp, a dispatchable TB, controller per-cycle work, or a stale
+     * latched demand vector); otherwise the nearest latency-FU
+     * retire (Busy ready_at) or pending hit-return wake; kNeverCycle
+     * when nothing is resident or in flight. The memory system's own
+     * horizon covers fills still travelling toward this SM.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Replicate the effect of ticking every cycle in [now_ + 1,
+     * target) while nextEventCycle() > each of them: the SM's clock
+     * and cycle counter advance, nothing else moves. @p delta is the
+     * number of skipped cycles; afterwards a strict tick(target)
+     * resumes bit-identically to never having skipped.
+     */
+    void skipIdleCycles(Cycle target, std::uint64_t delta);
+
+    /**
      * Audit-drain cycle: deliver fills, process wakes, service the
      * LSU and inject queued misses, but dispatch no TB and issue no
      * instruction. Used by Gpu::audit() to retire outstanding state

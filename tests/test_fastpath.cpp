@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Fast-path coverage (sim/clockable.hpp + Gpu::setFastForward):
+ * per-component nextEventCycle contract checks (horizon never in the
+ * past, kNeverCycle iff genuinely idle, monotone while unstimulated)
+ * and strict-vs-fast whole-machine equivalence — snapshot
+ * fingerprints, per-kernel IPC bit patterns and TimeSeries bins must
+ * match exactly for every scheme family. The randomized sweep over
+ * profile pairs x schemes is heavy and runs as its own slow ctest
+ * entry (test_fastpath_sweep) via a gtest filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu.hpp"
+#include "kernels/profile.hpp"
+#include "kernels/workload.hpp"
+#include "mem/dram.hpp"
+#include "mem/interconnect.hpp"
+#include "mem/l2cache.hpp"
+#include "mem/memsys.hpp"
+#include "sim/clockable.hpp"
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+#include "sm/lsu.hpp"
+#include "sm/sm.hpp"
+
+namespace ckesim {
+namespace {
+
+// ---- contract: LSU -----------------------------------------------------
+
+TEST(FastpathContract, LsuIdleIffNever)
+{
+    Lsu lsu(/*queue_depth=*/4, /*hit_latency=*/28);
+    EXPECT_EQ(lsu.nextEventCycle(Cycle{0}), kNeverCycle);
+    EXPECT_EQ(lsu.nextEventCycle(Cycle{500}), kNeverCycle);
+
+    lsu.enqueue(WarpSlot{0}, KernelId{0}, /*is_store=*/false,
+                {LineAddr{1}});
+    // The in-order pipeline services its head every cycle it holds
+    // one: occupancy means same-cycle work.
+    EXPECT_EQ(lsu.nextEventCycle(Cycle{7}), Cycle{7});
+}
+
+// ---- contract: DRAM channel -------------------------------------------
+
+DramConfig
+dramCfg()
+{
+    DramConfig c;
+    c.banks_per_channel = 4;
+    c.row_bytes = 512;
+    c.access_latency = 50;
+    c.row_hit_service = 2;
+    c.row_miss_penalty = 10;
+    c.frfcfs_window = 4;
+    c.queue_depth = 8;
+    return c;
+}
+
+MemRequest
+readReq(LineAddr line)
+{
+    MemRequest r;
+    r.line_addr = line;
+    r.kind = ReqKind::ReadMiss;
+    return r;
+}
+
+TEST(FastpathContract, DramIdleIffNever)
+{
+    DramChannel ch(dramCfg(), 64);
+    EXPECT_EQ(ch.nextEventCycle(Cycle{0}), kNeverCycle);
+
+    ASSERT_TRUE(ch.tryEnqueue(readReq(LineAddr{0}), Cycle{0}));
+    // Bus free + queued request: the channel can start service now.
+    EXPECT_EQ(ch.nextEventCycle(Cycle{0}), Cycle{0});
+}
+
+TEST(FastpathContract, DramHorizonCoversBusyBusAndFills)
+{
+    DramChannel ch(dramCfg(), 64);
+    ch.tryEnqueue(readReq(LineAddr{0}), Cycle{0});
+    ch.tick(Cycle{0}); // row miss: service 2+10, busy until 12
+
+    // Queue drained; the only future event is the fill surfacing at
+    // busy_until + access_latency = 62.
+    const Cycle fill_ready{62};
+    const Cycle h1 = ch.nextEventCycle(Cycle{1});
+    EXPECT_EQ(h1, fill_ready);
+
+    // Never in the past, and monotone while unstimulated: querying
+    // later (still before the horizon) must not move it earlier.
+    for (Cycle t{1}; t < fill_ready; ++t) {
+        const Cycle h = ch.nextEventCycle(t);
+        EXPECT_GE(h, t);
+        EXPECT_EQ(h, fill_ready);
+        // Ticking inside [now, horizon) is a bit-for-bit no-op.
+        ch.tick(t);
+        EXPECT_TRUE(ch.drainFills(t).empty());
+    }
+    EXPECT_EQ(ch.drainFills(fill_ready).size(), 1u);
+    EXPECT_EQ(ch.nextEventCycle(fill_ready + 1), kNeverCycle);
+}
+
+// ---- contract: crossbar ------------------------------------------------
+
+TEST(FastpathContract, CrossbarHorizonIsFrontReadyTime)
+{
+    IcntConfig icfg;
+    icfg.latency = 4;
+    icfg.input_queue_depth = 8;
+    Crossbar x(2, icfg);
+    EXPECT_EQ(x.nextEventCycle(Cycle{0}), kNeverCycle);
+
+    ASSERT_TRUE(
+        x.tryInject(0, /*flits=*/1, readReq(LineAddr{1}), Cycle{10}));
+    // Ready at 10 + 4 (latency) + 1 (flit) = 15.
+    EXPECT_EQ(x.nextEventCycle(Cycle{10}), Cycle{15});
+    EXPECT_EQ(x.nextEventCycle(Cycle{14}), Cycle{15});
+    // Undrained past-due flits clamp to now, never the past.
+    EXPECT_EQ(x.nextEventCycle(Cycle{20}), Cycle{20});
+
+    EXPECT_EQ(x.drain(0, Cycle{15}, 8).size(), 1u);
+    EXPECT_EQ(x.nextEventCycle(Cycle{15}), kNeverCycle);
+}
+
+// ---- contract: L2 partition -------------------------------------------
+
+TEST(FastpathContract, L2QueuedInputMeansNow)
+{
+    L2Config c;
+    c.partition_bytes = 64 * 4 * 16;
+    c.line_bytes = 64;
+    c.assoc = 4;
+    c.num_mshrs = 8;
+    c.miss_queue_depth = 4;
+    c.latency = 10;
+    L2Partition part(c, 0);
+    EXPECT_EQ(part.nextEventCycle(Cycle{3}), kNeverCycle);
+
+    part.acceptInput(readReq(LineAddr{5}));
+    // Even a stalled head re-arbitrates its victim way every tick, so
+    // queued input always means same-cycle work.
+    EXPECT_EQ(part.nextEventCycle(Cycle{3}), Cycle{3});
+}
+
+// ---- contract: memory system ------------------------------------------
+
+TEST(FastpathContract, MemsysEventDrivenRoundTripMatchesStrict)
+{
+    const GpuConfig cfg = makeSmallConfig(2, 2);
+    MemRequest req = readReq(LineAddr{1234});
+    req.sm_id = SmId{0};
+    req.kernel = KernelId{0};
+
+    // Strict: tick every cycle until the reply surfaces.
+    Cycle strict_reply = kNeverCycle;
+    {
+        MemorySystem mem(cfg);
+        ASSERT_TRUE(mem.injectFromSm(req, Cycle{0}));
+        for (Cycle t{0}; t < Cycle{2000}; ++t) {
+            mem.tick(t);
+            if (!mem.drainRepliesForSm(SmId{0}, t).empty()) {
+                strict_reply = t;
+                break;
+            }
+        }
+        ASSERT_NE(strict_reply, kNeverCycle);
+    }
+
+    // Event-driven: jump straight between horizons. Same reply cycle,
+    // and each hop must make progress (no horizon in the past).
+    {
+        MemorySystem mem(cfg);
+        EXPECT_EQ(mem.nextEventCycle(Cycle{0}), kNeverCycle);
+        ASSERT_TRUE(mem.injectFromSm(req, Cycle{0}));
+        Cycle t{0};
+        int hops = 0;
+        while (hops < 2000) {
+            ++hops;
+            mem.tick(t);
+            if (!mem.drainRepliesForSm(SmId{0}, t).empty())
+                break;
+            const Cycle h = mem.nextEventCycle(t + 1);
+            ASSERT_NE(h, kNeverCycle);
+            ASSERT_GE(h, t + 1);
+            t = h;
+        }
+        EXPECT_EQ(t, strict_reply);
+        // Far fewer hops than cycles: the horizon actually skips.
+        EXPECT_LT(hops, strict_reply.get() / 2);
+    }
+}
+
+// ---- contract: SM ------------------------------------------------------
+
+TEST(FastpathContract, SmZeroQuotaReportsNever)
+{
+    const GpuConfig cfg = makeSmallConfig(1, 2);
+    MemorySystem mem(cfg);
+    Sm sm(cfg, SmId{0}, mem, {&findProfile("bp")}, {});
+    sm.setTbQuota(KernelId{0}, 0);
+    for (Cycle t{0}; t < Cycle{20}; ++t) {
+        sm.tick(t);
+        mem.tick(t);
+    }
+    // Nothing resident, nothing to dispatch: genuinely idle.
+    EXPECT_EQ(sm.nextEventCycle(Cycle{20}), kNeverCycle);
+}
+
+TEST(FastpathContract, SmWithRunnableWorkReportsNow)
+{
+    const GpuConfig cfg = makeSmallConfig(1, 2);
+    MemorySystem mem(cfg);
+    Sm sm(cfg, SmId{0}, mem, {&findProfile("bp")}, {});
+    sm.setTbQuota(KernelId{0}, 2);
+    // Dispatchable TBs exist before any tick: same-cycle work.
+    EXPECT_EQ(sm.nextEventCycle(Cycle{0}), Cycle{0});
+    for (Cycle t{0}; t < Cycle{50}; ++t) {
+        sm.tick(t);
+        mem.tick(t);
+        const Cycle h = sm.nextEventCycle(t + 1);
+        EXPECT_GE(h, t + 1); // never in the past
+    }
+}
+
+TEST(FastpathContract, SmWarpQuotaPinsHorizonToNow)
+{
+    // SMK-(P+W) counts quota-stall cycles every cycle, so an SM under
+    // warp quotas must never report a skippable horizon.
+    const GpuConfig cfg = makeSmallConfig(1, 2);
+    MemorySystem mem(cfg);
+    IssuePolicyConfig policy;
+    policy.warp_quota_enabled = true;
+    Sm sm(cfg, SmId{0}, mem, {&findProfile("bp")}, policy);
+    sm.setTbQuota(KernelId{0}, 0);
+    for (Cycle t{0}; t < Cycle{20}; ++t) {
+        sm.tick(t);
+        mem.tick(t);
+    }
+    EXPECT_EQ(sm.nextEventCycle(Cycle{20}), Cycle{20});
+}
+
+// ---- whole-machine equivalence ----------------------------------------
+
+/** Everything strict and fast runs must agree on, bit for bit. */
+struct Outcome
+{
+    std::uint64_t fingerprint = 0;
+    std::uint64_t cycle = 0;
+    std::vector<double> ipc;
+    std::vector<std::vector<std::uint64_t>> issue_bins;
+    std::vector<std::vector<std::uint64_t>> l1d_bins;
+};
+
+Outcome
+runOnce(const GpuConfig &cfg, const Workload &wl,
+        const SchemeSpec &spec, Cycle cycles, bool fast)
+{
+    Gpu gpu(cfg, wl, spec);
+    gpu.setFastForward(fast);
+    std::vector<std::unique_ptr<TimeSeries>> issue, l1d;
+    for (int k = 0; k < gpu.numKernels(); ++k) {
+        issue.push_back(std::make_unique<TimeSeries>(Cycle{1000}));
+        l1d.push_back(std::make_unique<TimeSeries>(Cycle{1000}));
+        gpu.attachSeries(KernelId{k}, issue.back().get(),
+                         l1d.back().get());
+    }
+    gpu.run(cycles);
+
+    Outcome out;
+    const GpuSnapshot snap = gpu.snapshot();
+    out.fingerprint = snap.fingerprint;
+    out.cycle = snap.cycle.get();
+    for (int k = 0; k < gpu.numKernels(); ++k) {
+        out.ipc.push_back(gpu.ipc(KernelId{k}));
+        out.issue_bins.push_back(
+            issue[static_cast<std::size_t>(k)]->bins());
+        out.l1d_bins.push_back(
+            l1d[static_cast<std::size_t>(k)]->bins());
+    }
+    return out;
+}
+
+void
+expectSameOutcome(const Outcome &strict, const Outcome &fast,
+                  const std::string &what)
+{
+    EXPECT_EQ(strict.fingerprint, fast.fingerprint) << what;
+    EXPECT_EQ(strict.cycle, fast.cycle) << what;
+    ASSERT_EQ(strict.ipc.size(), fast.ipc.size()) << what;
+    for (std::size_t k = 0; k < strict.ipc.size(); ++k) {
+        EXPECT_EQ(std::memcmp(&strict.ipc[k], &fast.ipc[k],
+                              sizeof(double)),
+                  0)
+            << what << " ipc[" << k << "]";
+        EXPECT_EQ(strict.issue_bins[k], fast.issue_bins[k])
+            << what << " issue series[" << k << "]";
+        EXPECT_EQ(strict.l1d_bins[k], fast.l1d_bins[k])
+            << what << " l1d series[" << k << "]";
+    }
+}
+
+/** The scheme families the sweep and the quick checks draw from. */
+struct SchemeCase
+{
+    std::string name;
+    SchemeSpec spec;
+};
+
+std::vector<SchemeCase>
+schemeCases()
+{
+    std::vector<SchemeCase> cases;
+    cases.push_back(
+        {"leftover", makeScheme(PartitionScheme::Leftover,
+                                BmiMode::None, MilMode::None)});
+    cases.push_back(
+        {"spatial", makeScheme(PartitionScheme::Spatial,
+                               BmiMode::None, MilMode::None)});
+    cases.push_back(
+        {"smk", makeScheme(PartitionScheme::SmkDrf, BmiMode::None,
+                           MilMode::None)});
+    {
+        SchemeCase c{"ws", makeScheme(PartitionScheme::WarpedSlicer,
+                                      BmiMode::None, MilMode::None)};
+        c.spec.ws_profile_window = Cycle{5000};
+        cases.push_back(c);
+    }
+    {
+        SchemeCase c{"ws-rbmi-smil",
+                     makeScheme(PartitionScheme::WarpedSlicer,
+                                BmiMode::RBMI, MilMode::Static)};
+        c.spec.ws_profile_window = Cycle{5000};
+        cases.push_back(c);
+    }
+    {
+        SchemeCase c{"ws-qbmi-dmil",
+                     makeScheme(PartitionScheme::WarpedSlicer,
+                                BmiMode::QBMI, MilMode::Dynamic)};
+        c.spec.ws_profile_window = Cycle{5000};
+        cases.push_back(c);
+    }
+    {
+        SchemeCase c{"ws-ucp",
+                     makeScheme(PartitionScheme::WarpedSlicer,
+                                BmiMode::None, MilMode::None)};
+        c.spec.ws_profile_window = Cycle{5000};
+        c.spec.ucp = true;
+        cases.push_back(c);
+    }
+    {
+        SchemeCase c{"ws-global-dmil",
+                     makeScheme(PartitionScheme::WarpedSlicer,
+                                BmiMode::QBMI, MilMode::Dynamic)};
+        c.spec.ws_profile_window = Cycle{5000};
+        c.spec.global_dmil = true;
+        cases.push_back(c);
+    }
+    return cases;
+}
+
+TEST(FastpathEquivalence, MemoryBoundPairAllSchemes)
+{
+    const GpuConfig cfg = makeSmallConfig(4, 4);
+    const Workload wl = makeWorkload({"sv", "ks"});
+    for (const SchemeCase &c : schemeCases()) {
+        const Outcome strict =
+            runOnce(cfg, wl, c.spec, Cycle{12000}, false);
+        const Outcome fast =
+            runOnce(cfg, wl, c.spec, Cycle{12000}, true);
+        expectSameOutcome(strict, fast, c.name);
+    }
+}
+
+TEST(FastpathEquivalence, SplitRunsAndCheckpointing)
+{
+    // run(a); run(b) in fast mode must land exactly where one strict
+    // run(a+b) does, and auto-checkpointing on a cadence must keep
+    // firing at the same cycles inside skipped spans.
+    const GpuConfig cfg = makeSmallConfig(4, 4);
+    GpuConfig ckpt_cfg = cfg;
+    ckpt_cfg.integrity.checkpoint_interval = 3000;
+    const Workload wl = makeWorkload({"sv", "ks"});
+    const SchemeSpec spec = makeScheme(PartitionScheme::SmkDrf,
+                                       BmiMode::None, MilMode::None);
+
+    Gpu strict(ckpt_cfg, wl, spec);
+    strict.run(Cycle{10000});
+    ASSERT_NE(strict.lastCheckpoint(), nullptr);
+
+    Gpu fast(ckpt_cfg, wl, spec);
+    fast.setFastForward(true);
+    fast.run(Cycle{4000});
+    fast.run(Cycle{6000});
+    ASSERT_NE(fast.lastCheckpoint(), nullptr);
+
+    EXPECT_EQ(strict.snapshot().fingerprint,
+              fast.snapshot().fingerprint);
+    EXPECT_EQ(strict.lastCheckpoint()->cycle,
+              fast.lastCheckpoint()->cycle);
+    EXPECT_EQ(strict.lastCheckpoint()->fingerprint,
+              fast.lastCheckpoint()->fingerprint);
+}
+
+TEST(FastpathEquivalence, FaultedRunFallsBackToStrict)
+{
+    // An armed fault injector disables skipping outright; results
+    // must match a strict faulted run exactly.
+    const GpuConfig cfg = makeSmallConfig(4, 4);
+    const Workload wl = makeWorkload({"sv", "ks"});
+    SchemeSpec spec = makeScheme(PartitionScheme::SmkDrf,
+                                 BmiMode::None, MilMode::None);
+    FaultSpec delay;
+    delay.kind = FaultKind::DelayFill;
+    delay.begin = Cycle{1000};
+    delay.end = Cycle{5000};
+    delay.budget = 32;
+    delay.delay = Cycle{100};
+    spec.faults.push_back(delay);
+
+    const Outcome strict = runOnce(cfg, wl, spec, Cycle{8000}, false);
+    const Outcome fast = runOnce(cfg, wl, spec, Cycle{8000}, true);
+    expectSameOutcome(strict, fast, "faulted");
+}
+
+// ---- randomized sweep (slow; own ctest entry via gtest filter) ---------
+
+TEST(FastpathEquivalenceSweep, RandomPairsTimesSchemes)
+{
+    const GpuConfig cfg = makeSmallConfig(4, 4);
+    const std::vector<KernelProfile> &suite = benchmarkSuite();
+    const std::vector<SchemeCase> cases = schemeCases();
+    Rng rng(0x66617374ULL); // "fast", fixed seed
+
+    for (int trial = 0; trial < 12; ++trial) {
+        const std::size_t a = static_cast<std::size_t>(
+            rng.nextBelow(suite.size()));
+        std::size_t b = static_cast<std::size_t>(
+            rng.nextBelow(suite.size() - 1));
+        if (b >= a)
+            ++b; // distinct pair
+        const std::size_t s = static_cast<std::size_t>(
+            rng.nextBelow(cases.size()));
+        const Workload wl =
+            makeWorkload({suite[a].name, suite[b].name});
+        const std::string what = cases[s].name + " " +
+                                 suite[a].name + "+" + suite[b].name;
+        SCOPED_TRACE(what);
+        const Outcome strict =
+            runOnce(cfg, wl, cases[s].spec, Cycle{12000}, false);
+        const Outcome fast =
+            runOnce(cfg, wl, cases[s].spec, Cycle{12000}, true);
+        expectSameOutcome(strict, fast, what);
+    }
+}
+
+} // namespace
+} // namespace ckesim

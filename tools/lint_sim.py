@@ -32,6 +32,14 @@ Enforces repo rules that clang-tidy cannot express:
                   line. A silently-forgotten field is the snapshot
                   layer's worst failure mode: replay diverges with no
                   error.
+  fastpath-coverage
+                  Any class declaring a `tick(Cycle ...)` member must
+                  also declare `nextEventCycle(` (the Clockable
+                  horizon, sim/clockable.hpp) or carry a
+                  `// FASTPATH-SKIP(reason)` waiver inside the class
+                  body. A ticked component invisible to the fast
+                  path's skip decision silently breaks strict-vs-fast
+                  bit-identity.
 
 Any rule can be waived on a specific line with
 `// LINT-ALLOW(<rule>): <reason>`; the reason is mandatory
@@ -117,6 +125,12 @@ MEMBER_DECL = re.compile(
     r"[A-Za-z_][\w:]*(?:\s*<[^;]*>)?[\s&*]+"
     r"([A-Za-z]\w*_)\s*(?:\[[^\]]*\]\s*)?(?:;|=|\{)")
 SNAPSHOT_SKIP = re.compile(r"SNAPSHOT-SKIP\([^)]*\S[^)]*\)")
+
+# ---- fastpath-coverage rule ------------------------------------------
+CLASS_OPEN = re.compile(r"\b(?:class|struct)\s+(\w+)[^;{)]*\{")
+TICK_DECL = re.compile(r"\btick\s*\(\s*Cycle\b")
+NEXT_EVENT_DECL = re.compile(r"\bnextEventCycle\s*\(")
+FASTPATH_SKIP = re.compile(r"FASTPATH-SKIP\([^)]*\S[^)]*\)")
 
 
 def extract_snapshot_bodies(text):
@@ -229,6 +243,36 @@ class Linter:
         if is_header:
             self.lint_guard(rel, lines)
             self.lint_snapshot_coverage(rel, lines)
+            self.lint_fastpath_coverage(rel, lines)
+
+    def lint_fastpath_coverage(self, rel, lines):
+        text = "\n".join(
+            strip_code_noise(l) if "FASTPATH-SKIP" not in l else l
+            for l in lines)
+        for m in CLASS_OPEN.finditer(text):
+            depth = 1
+            i = m.end()
+            while i < len(text) and depth > 0:
+                if text[i] == "{":
+                    depth += 1
+                elif text[i] == "}":
+                    depth -= 1
+                i += 1
+            body = text[m.end():i]
+            tick = TICK_DECL.search(body)
+            if not tick:
+                continue
+            if NEXT_EVENT_DECL.search(body):
+                continue
+            if FASTPATH_SKIP.search(body):
+                continue
+            lineno = text.count("\n", 0, m.end() + tick.start()) + 1
+            self.report(
+                rel, lineno, "fastpath-coverage",
+                f"class '{m.group(1)}' declares tick(Cycle ...) but "
+                "no nextEventCycle() horizon — implement the "
+                "Clockable contract (sim/clockable.hpp) or waive "
+                "with `// FASTPATH-SKIP(reason)` in the class body")
 
     def lint_snapshot_coverage(self, rel, lines):
         text = "\n".join(lines)
