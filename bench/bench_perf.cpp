@@ -4,17 +4,23 @@
  * (stable key order) so successive PRs can diff orchestration
  * overhead and simulator speed.
  *
- * Two sections:
+ * Three sections:
  *
  *  - campaign_throughput: jobs/sec of the smoke campaign run (a)
  *    in-process through a SweepEngine and (b) through the
  *    multi-process campaign orchestrator at 1, 2 and 4 workers —
- *    measured at TWO scale points. At the small point (2000 cycles
+ *    measured at THREE scale points. At the small point (2000 cycles
  *    per job) fork+handshake overhead dominates and the fleet loses
  *    to in-process; at the large point (20000 cycles) per-job work
- *    amortizes dispatch and the parallel speedup becomes measurable.
- *    Recording both keeps the overhead floor AND the scaling
- *    behaviour under regression watch.
+ *    amortizes dispatch; the wide point replays the smoke campaign
+ *    six times at staggered cycle counts (48 jobs, defeating the
+ *    content-hash dedup) so jobs >> workers and per-job dispatch
+ *    overhead is measured in steady state rather than ramp-up.
+ *    Recording all three keeps the overhead floor AND the scaling
+ *    behaviour under regression watch. NOTE: worker scaling needs
+ *    cores to scale onto — on the 1-core CI host every multi-worker
+ *    row is an overhead measurement, not a speedup measurement
+ *    (host_cores is recorded so readers can tell which).
  *
  *  - sim_speed: simulated cycles per wall second of a single Gpu,
  *    strict stepping vs the event-driven fast path (--fast /
@@ -23,16 +29,32 @@
  *    before reporting a speedup — a fast number from a divergent run
  *    would be meaningless.
  *
+ *  - strict_busy: the perf-regression gate for the strict stepping
+ *    loop itself. A busy machine (sms=4, compute-bound bp+hs co-run)
+ *    leaves the fast path nothing to skip, so cycles/sec here is a
+ *    direct measure of per-cycle cost. Each scheme runs --busy-repeats
+ *    times and reports the median (single runs on a shared host are
+ *    ±20-40% noisy). With --prev FILE the previous artifact's numbers
+ *    are embedded alongside as prev_cycles_per_sec / improvement;
+ *    with --prof the first run of each scheme attaches the cycle-cost
+ *    profiler (sim/profiler.hpp) and reports the component breakdown.
+ *
  * Usage: bench_perf [--out BENCH_perf.json] [--cycles N]
  *                   [--cycles-large N] [--sim-cycles N]
+ *                   [--busy-cycles N] [--busy-repeats R]
+ *                   [--prev FILE] [--prof]
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <thread>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "campaign/campaign_engine.hpp"
@@ -41,6 +63,7 @@
 #include "kernels/workload.hpp"
 #include "metrics/sweep_engine.hpp"
 #include "sim/check.hpp"
+#include "sim/profiler.hpp"
 
 namespace {
 
@@ -109,18 +132,83 @@ struct ScalePoint
 };
 
 ScalePoint
-measurePoint(const std::string &point, long long cycles)
+measureJobs(const std::string &point, long long cycles,
+            const std::vector<SimJob> &jobs)
 {
     ScalePoint sp;
     sp.point = point;
     sp.cycles = cycles;
-    const std::vector<SimJob> jobs = buildNamedCampaign(
-        "smoke", Cycle{static_cast<std::uint64_t>(cycles)});
     sp.jobs = jobs.size();
     sp.modes.push_back(runInProcess(jobs));
     for (const int workers : {1, 2, 4})
         sp.modes.push_back(runCampaign(jobs, workers));
     return sp;
+}
+
+ScalePoint
+measurePoint(const std::string &point, long long cycles)
+{
+    return measureJobs(point, cycles,
+                       buildNamedCampaign(
+                           "smoke",
+                           Cycle{static_cast<std::uint64_t>(cycles)}));
+}
+
+/** jobs >> workers: six smoke replicas at staggered cycle counts so
+ *  the campaign's content-hash memoization cannot collapse them. */
+ScalePoint
+measureWidePoint(long long cycles)
+{
+    std::vector<SimJob> jobs;
+    for (int i = 0; i < 6; ++i) {
+        const std::vector<SimJob> rep = buildNamedCampaign(
+            "smoke", Cycle{static_cast<std::uint64_t>(cycles + i)});
+        jobs.insert(jobs.end(), rep.begin(), rep.end());
+    }
+    return measureJobs("wide", cycles, jobs);
+}
+
+// ---- scheme list shared by sim_speed and strict_busy ------------------
+
+struct SchemeCase
+{
+    std::string name;
+    SchemeSpec spec;
+};
+
+std::vector<SchemeCase>
+benchSchemes()
+{
+    std::vector<SchemeCase> schemes;
+    schemes.push_back({"smk", makeScheme(PartitionScheme::SmkDrf,
+                                         BmiMode::None,
+                                         MilMode::None)});
+    {
+        SchemeCase s{"ws", makeScheme(PartitionScheme::WarpedSlicer,
+                                      BmiMode::None, MilMode::None)};
+        s.spec.ws_profile_window = Cycle{5000};
+        schemes.push_back(s);
+    }
+    {
+        SchemeCase s{"ws-qbmi-dmil",
+                     makeScheme(PartitionScheme::WarpedSlicer,
+                                BmiMode::QBMI, MilMode::Dynamic)};
+        s.spec.ws_profile_window = Cycle{5000};
+        schemes.push_back(s);
+    }
+    {
+        // Tight static SMIL: with one outstanding miss per kernel
+        // the SMs spend most cycles waiting on DRAM horizons — the
+        // fast path's best case on a memory-bound pair.
+        SchemeCase s{"ws-smil1",
+                     makeScheme(PartitionScheme::WarpedSlicer,
+                                BmiMode::None, MilMode::Static)};
+        s.spec.ws_profile_window = Cycle{5000};
+        s.spec.smil_limits[0] = 1;
+        s.spec.smil_limits[1] = 1;
+        schemes.push_back(s);
+    }
+    return schemes;
 }
 
 // ---- simulator speed (strict vs fast path) ----------------------------
@@ -189,41 +277,7 @@ runSimSpeed(Cycle cycles)
         {"sv+ks", makeWorkload({"sv", "ks"})}, // memory-bound
         {"bp+hs", makeWorkload({"bp", "hs"})}, // compute-bound
     };
-
-    struct SchemeCase
-    {
-        std::string name;
-        SchemeSpec spec;
-    };
-    std::vector<SchemeCase> schemes;
-    schemes.push_back({"smk", makeScheme(PartitionScheme::SmkDrf,
-                                         BmiMode::None,
-                                         MilMode::None)});
-    {
-        SchemeCase s{"ws", makeScheme(PartitionScheme::WarpedSlicer,
-                                      BmiMode::None, MilMode::None)};
-        s.spec.ws_profile_window = Cycle{5000};
-        schemes.push_back(s);
-    }
-    {
-        SchemeCase s{"ws-qbmi-dmil",
-                     makeScheme(PartitionScheme::WarpedSlicer,
-                                BmiMode::QBMI, MilMode::Dynamic)};
-        s.spec.ws_profile_window = Cycle{5000};
-        schemes.push_back(s);
-    }
-    {
-        // Tight static SMIL: with one outstanding miss per kernel
-        // the SMs spend most cycles waiting on DRAM horizons — the
-        // fast path's best case on a memory-bound pair.
-        SchemeCase s{"ws-smil1",
-                     makeScheme(PartitionScheme::WarpedSlicer,
-                                BmiMode::None, MilMode::Static)};
-        s.spec.ws_profile_window = Cycle{5000};
-        s.spec.smil_limits[0] = 1;
-        s.spec.smil_limits[1] = 1;
-        schemes.push_back(s);
-    }
+    const std::vector<SchemeCase> schemes = benchSchemes();
 
     // Two machine scales. On 1 SM the skip condition ("every
     // component's horizon in the future") is the SM's own idleness
@@ -242,20 +296,155 @@ runSimSpeed(Cycle cycles)
     return cases;
 }
 
+// ---- strict busy-machine microbench (perf-regression gate) ------------
+
+struct BusyCase
+{
+    std::string scheme;
+    double wall_ms = 0.0;       ///< median over repeats
+    double cps = 0.0;           ///< median strict cycles/sec
+    double prev_cps = 0.0;      ///< from --prev (0 = unavailable)
+    double improvement = 0.0;   ///< cps / prev_cps (0 = unavailable)
+    double attributed_pct = 0.0; ///< --prof only (0 = not profiled)
+};
+
+std::vector<BusyCase>
+runStrictBusy(Cycle cycles, int repeats, bool prof_on)
+{
+    const GpuConfig cfg = makeSmallConfig(4, 4);
+    const Workload wl = makeWorkload({"bp", "hs"});
+    std::vector<BusyCase> out;
+    for (const SchemeCase &s : benchSchemes()) {
+        BusyCase c;
+        c.scheme = s.name;
+        if (prof_on) {
+            // Separate profiled run: scope overhead must not leak
+            // into the timed medians below.
+            Gpu gpu(cfg, wl, s.spec);
+            Profiler prof;
+            prof.enable();
+            gpu.setProfiler(&prof);
+            gpu.run(cycles);
+            c.attributed_pct = prof.attributedFraction() * 100.0;
+            std::fprintf(stderr, "strict_busy %s\n", s.name.c_str());
+            std::ostringstream os;
+            prof.report(os);
+            std::fputs(os.str().c_str(), stderr);
+        }
+        std::vector<double> walls;
+        for (int r = 0; r < repeats; ++r) {
+            Gpu gpu(cfg, wl, s.spec);
+            const auto start = Clock::now();
+            gpu.run(cycles);
+            walls.push_back(msSince(start));
+        }
+        std::sort(walls.begin(), walls.end());
+        c.wall_ms = walls[walls.size() / 2];
+        c.cps = static_cast<double>(cycles.get()) * 1000.0 /
+                (c.wall_ms > 0.0 ? c.wall_ms : 1.0);
+        out.push_back(c);
+    }
+    return out;
+}
+
+/**
+ * Pull the previous artifact's strict-busy cycles/sec per scheme.
+ * Prefers a strict_busy section; falls back to the sim_speed
+ * sms=4/bp+hs strict rows for artifacts written before the section
+ * existed. Hand-rolled scan — both formats are emitted by this very
+ * program, so the key order is known.
+ */
+std::map<std::string, double>
+loadPrevBusy(const std::string &path)
+{
+    std::map<std::string, double> prev;
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_perf: cannot read --prev '%s'\n",
+                     path.c_str());
+        return prev;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    const auto scanFrom = [&text, &prev](std::size_t pos,
+                                         const char *value_key) {
+        const std::string skey = "\"scheme\": \"";
+        const std::string vkey =
+            std::string("\"") + value_key + "\": ";
+        while (true) {
+            pos = text.find(skey, pos);
+            if (pos == std::string::npos)
+                return;
+            pos += skey.size();
+            const std::size_t end = text.find('"', pos);
+            if (end == std::string::npos)
+                return;
+            const std::string name = text.substr(pos, end - pos);
+            const std::size_t vp = text.find(vkey, end);
+            if (vp == std::string::npos)
+                return;
+            prev[name] = std::strtod(
+                text.c_str() + vp + vkey.size(), nullptr);
+            pos = vp;
+        }
+    };
+
+    const std::size_t sb = text.find("\"strict_busy\"");
+    if (sb != std::string::npos) {
+        scanFrom(sb, "cycles_per_sec");
+        if (!prev.empty())
+            return prev;
+    }
+    // Legacy fallback: the sim_speed strict rows at sms=4 / bp+hs
+    // (artifacts written before the strict_busy section existed).
+    // Row-by-row so the interleaved sv+ks rows are not swallowed.
+    const std::string row = "\"sms\": 4, \"workload\": \"bp+hs\", ";
+    std::size_t pos = 0;
+    while ((pos = text.find(row, pos)) != std::string::npos) {
+        const std::string skey = "\"scheme\": \"";
+        std::size_t sp = text.find(skey, pos);
+        if (sp == std::string::npos)
+            break;
+        sp += skey.size();
+        const std::size_t end = text.find('"', sp);
+        const std::string name = text.substr(sp, end - sp);
+        const std::string vkey = "\"strict_cycles_per_sec\": ";
+        const std::size_t vp = text.find(vkey, end);
+        if (vp == std::string::npos)
+            break;
+        prev[name] =
+            std::strtod(text.c_str() + vp + vkey.size(), nullptr);
+        pos = vp;
+    }
+    return prev;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string out_path = "BENCH_perf.json";
+    std::string prev_path;
+    bool prof_on = false;
     long long cycles = 2000;
     long long cycles_large = 20000;
     long long sim_cycles = 60000;
+    long long busy_cycles = 40000;
+    long long busy_repeats = 3;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         long long *slot = nullptr;
         if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
+            continue;
+        } else if (arg == "--prev" && i + 1 < argc) {
+            prev_path = argv[++i];
+            continue;
+        } else if (arg == "--prof") {
+            prof_on = true;
             continue;
         } else if (arg == "--cycles" && i + 1 < argc) {
             slot = &cycles;
@@ -263,11 +452,17 @@ main(int argc, char **argv)
             slot = &cycles_large;
         } else if (arg == "--sim-cycles" && i + 1 < argc) {
             slot = &sim_cycles;
+        } else if (arg == "--busy-cycles" && i + 1 < argc) {
+            slot = &busy_cycles;
+        } else if (arg == "--busy-repeats" && i + 1 < argc) {
+            slot = &busy_repeats;
         } else {
             std::fprintf(stderr,
                          "usage: bench_perf [--out FILE] "
                          "[--cycles N] [--cycles-large N] "
-                         "[--sim-cycles N]\n");
+                         "[--sim-cycles N] [--busy-cycles N] "
+                         "[--busy-repeats R] [--prev FILE] "
+                         "[--prof]\n");
             return 2;
         }
         *slot = std::strtoll(argv[++i], nullptr, 10);
@@ -281,9 +476,25 @@ main(int argc, char **argv)
         std::vector<ScalePoint> points;
         points.push_back(measurePoint("small", cycles));
         points.push_back(measurePoint("large", cycles_large));
+        points.push_back(measureWidePoint(cycles_large));
 
         const std::vector<SimSpeedCase> speed =
             runSimSpeed(Cycle{static_cast<std::uint64_t>(sim_cycles)});
+
+        std::vector<BusyCase> busy = runStrictBusy(
+            Cycle{static_cast<std::uint64_t>(busy_cycles)},
+            static_cast<int>(busy_repeats), prof_on);
+        if (!prev_path.empty()) {
+            const std::map<std::string, double> prev =
+                loadPrevBusy(prev_path);
+            for (BusyCase &c : busy) {
+                const auto it = prev.find(c.scheme);
+                if (it == prev.end() || it->second <= 0.0)
+                    continue;
+                c.prev_cps = it->second;
+                c.improvement = c.cps / c.prev_cps;
+            }
+        }
 
         std::FILE *f = std::fopen(out_path.c_str(), "w");
         if (f == nullptr) {
@@ -349,6 +560,34 @@ main(int argc, char **argv)
         }
         std::fprintf(f,
                      "    ]\n"
+                     "  },\n"
+                     "  \"strict_busy\": {\n"
+                     "    \"cycles\": %lld,\n"
+                     "    \"sms\": 4,\n"
+                     "    \"workload\": \"bp+hs\",\n"
+                     "    \"repeats\": %lld,\n"
+                     "    \"cases\": [\n",
+                     busy_cycles, busy_repeats);
+        for (std::size_t i = 0; i < busy.size(); ++i) {
+            const BusyCase &c = busy[i];
+            std::fprintf(f,
+                         "      {\"scheme\": \"%s\", "
+                         "\"wall_ms\": %.3f, "
+                         "\"cycles_per_sec\": %.0f",
+                         c.scheme.c_str(), c.wall_ms, c.cps);
+            if (c.prev_cps > 0.0)
+                std::fprintf(f,
+                             ", \"prev_cycles_per_sec\": %.0f, "
+                             "\"improvement\": %.3f",
+                             c.prev_cps, c.improvement);
+            if (c.attributed_pct > 0.0)
+                std::fprintf(f, ", \"prof_attributed_pct\": %.1f",
+                             c.attributed_pct);
+            std::fprintf(f, "}%s\n",
+                         i + 1 < busy.size() ? "," : "");
+        }
+        std::fprintf(f,
+                     "    ]\n"
                      "  }\n"
                      "}\n");
         std::fclose(f);
@@ -367,6 +606,16 @@ main(int argc, char **argv)
                         c.strict_cps, c.fast_cps, c.speedup,
                         c.skip_pct,
                         c.bit_identical ? "" : "  DIVERGED");
+        for (const BusyCase &c : busy) {
+            std::printf("busy sms=4 bp+hs %-13s strict %8.0f cyc/s",
+                        c.scheme.c_str(), c.cps);
+            if (c.prev_cps > 0.0)
+                std::printf("  prev %8.0f  %.2fx", c.prev_cps,
+                            c.improvement);
+            if (c.attributed_pct > 0.0)
+                std::printf("  prof %.1f%%", c.attributed_pct);
+            std::printf("\n");
+        }
 
         int rc = 0;
         for (const ScalePoint &sp : points)

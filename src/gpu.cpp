@@ -1,6 +1,7 @@
 #include "gpu.hpp"
 
 #include <algorithm>
+#include <iostream>
 #include <sstream>
 
 #include "sim/check.hpp"
@@ -147,10 +148,29 @@ Gpu::Gpu(const GpuConfig &cfg, const Workload &workload,
             sm->setFaultInjector(&fault_injector_);
     }
 
+    if (Profiler::envEnabled()) {
+        owned_prof_ = std::make_unique<Profiler>();
+        owned_prof_->enable();
+        setProfiler(owned_prof_.get());
+    }
+
     setupInitialPartition();
 }
 
-Gpu::~Gpu() = default;
+Gpu::~Gpu()
+{
+    if (owned_prof_)
+        owned_prof_->report(std::cerr); // LINT-ALLOW(stdio): CKESIM_PROF teardown report
+}
+
+void
+Gpu::setProfiler(Profiler *prof)
+{
+    cost_prof_ = prof;
+    for (auto &sm : sms_)
+        sm->setProfiler(prof);
+    mem_.setProfiler(prof);
+}
 
 void
 Gpu::accessTap(void *opaque, KernelId k, LineAddr line)
@@ -315,31 +335,35 @@ Gpu::tickComponents(Cycle at, bool drain)
 void
 Gpu::stepCycle()
 {
-    // Checkpoint before cycle now_ executes: a restored snapshot
-    // resumes by ticking now_ exactly once, never twice.
-    const int ckpt = cfg_.integrity.checkpoint_interval;
-    if (ckpt > 0 && now_ > Cycle{} && now_ % ckpt == 0)
-        last_checkpoint_ = snapshot();
-    if (profiling_ && now_ == profile_end_)
-        finishProfiling();
-    if (spec_.ucp && now_ > Cycle{} &&
-        now_ % spec_.ucp_interval == 0)
-        ucpRepartition();
-    if (spec_.global_dmil && spec_.mil == MilMode::Dynamic &&
-        !profiling_ && now_ > Cycle{} &&
-        now_ % spec_.global_dmil_interval == 0) {
-        // Broadcast SM 0's MILG decisions to every other SM.
-        for (int ki = 0; ki < numKernels(); ++ki) {
-            const KernelId k{ki};
-            const int limit = sms_[0]->controller().milLimit(k);
-            for (std::size_t s = 1; s < sms_.size(); ++s)
-                sms_[s]->controller().overrideMilLimit(k, limit);
+    {
+        ProfScope prof_scheme(cost_prof_, ProfComp::Scheme);
+        // Checkpoint before cycle now_ executes: a restored snapshot
+        // resumes by ticking now_ exactly once, never twice.
+        const int ckpt = cfg_.integrity.checkpoint_interval;
+        if (ckpt > 0 && now_ > Cycle{} && now_ % ckpt == 0)
+            last_checkpoint_ = snapshot();
+        if (profiling_ && now_ == profile_end_)
+            finishProfiling();
+        if (spec_.ucp && now_ > Cycle{} &&
+            now_ % spec_.ucp_interval == 0)
+            ucpRepartition();
+        if (spec_.global_dmil && spec_.mil == MilMode::Dynamic &&
+            !profiling_ && now_ > Cycle{} &&
+            now_ % spec_.global_dmil_interval == 0) {
+            // Broadcast SM 0's MILG decisions to every other SM.
+            for (int ki = 0; ki < numKernels(); ++ki) {
+                const KernelId k{ki};
+                const int limit = sms_[0]->controller().milLimit(k);
+                for (std::size_t s = 1; s < sms_.size(); ++s)
+                    sms_[s]->controller().overrideMilLimit(k, limit);
+            }
         }
     }
     tickComponents(now_, /*drain=*/false);
 
     const int interval = cfg_.integrity.check_interval;
     if (interval > 0 && now_ % interval == 0) {
+        ProfScope prof_integrity(cost_prof_, ProfComp::Integrity);
         watchdogPoll();
         if (cfg_.integrity.periodic_checks)
             checkInvariants();
@@ -416,6 +440,10 @@ Gpu::run(Cycle cycles)
     // Fault predicates consult per-cycle firing budgets; skipping
     // would change which cycles they see. Faulted runs step strictly.
     const bool fast = fast_forward_ && fault_injector_.empty();
+    // Attribute the loop glue (tick dispatch, cadence checks,
+    // skip-target scans) explicitly; nested component scopes
+    // subtract, so this shows up as `runloop` self-time.
+    ProfScope prof_loop(cost_prof_, ProfComp::Runloop);
     // Adaptive attempt pacing: a horizon scan costs about as much as
     // ticking an idle cycle, so a busy machine must not pay it every
     // cycle. Each failed attempt doubles the wait before the next

@@ -22,6 +22,7 @@
 #include "kernels/workload.hpp"
 #include "mem/memsys.hpp"
 #include "sim/config.hpp"
+#include "sim/profiler.hpp"
 #include "sim/run_control.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/time_series.hpp"
@@ -216,6 +217,17 @@ class Gpu
      *  legitimately makes no memory progress for long stretches. */
     bool memoryInFlight() const;
 
+    /**
+     * Attach a cycle-cost profiler (nullptr detaches): wall-time
+     * attribution of the strict stepping loop to components
+     * (DESIGN.md §14). Observation only — simulation results are
+     * bit-identical with or without it. A Gpu constructed while the
+     * CKESIM_PROF environment variable is set owns one and prints
+     * its breakdown to stderr on destruction.
+     */
+    void setProfiler(Profiler *prof);
+    Profiler *profiler() const { return cost_prof_; }
+
   private:
     void setupInitialPartition();
     void applyQuotas(const QuotaMatrix &quotas);
@@ -275,6 +287,10 @@ class Gpu
     // Fast-path state.
     bool fast_forward_ = false; // SNAPSHOT-SKIP(execution strategy, not machine state)
     std::uint64_t fast_skipped_cycles_ = 0; // SNAPSHOT-SKIP(diagnostic counter, not machine state)
+
+    // Cycle-cost profiling (observation only, never machine state).
+    Profiler *cost_prof_ = nullptr; // SNAPSHOT-SKIP(observer; rebound by the owner)
+    std::unique_ptr<Profiler> owned_prof_; // SNAPSHOT-SKIP(CKESIM_PROF convenience instance)
 };
 
 /** Convenience: a standard spec for a named scheme combination. */

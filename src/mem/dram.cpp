@@ -14,8 +14,11 @@ constexpr std::uint64_t kClosedRow = ~0ULL;
 
 DramChannel::DramChannel(const DramConfig &cfg, int line_bytes)
     : cfg_(cfg), line_bytes_(line_bytes),
+      queue_(cfg.queue_depth),
       open_row_(static_cast<std::size_t>(cfg.banks_per_channel),
-                kClosedRow)
+                kClosedRow),
+      fills_(cfg.queue_depth + cfg.access_latency +
+             cfg.row_hit_service + cfg.row_miss_penalty + 8)
 {
 }
 
@@ -76,7 +79,7 @@ DramChannel::tick(Cycle now)
     }
 
     Txn txn = queue_[static_cast<std::size_t>(pick)];
-    queue_.erase(queue_.begin() + pick);
+    queue_.eraseAt(static_cast<std::size_t>(pick));
 
     int service = cfg_.row_hit_service;
     if (!row_hit) {
@@ -119,37 +122,33 @@ DramChannel::checkInvariants(Cycle now, int channel_index) const
                              << cfg_.queue_depth);
 }
 
-std::vector<MemRequest>
-DramChannel::drainFills(Cycle now)
+void
+DramChannel::drainFills(Cycle now, std::vector<MemRequest> &out)
 {
-    std::vector<MemRequest> out;
     // Fills complete in enqueue order within a channel: ready times are
     // monotonic because busy_until_ is monotonic.
     while (!fills_.empty() && fills_.front().ready <= now) {
         out.push_back(fills_.front().req);
         fills_.pop_front();
     }
-    return out;
 }
 
 void
 DramChannel::snapshot(SnapshotWriter &w) const
 {
     w.section("dram_channel");
-    w.u64(queue_.size());
-    for (const Txn &t : queue_) {
-        snapshotMemRequest(w, t.req);
-        w.i64(t.bank);
-        w.u64(t.row);
-        w.unit(t.arrival);
-    }
+    queue_.snapshot(w, [](SnapshotWriter &sw, const Txn &t) {
+        snapshotMemRequest(sw, t.req);
+        sw.i64(t.bank);
+        sw.u64(t.row);
+        sw.unit(t.arrival);
+    });
     w.vecU64(open_row_);
     w.unit(busy_until_);
-    w.u64(fills_.size());
-    for (const Fill &f : fills_) {
-        w.unit(f.ready);
-        snapshotMemRequest(w, f.req);
-    }
+    fills_.snapshot(w, [](SnapshotWriter &sw, const Fill &f) {
+        sw.unit(f.ready);
+        snapshotMemRequest(sw, f.req);
+    });
     w.u64(row_hits_);
     w.u64(row_misses_);
 }
@@ -158,16 +157,14 @@ void
 DramChannel::restore(SnapshotReader &r)
 {
     r.section("dram_channel");
-    queue_.clear();
-    const std::uint64_t nq = r.u64();
-    for (std::uint64_t i = 0; i < nq; ++i) {
+    queue_.restore(r, [](SnapshotReader &sr) {
         Txn t;
-        t.req = restoreMemRequest(r);
-        t.bank = static_cast<int>(r.i64());
-        t.row = r.u64();
-        t.arrival = r.unit<Cycle>();
-        queue_.push_back(std::move(t));
-    }
+        t.req = restoreMemRequest(sr);
+        t.bank = static_cast<int>(sr.i64());
+        t.row = sr.u64();
+        t.arrival = sr.unit<Cycle>();
+        return t;
+    });
     std::vector<std::uint64_t> rows = r.vecU64();
     SimCtx ctx;
     ctx.module = "dram";
@@ -177,14 +174,12 @@ DramChannel::restore(SnapshotReader &r)
                                 << open_row_.size());
     open_row_ = std::move(rows);
     busy_until_ = r.unit<Cycle>();
-    fills_.clear();
-    const std::uint64_t nf = r.u64();
-    for (std::uint64_t i = 0; i < nf; ++i) {
+    fills_.restore(r, [](SnapshotReader &sr) {
         Fill f;
-        f.ready = r.unit<Cycle>();
-        f.req = restoreMemRequest(r);
-        fills_.push_back(std::move(f));
-    }
+        f.ready = sr.unit<Cycle>();
+        f.req = restoreMemRequest(sr);
+        return f;
+    });
     row_hits_ = r.u64();
     row_misses_ = r.u64();
 }

@@ -13,11 +13,11 @@
 #ifndef CKESIM_MEM_DRAM_HPP
 #define CKESIM_MEM_DRAM_HPP
 
-#include <deque>
 #include <vector>
 
 #include "mem/request.hpp"
 #include "sim/config.hpp"
+#include "sim/ringbuf.hpp"
 #include "sim/types.hpp"
 
 namespace ckesim {
@@ -37,8 +37,21 @@ class DramChannel
     /** Advance to @p now; starts at most one new transaction. */
     void tick(Cycle now);
 
-    /** Pop fills (completed reads) whose data is available at @p now. */
-    std::vector<MemRequest> drainFills(Cycle now);
+    /**
+     * Pop fills (completed reads) whose data is available at @p now,
+     * appending them to @p out. Allocation-free; the memory system
+     * calls this every cycle with a reused scratch vector.
+     */
+    void drainFills(Cycle now, std::vector<MemRequest> &out);
+
+    /** Convenience wrapper for tests and cold paths. */
+    std::vector<MemRequest>
+    drainFills(Cycle now)
+    {
+        std::vector<MemRequest> out;
+        drainFills(now, out);
+        return out;
+    }
 
     int queueLength() const
     {
@@ -101,10 +114,15 @@ class DramChannel
 
     DramConfig cfg_; // SNAPSHOT-SKIP(fixed at construction)
     int line_bytes_; // SNAPSHOT-SKIP(fixed at construction)
-    std::deque<Txn> queue_;
+    RingBuf<Txn> queue_; ///< flat hot queue (DESIGN.md §14)
     std::vector<std::uint64_t> open_row_; ///< per bank; ~0 = closed
     Cycle busy_until_{};
-    std::deque<Fill> fills_;
+    /** Completed reads in the access-latency pipeline. At most one
+     *  fill is produced per tick and each is drained within
+     *  access_latency + service cycles of creation, so the ring's
+     *  capacity (queue_depth + access_latency + service slack) can
+     *  never be reached by a consumer that drains every cycle. */
+    RingBuf<Fill> fills_;
     std::uint64_t row_hits_ = 0;
     std::uint64_t row_misses_ = 0;
 };

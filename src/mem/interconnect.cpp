@@ -9,6 +9,8 @@ namespace ckesim {
 Crossbar::Crossbar(int num_dests, const IcntConfig &cfg)
     : cfg_(cfg), ports_(static_cast<std::size_t>(num_dests))
 {
+    for (Port &port : ports_)
+        port.queue.reset(cfg.input_queue_depth);
 }
 
 bool
@@ -26,18 +28,18 @@ Crossbar::tryInject(int dest, int flits, const MemRequest &req, Cycle now)
     return true;
 }
 
-std::vector<MemRequest>
-Crossbar::drain(int dest, Cycle now, int max_count)
+void
+Crossbar::drain(int dest, Cycle now, int max_count,
+                std::vector<MemRequest> &out)
 {
     Port &port = ports_[static_cast<std::size_t>(dest)];
-    std::vector<MemRequest> out;
-    while (!port.queue.empty() &&
-           static_cast<int>(out.size()) < max_count &&
+    int popped = 0;
+    while (!port.queue.empty() && popped < max_count &&
            port.queue.front().ready <= now) {
         out.push_back(port.queue.front().req);
         port.queue.pop_front();
+        ++popped;
     }
-    return out;
 }
 
 Cycle
@@ -60,11 +62,11 @@ Crossbar::snapshot(SnapshotWriter &w) const
     w.u64(ports_.size());
     for (const Port &port : ports_) {
         w.unit(port.next_free);
-        w.u64(port.queue.size());
-        for (const Packet &p : port.queue) {
-            w.unit(p.ready);
-            snapshotMemRequest(w, p.req);
-        }
+        port.queue.snapshot(w, [](SnapshotWriter &sw,
+                                  const Packet &p) {
+            sw.unit(p.ready);
+            snapshotMemRequest(sw, p.req);
+        });
     }
 }
 
@@ -80,14 +82,12 @@ Crossbar::restore(SnapshotReader &r)
                                 << ports_.size());
     for (Port &port : ports_) {
         port.next_free = r.unit<Cycle>();
-        port.queue.clear();
-        const std::uint64_t m = r.u64();
-        for (std::uint64_t i = 0; i < m; ++i) {
+        port.queue.restore(r, [](SnapshotReader &sr) {
             Packet p;
-            p.ready = r.unit<Cycle>();
-            p.req = restoreMemRequest(r);
-            port.queue.push_back(std::move(p));
-        }
+            p.ready = sr.unit<Cycle>();
+            p.req = restoreMemRequest(sr);
+            return p;
+        });
     }
 }
 

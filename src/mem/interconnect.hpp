@@ -12,11 +12,11 @@
 #ifndef CKESIM_MEM_INTERCONNECT_HPP
 #define CKESIM_MEM_INTERCONNECT_HPP
 
-#include <deque>
 #include <vector>
 
 #include "mem/request.hpp"
 #include "sim/config.hpp"
+#include "sim/ringbuf.hpp"
 #include "sim/types.hpp"
 
 namespace ckesim {
@@ -38,9 +38,21 @@ class Crossbar
     bool tryInject(int dest, int flits, const MemRequest &req, Cycle now);
 
     /**
-     * Pop up to @p max_count packets already delivered to @p dest.
+     * Pop up to @p max_count packets already delivered to @p dest,
+     * appending them to @p out. Allocation-free; the memory system
+     * calls this every cycle with a reused scratch vector.
      */
-    std::vector<MemRequest> drain(int dest, Cycle now, int max_count);
+    void drain(int dest, Cycle now, int max_count,
+               std::vector<MemRequest> &out);
+
+    /** Convenience wrapper for tests and cold paths. */
+    std::vector<MemRequest>
+    drain(int dest, Cycle now, int max_count)
+    {
+        std::vector<MemRequest> out;
+        drain(dest, now, max_count, out);
+        return out;
+    }
 
     /** In-flight + undelivered packets queued for @p dest. */
     int queueLength(int dest) const
@@ -74,8 +86,8 @@ class Crossbar
     };
     struct Port
     {
-        std::deque<Packet> queue;
-        Cycle next_free{};   ///< when the port's wire frees up
+        RingBuf<Packet> queue; ///< flat hot queue (DESIGN.md §14)
+        Cycle next_free{};     ///< when the port's wire frees up
     };
 
     IcntConfig cfg_; // SNAPSHOT-SKIP(fixed at construction)

@@ -22,7 +22,8 @@ l1dCtx(SmId sm_id, Cycle now = kNeverCycle)
 
 L1Dcache::L1Dcache(const L1dConfig &cfg, SmId sm_id)
     : cfg_(cfg), sm_id_(sm_id), tags_(cfg.numSets(), cfg.assoc),
-      mshrs_(cfg.num_mshrs, cfg.mshr_merge)
+      mshrs_(cfg.num_mshrs, cfg.mshr_merge),
+      miss_queue_(cfg.miss_queue_depth)
 {
     mshrs_.setCheckContext(l1dCtx(sm_id));
 }
@@ -78,27 +79,35 @@ L1Dcache::access(LineAddr line_number, KernelId kernel, bool write,
             return out;
         }
         // Line reserved: an identical miss is outstanding; merge.
-        if (!mshrs_.canMerge(line_number)) {
+        // One probe resolves pending + merge-room + append.
+        switch (mshrs_.tryMerge(line_number, target)) {
+          case MshrTable<L1Target>::MergeResult::Merged:
+            out.kind = L1Outcome::Kind::MergedMshr;
+            return out;
+          case MshrTable<L1Target>::MergeResult::Full:
             out.kind = L1Outcome::Kind::RsFail;
             out.fail = RsFailReason::Mshr;
             return out;
+          case MshrTable<L1Target>::MergeResult::NoEntry:
+            SIM_CHECK(false, l1dCtx(sm_id_, now),
+                      "reserved line " << line_number
+                                       << " with no outstanding miss");
+            return out;
         }
-        mshrs_.merge(line_number, target);
-        out.kind = L1Outcome::Kind::MergedMshr;
-        return out;
     }
 
     // Bypassed misses hold no cache line, so an outstanding miss may
     // exist without a reserved line: merge into it.
-    if (mshrs_.pending(line_number)) {
-        if (!mshrs_.canMerge(line_number)) {
-            out.kind = L1Outcome::Kind::RsFail;
-            out.fail = RsFailReason::Mshr;
-            return out;
-        }
-        mshrs_.merge(line_number, target);
+    switch (mshrs_.tryMerge(line_number, target)) {
+      case MshrTable<L1Target>::MergeResult::Merged:
         out.kind = L1Outcome::Kind::MergedMshr;
         return out;
+      case MshrTable<L1Target>::MergeResult::Full:
+        out.kind = L1Outcome::Kind::RsFail;
+        out.fail = RsFailReason::Mshr;
+        return out;
+      case MshrTable<L1Target>::MergeResult::NoEntry:
+        break; // brand-new miss
     }
 
     // Brand-new miss: need MSHR + victim line + miss-queue entry
@@ -125,11 +134,16 @@ L1Dcache::access(LineAddr line_number, KernelId kernel, bool write,
         tags_.reserve(tags_.setIndex(line_number), victim.way,
                       line_number, kernel);
     }
+    // The allocating request seeds the merge list, so the entry's
+    // first target IS the miss's owning kernel — no owner map.
+    SIM_CHECK(target.kernel == kernel, l1dCtx(sm_id_, now),
+              "miss target kernel " << target.kernel
+                                    << " disagrees with issuing kernel "
+                                    << kernel);
     mshrs_.allocate(line_number, target);
     if (kernel.idx() >= mshr_held_.size())
         mshr_held_.resize(kernel.idx() + 1, 0);
     ++mshr_held_[kernel.idx()];
-    miss_owner_.emplace(line_number, kernel);
 
     MemRequest req;
     req.line_addr = line_number;
@@ -143,8 +157,8 @@ L1Dcache::access(LineAddr line_number, KernelId kernel, bool write,
     return out;
 }
 
-std::vector<L1Target>
-L1Dcache::fill(LineAddr line_number)
+void
+L1Dcache::fill(LineAddr line_number, std::vector<L1Target> &out)
 {
     const int way = tags_.probe(line_number);
     if (way >= 0) {
@@ -153,18 +167,20 @@ L1Dcache::fill(LineAddr line_number)
             tags_.fill(set, way);
     }
     // Bypassed misses have no reserved line: nothing is installed.
-    auto owner = miss_owner_.find(line_number);
-    if (owner != miss_owner_.end()) {
-        int &held = mshr_held_[owner->second.idx()];
-        SIM_INVARIANT(held > 0, l1dCtx(sm_id_),
-                      "MSHR holdings for kernel "
-                          << owner->second
-                          << " underflow on fill of line "
-                          << line_number);
-        --held;
-        miss_owner_.erase(owner);
-    }
-    return mshrs_.release(line_number);
+    // The owner is the allocating request's kernel (first target).
+    const KernelId owner = mshrs_.firstTarget(line_number).kernel;
+    SIM_INVARIANT(owner.idx() < mshr_held_.size(),
+                  l1dCtx(sm_id_),
+                  "fill of line " << line_number
+                                  << " owned by untracked kernel "
+                                  << owner);
+    int &held = mshr_held_[owner.idx()];
+    SIM_INVARIANT(held > 0, l1dCtx(sm_id_),
+                  "MSHR holdings for kernel "
+                      << owner << " underflow on fill of line "
+                      << line_number);
+    --held;
+    mshrs_.releaseInto(line_number, out);
 }
 
 void
@@ -176,13 +192,6 @@ L1Dcache::checkInvariants(Cycle now) const
                   "miss queue occupancy " << missQueueSize()
                                           << " exceeds depth "
                                           << cfg_.miss_queue_depth);
-    // Every tracked miss owner corresponds to one live MSHR entry.
-    SIM_INVARIANT(static_cast<int>(miss_owner_.size()) ==
-                      mshrs_.size(),
-                  ctx,
-                  "miss-owner map (" << miss_owner_.size()
-                                     << ") out of sync with MSHRs ("
-                                     << mshrs_.size() << ")");
     const int held_total =
         std::accumulate(mshr_held_.begin(), mshr_held_.end(), 0);
     SIM_INVARIANT(held_total == mshrs_.size(), ctx,
@@ -200,25 +209,30 @@ L1Dcache::snapshot(SnapshotWriter &w) const
         sw.id(t.warp_slot);
         sw.id(t.kernel);
     });
-    w.u64(miss_queue_.size());
-    for (const MemRequest &req : miss_queue_)
-        snapshotMemRequest(w, req);
+    miss_queue_.snapshot(w, [](SnapshotWriter &sw,
+                               const MemRequest &req) {
+        snapshotMemRequest(sw, req);
+    });
     w.u64(mshr_quota_.size());
     for (int q : mshr_quota_)
         w.i64(q);
     w.u64(mshr_held_.size());
     for (int h : mshr_held_)
         w.i64(h);
-    // unordered_map: sorted key order so the payload is deterministic.
-    std::vector<LineAddr> owners;
-    owners.reserve(miss_owner_.size());
-    for (const auto &kv : miss_owner_)
-        owners.push_back(kv.first);
+    // Per-miss owners, derived from the MSHR entries' first targets,
+    // in sorted line order — byte-identical to the owner map the
+    // pre-§14 format serialized here.
+    std::vector<std::pair<LineAddr, KernelId>> owners;
+    owners.reserve(static_cast<std::size_t>(mshrs_.size()));
+    mshrs_.forEach([&owners](LineAddr line,
+                             const std::vector<L1Target> &targets) {
+        owners.emplace_back(line, targets.front().kernel);
+    });
     std::sort(owners.begin(), owners.end());
     w.u64(owners.size());
-    for (LineAddr line_number : owners) {
+    for (const auto &[line_number, owner] : owners) {
         w.unit(line_number);
-        w.id(miss_owner_.at(line_number));
+        w.id(owner);
     }
     w.vecBool(bypass_);
 }
@@ -234,10 +248,8 @@ L1Dcache::restore(SnapshotReader &r)
         t.kernel = sr.id<KernelId>();
         return t;
     });
-    miss_queue_.clear();
-    const std::uint64_t nq = r.u64();
-    for (std::uint64_t i = 0; i < nq; ++i)
-        miss_queue_.push_back(restoreMemRequest(r));
+    miss_queue_.restore(
+        r, [](SnapshotReader &sr) { return restoreMemRequest(sr); });
     const std::uint64_t nquota = r.u64();
     mshr_quota_.assign(static_cast<std::size_t>(nquota), 0);
     for (int &q : mshr_quota_)
@@ -246,12 +258,22 @@ L1Dcache::restore(SnapshotReader &r)
     mshr_held_.assign(static_cast<std::size_t>(nheld), 0);
     for (int &h : mshr_held_)
         h = static_cast<int>(r.i64());
-    miss_owner_.clear();
+    // Owners are derived state now; read the pairs the format still
+    // carries and verify them against the restored MSHR entries.
+    const SimCtx ctx = l1dCtx(sm_id_);
     const std::uint64_t nowner = r.u64();
+    SIM_CHECK(nowner == static_cast<std::uint64_t>(mshrs_.size()), ctx,
+              "snapshot holds " << nowner
+                                << " miss owners, MSHR table has "
+                                << mshrs_.size());
     for (std::uint64_t i = 0; i < nowner; ++i) {
         const LineAddr line_number = r.unit<LineAddr>();
         const KernelId kernel = r.id<KernelId>();
-        miss_owner_.emplace(line_number, kernel);
+        SIM_CHECK(mshrs_.firstTarget(line_number).kernel == kernel,
+                  ctx,
+                  "snapshot miss owner for line "
+                      << line_number << " (" << kernel
+                      << ") disagrees with MSHR first target");
     }
     bypass_ = r.vecBool();
 }

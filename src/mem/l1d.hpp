@@ -8,19 +8,24 @@
  * line slot, an MSHR (or merge slot) and a miss-queue entry; a write
  * needs a miss-queue entry only. Any shortage is a reservation failure
  * and the access must be retried, stalling the in-order LSU.
+ *
+ * Hot-path layout (DESIGN.md §14): the miss queue is a fixed-capacity
+ * ring buffer and the miss's owning kernel is *derived* from its MSHR
+ * entry's first merged target (allocate() always seeds the merge list
+ * with the allocating request), so the separate miss-owner hash map —
+ * a second lookup per miss — no longer exists.
  */
 
 #ifndef CKESIM_MEM_L1D_HPP
 #define CKESIM_MEM_L1D_HPP
 
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/cache.hpp"
 #include "mem/mshr.hpp"
 #include "mem/request.hpp"
 #include "sim/config.hpp"
+#include "sim/ringbuf.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -79,10 +84,20 @@ class L1Dcache
     void popMissQueue() { miss_queue_.pop_front(); }
 
     /**
-     * A fill returned from L2 for @p line: make the reserved
-     * line valid and return every merged target to wake.
+     * A fill returned from L2 for @p line: make the reserved line
+     * valid and collect every merged target to wake into @p out
+     * (cleared first). Allocation-free on the steady state.
      */
-    std::vector<L1Target> fill(LineAddr line);
+    void fill(LineAddr line, std::vector<L1Target> &out);
+
+    /** Convenience wrapper for tests and cold paths. */
+    std::vector<L1Target>
+    fill(LineAddr line)
+    {
+        std::vector<L1Target> out;
+        fill(line, out);
+        return out;
+    }
 
     /** UCP hook: constrain kernel to a contiguous way range. */
     void restrictKernelWays(KernelId kernel, int first, int count)
@@ -186,12 +201,10 @@ class L1Dcache
     SmId sm_id_;    // SNAPSHOT-SKIP(fixed at construction)
     CacheArray tags_;
     MshrTable<L1Target> mshrs_;
-    std::deque<MemRequest> miss_queue_;
+    RingBuf<MemRequest> miss_queue_;
     /** Per-kernel MSHR caps (0 = unlimited) and current holdings. */
     std::vector<int> mshr_quota_;
     std::vector<int> mshr_held_;
-    /** Kernel that allocated each outstanding (bypassed) miss. */
-    std::unordered_map<LineAddr, KernelId> miss_owner_;
     std::vector<bool> bypass_;
 };
 

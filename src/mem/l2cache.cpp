@@ -21,7 +21,10 @@ l2Ctx(Cycle now = kNeverCycle, KernelId kernel = kInvalidKernel)
 L2Partition::L2Partition(const L2Config &cfg, int partition_index)
     : cfg_(cfg), partition_index_(partition_index),
       tags_(cfg.numSetsPerPartition(), cfg.assoc),
-      mshrs_(cfg.num_mshrs, /*max_merge=*/16)
+      mshrs_(cfg.num_mshrs, /*max_merge=*/16),
+      input_(cfg.miss_queue_depth),
+      replies_(cfg.num_mshrs * 16 + cfg.latency +
+               cfg.miss_queue_depth + 8)
 {
     mshrs_.setCheckContext(l2Ctx());
 }
@@ -63,11 +66,21 @@ L2Partition::tick(Cycle now, DramChannel &dram)
             return;
         }
         // Reserved: merge into the outstanding miss.
-        if (!mshrs_.canMerge(req.line_addr))
+        // One probe resolves pending + merge-room + append.
+        switch (mshrs_.tryMerge(req.line_addr, req)) {
+          case MshrTable<MemRequest>::MergeResult::Full:
             return; // stall at head
+          case MshrTable<MemRequest>::MergeResult::NoEntry:
+            SIM_CHECK(false, l2Ctx(now, req.kernel),
+                      "partition " << partition_index_
+                                   << ": reserved line " << req.line_addr
+                                   << " with no outstanding miss");
+            return;
+          case MshrTable<MemRequest>::MergeResult::Merged:
+            break;
+        }
         ++accesses_;
         ++misses_;
-        mshrs_.merge(req.line_addr, req);
         input_.pop_front();
         return;
     }
@@ -117,7 +130,8 @@ L2Partition::tick(Cycle now, DramChannel &dram)
 void
 L2Partition::onDramFill(const MemRequest &fill, Cycle now)
 {
-    std::vector<MemRequest> targets = mshrs_.release(fill.line_addr);
+    std::vector<MemRequest> &targets = fill_targets_;
+    mshrs_.releaseInto(fill.line_addr, targets);
 
     bool dirty = false;
     for (const MemRequest &t : targets)
@@ -166,15 +180,13 @@ L2Partition::checkInvariants(Cycle now) const
     mshrs_.checkBalance(ctx);
 }
 
-std::vector<MemRequest>
-L2Partition::drainReplies(Cycle now)
+void
+L2Partition::drainReplies(Cycle now, std::vector<MemRequest> &out)
 {
-    std::vector<MemRequest> out;
     while (!replies_.empty() && replies_.front().ready <= now) {
         out.push_back(replies_.front().req);
         replies_.pop_front();
     }
-    return out;
 }
 
 void
@@ -185,14 +197,13 @@ L2Partition::snapshot(SnapshotWriter &w) const
     mshrs_.snapshot(w, [](SnapshotWriter &sw, const MemRequest &req) {
         snapshotMemRequest(sw, req);
     });
-    w.u64(input_.size());
-    for (const MemRequest &req : input_)
-        snapshotMemRequest(w, req);
-    w.u64(replies_.size());
-    for (const Reply &rep : replies_) {
-        w.unit(rep.ready);
-        snapshotMemRequest(w, rep.req);
-    }
+    input_.snapshot(w, [](SnapshotWriter &sw, const MemRequest &req) {
+        snapshotMemRequest(sw, req);
+    });
+    replies_.snapshot(w, [](SnapshotWriter &sw, const Reply &rep) {
+        sw.unit(rep.ready);
+        snapshotMemRequest(sw, rep.req);
+    });
     w.u64(accesses_);
     w.u64(misses_);
 }
@@ -204,18 +215,14 @@ L2Partition::restore(SnapshotReader &r)
     tags_.restore(r);
     mshrs_.restore(r,
                    [](SnapshotReader &sr) { return restoreMemRequest(sr); });
-    input_.clear();
-    const std::uint64_t ni = r.u64();
-    for (std::uint64_t i = 0; i < ni; ++i)
-        input_.push_back(restoreMemRequest(r));
-    replies_.clear();
-    const std::uint64_t nr = r.u64();
-    for (std::uint64_t i = 0; i < nr; ++i) {
+    input_.restore(
+        r, [](SnapshotReader &sr) { return restoreMemRequest(sr); });
+    replies_.restore(r, [](SnapshotReader &sr) {
         Reply rep;
-        rep.ready = r.unit<Cycle>();
-        rep.req = restoreMemRequest(r);
-        replies_.push_back(std::move(rep));
-    }
+        rep.ready = sr.unit<Cycle>();
+        rep.req = restoreMemRequest(sr);
+        return rep;
+    });
     accesses_ = r.u64();
     misses_ = r.u64();
 }

@@ -14,7 +14,6 @@
 #ifndef CKESIM_MEM_L2CACHE_HPP
 #define CKESIM_MEM_L2CACHE_HPP
 
-#include <deque>
 #include <vector>
 
 #include "mem/cache.hpp"
@@ -22,6 +21,7 @@
 #include "mem/mshr.hpp"
 #include "mem/request.hpp"
 #include "sim/config.hpp"
+#include "sim/ringbuf.hpp"
 #include "sim/types.hpp"
 
 namespace ckesim {
@@ -52,8 +52,21 @@ class L2Partition
     /** A DRAM fill for this partition's line arrived. */
     void onDramFill(const MemRequest &fill, Cycle now);
 
-    /** Pop read replies whose data is ready at @p now. */
-    std::vector<MemRequest> drainReplies(Cycle now);
+    /**
+     * Pop read replies whose data is ready at @p now, appending them
+     * to @p out. Allocation-free; the memory system calls this every
+     * cycle with a reused scratch vector.
+     */
+    void drainReplies(Cycle now, std::vector<MemRequest> &out);
+
+    /** Convenience wrapper for tests and cold paths. */
+    std::vector<MemRequest>
+    drainReplies(Cycle now)
+    {
+        std::vector<MemRequest> out;
+        drainReplies(now, out);
+        return out;
+    }
 
     /** No queued input, outstanding miss, or undelivered reply. */
     bool idle() const
@@ -108,8 +121,12 @@ class L2Partition
     int partition_index_; // SNAPSHOT-SKIP(fixed at construction)
     CacheArray tags_;
     MshrTable<MemRequest> mshrs_;
-    std::deque<MemRequest> input_;
-    std::deque<Reply> replies_;
+    RingBuf<MemRequest> input_; ///< flat hot queue (DESIGN.md §14)
+    /** Replies in flight. Capacity covers the worst burst: every MSHR
+     *  target plus a latency window of hits, all awaiting drain. */
+    RingBuf<Reply> replies_;
+    /** Reused by onDramFill(). */
+    std::vector<MemRequest> fill_targets_; // SNAPSHOT-SKIP(scratch; dead between fills)
     std::uint64_t accesses_ = 0;
     std::uint64_t misses_ = 0;
 };

@@ -35,6 +35,9 @@ MemorySystem::MemorySystem(const GpuConfig &cfg)
       reply_retry_(static_cast<std::size_t>(cfg.numL2Partitions())),
       delayed_(static_cast<std::size_t>(cfg.num_sms))
 {
+    for (RingBuf<MemRequest> &retry : reply_retry_)
+        retry.reset(cfg.l2.num_mshrs * 16 + cfg.l2.latency +
+                    cfg.l2.miss_queue_depth + 8);
     partitions_.reserve(static_cast<std::size_t>(cfg.numL2Partitions()));
     channels_.reserve(static_cast<std::size_t>(cfg.numL2Partitions()));
     for (int p = 0; p < cfg.numL2Partitions(); ++p) {
@@ -73,22 +76,38 @@ MemorySystem::tick(Cycle now)
         // Crossbar -> partition input queue, as room allows.
         const int room = part.inputRoom();
         if (room > 0) {
-            for (const MemRequest &req : fwd_.drain(p, now, room))
+            ProfScope prof_noc(prof_, ProfComp::Noc);
+            tick_scratch_.clear();
+            fwd_.drain(p, now, room, tick_scratch_);
+            for (const MemRequest &req : tick_scratch_)
                 part.acceptInput(req);
         }
 
         const bool frozen = faults_ && faults_->dramFrozen(p, now);
-        part.tick(now, chan);
-        if (!frozen)
-            chan.tick(now);
-
-        for (const MemRequest &fill : chan.drainFills(now))
-            part.onDramFill(fill, now);
+        {
+            ProfScope prof_l2(prof_, ProfComp::L2);
+            part.tick(now, chan);
+        }
+        {
+            ProfScope prof_dram(prof_, ProfComp::Dram);
+            if (!frozen)
+                chan.tick(now);
+            tick_scratch_.clear();
+            chan.drainFills(now, tick_scratch_);
+        }
+        if (!tick_scratch_.empty()) {
+            ProfScope prof_l2(prof_, ProfComp::L2);
+            for (const MemRequest &fill : tick_scratch_)
+                part.onDramFill(fill, now);
+        }
 
         // Partition replies -> reply crossbar, retrying refused ones.
-        std::deque<MemRequest> &retry =
+        ProfScope prof_noc(prof_, ProfComp::Noc);
+        RingBuf<MemRequest> &retry =
             reply_retry_[static_cast<std::size_t>(p)];
-        for (const MemRequest &r : part.drainReplies(now))
+        tick_scratch_.clear();
+        part.drainReplies(now, tick_scratch_);
+        for (const MemRequest &r : tick_scratch_)
             retry.push_back(r);
         while (!retry.empty()) {
             const MemRequest &r = retry.front();
@@ -122,23 +141,26 @@ MemorySystem::nextEventCycle(Cycle now) const
     // Fault-delayed fills release in drainRepliesForSm on their own
     // (not necessarily sorted) schedule; faulted runs fall back to
     // strict stepping anyway, so `now` is the honest answer.
+    // HOTPATH-ALLOW(fault-injection only; untouched on fault-free runs)
     for (const std::deque<DelayedFill> &held : delayed_)
         if (!held.empty())
             return now;
     return horizon;
 }
 
-std::vector<MemRequest>
-MemorySystem::drainRepliesForSm(SmId sm_id, Cycle now)
+void
+MemorySystem::drainRepliesForSm(SmId sm_id, Cycle now,
+                                std::vector<MemRequest> &out)
 {
-    std::vector<MemRequest> out =
-        reply_.drain(static_cast<int>(sm_id.idx()), now,
-                     /*max_count=*/64);
+    out.clear();
+    reply_.drain(static_cast<int>(sm_id.idx()), now,
+                 /*max_count=*/64, out);
 
     if (faults_ && !faults_->empty()) {
-        std::vector<MemRequest> kept;
-        kept.reserve(out.size());
-        for (const MemRequest &r : out) {
+        // Filter in place: compact surviving fills to the front.
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            const MemRequest &r = out[i];
             if (faults_->dropFill(sm_id, now)) {
                 // The read leaves the system without a delivery: the
                 // L1 MSHR is never released — a hard fault the
@@ -157,11 +179,12 @@ MemorySystem::drainRepliesForSm(SmId sm_id, Cycle now)
                     DelayedFill{now + delay, r});
                 continue;
             }
-            kept.push_back(r);
+            out[kept++] = r;
         }
-        out = std::move(kept);
+        out.resize(kept);
     }
 
+    // HOTPATH-ALLOW(fault-injection only; untouched on fault-free runs)
     std::deque<DelayedFill> &held = delayed_[sm_id.idx()];
     while (!held.empty() && held.front().ready <= now) {
         out.push_back(held.front().req);
@@ -175,7 +198,6 @@ MemorySystem::drainRepliesForSm(SmId sm_id, Cycle now)
                                << " with only " << inflight_
                                << " read(s) in flight");
     inflight_ -= n;
-    return out;
 }
 
 double
@@ -271,12 +293,14 @@ MemorySystem::snapshot(SnapshotWriter &w) const
     for (const auto &chan : channels_)
         chan->snapshot(w);
     w.u64(reply_retry_.size());
-    for (const std::deque<MemRequest> &retry : reply_retry_) {
-        w.u64(retry.size());
-        for (const MemRequest &req : retry)
-            snapshotMemRequest(w, req);
+    for (const RingBuf<MemRequest> &retry : reply_retry_) {
+        retry.snapshot(w, [](SnapshotWriter &sw,
+                             const MemRequest &req) {
+            snapshotMemRequest(sw, req);
+        });
     }
     w.u64(delayed_.size());
+    // HOTPATH-ALLOW(snapshot serialization, not a per-cycle walk)
     for (const std::deque<DelayedFill> &held : delayed_) {
         w.u64(held.size());
         for (const DelayedFill &f : held) {
@@ -307,17 +331,17 @@ MemorySystem::restore(SnapshotReader &r)
               "snapshot holds " << nretry
                                 << " reply-retry queues, model has "
                                 << reply_retry_.size());
-    for (std::deque<MemRequest> &retry : reply_retry_) {
-        retry.clear();
-        const std::uint64_t m = r.u64();
-        for (std::uint64_t i = 0; i < m; ++i)
-            retry.push_back(restoreMemRequest(r));
+    for (RingBuf<MemRequest> &retry : reply_retry_) {
+        retry.restore(r, [](SnapshotReader &sr) {
+            return restoreMemRequest(sr);
+        });
     }
     const std::uint64_t ndelayed = r.u64();
     SIM_CHECK(ndelayed == delayed_.size(), ctx,
               "snapshot holds " << ndelayed
                                 << " delayed-fill queues, model has "
                                 << delayed_.size());
+    // HOTPATH-ALLOW(snapshot restore, not a per-cycle walk)
     for (std::deque<DelayedFill> &held : delayed_) {
         held.clear();
         const std::uint64_t m = r.u64();

@@ -19,6 +19,8 @@
 #include "mem/request.hpp"
 #include "sim/config.hpp"
 #include "sim/fault.hpp"
+#include "sim/profiler.hpp"
+#include "sim/ringbuf.hpp"
 #include "sim/types.hpp"
 
 namespace ckesim {
@@ -50,8 +52,22 @@ class MemorySystem
      */
     Cycle nextEventCycle(Cycle now) const;
 
-    /** Pop read fills delivered to SM @p sm_id by cycle @p now. */
-    std::vector<MemRequest> drainRepliesForSm(SmId sm_id, Cycle now);
+    /**
+     * Pop read fills delivered to SM @p sm_id by cycle @p now into
+     * @p out (cleared first). Allocation-free; each SM calls this
+     * every cycle with a reused scratch vector.
+     */
+    void drainRepliesForSm(SmId sm_id, Cycle now,
+                           std::vector<MemRequest> &out);
+
+    /** Convenience wrapper for tests and cold paths. */
+    std::vector<MemRequest>
+    drainRepliesForSm(SmId sm_id, Cycle now)
+    {
+        std::vector<MemRequest> out;
+        drainRepliesForSm(sm_id, now, out);
+        return out;
+    }
 
     int numPartitions() const
     {
@@ -75,6 +91,9 @@ class MemorySystem
     // ---- integrity layer ------------------------------------------------
     /** Attach a fault injector (nullptr = fault-free operation). */
     void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
+    /** Attach a cycle-cost profiler (nullptr detaches). */
+    void setProfiler(Profiler *prof) { prof_ = prof; }
 
     /** Read requests injected below the L1s (conservation ledger). */
     std::uint64_t injectedReads() const { return injected_reads_; }
@@ -107,16 +126,22 @@ class MemorySystem
     Crossbar reply_; ///< partition -> SM
     std::vector<std::unique_ptr<L2Partition>> partitions_;
     std::vector<std::unique_ptr<DramChannel>> channels_;
-    /** Replies an overloaded reply port refused; retried each cycle. */
-    std::vector<std::deque<MemRequest>> reply_retry_;
+    /** Replies an overloaded reply port refused; retried each cycle.
+     *  Sized like a partition's reply ring: the retry queue can never
+     *  hold more than the partition could have produced. */
+    std::vector<RingBuf<MemRequest>> reply_retry_;
     /** Fills held back by an injected DelayFill fault, per SM. */
     struct DelayedFill
     {
         Cycle ready{};
         MemRequest req;
     };
+    // HOTPATH-ALLOW(fault-injection only; untouched on fault-free runs)
     std::vector<std::deque<DelayedFill>> delayed_;
+    /** Reused by tick() for per-partition drains. */
+    std::vector<MemRequest> tick_scratch_; // SNAPSHOT-SKIP(scratch; dead between drains)
     FaultInjector *faults_ = nullptr; // SNAPSHOT-SKIP(rebound by owner; injector state snapshotted by Gpu)
+    Profiler *prof_ = nullptr; // SNAPSHOT-SKIP(observer; rebound by the Gpu)
     std::uint64_t inflight_ = 0; ///< read requests below the L1s
     std::uint64_t injected_reads_ = 0;
     std::uint64_t injected_writes_ = 0;

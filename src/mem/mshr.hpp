@@ -6,6 +6,13 @@
  * it. MSHRs are the paper's most commonly saturated cache-miss-related
  * resource: when the table (or an entry's merge list) is full, the
  * access suffers a reservation failure and the memory pipeline stalls.
+ *
+ * The table is the hottest lookup in the memory pipeline (every L1/L2
+ * access probes it, often more than once), so it is stored as a flat
+ * open-addressing hash table: one contiguous slot array, linear
+ * probing with a deterministic multiply-shift hash, and backward-shift
+ * deletion (no tombstones). Retired slots keep their merge-list
+ * allocation, so the steady state allocates nothing. See DESIGN.md §14.
  */
 
 #ifndef CKESIM_MEM_MSHR_HPP
@@ -13,7 +20,7 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/check.hpp"
@@ -30,6 +37,13 @@ template <typename Target>
 class MshrTable
 {
   public:
+    /** Outcome of a single-probe tryMerge(). */
+    enum class MergeResult {
+        NoEntry, ///< no outstanding miss for this line
+        Full,    ///< entry exists but its merge list is full
+        Merged,  ///< target appended to the outstanding miss
+    };
+
     /**
      * @param num_entries table capacity (Table 1: 128 per SM/partition)
      * @param max_merge maximum requests merged into one entry
@@ -37,32 +51,42 @@ class MshrTable
     MshrTable(int num_entries, int max_merge)
         : capacity_(num_entries), max_merge_(max_merge)
     {
-        entries_.reserve(static_cast<std::size_t>(num_entries));
+        // 2x headroom keeps linear-probe chains short at full
+        // occupancy; the slot count is a power of two for mask math.
+        std::size_t want =
+            static_cast<std::size_t>(num_entries > 0 ? num_entries : 1)
+            * 2;
+        std::size_t n = 8;
+        int log2n = 3;
+        while (n < want) {
+            n <<= 1;
+            ++log2n;
+        }
+        slots_.resize(n);
+        mask_ = n - 1;
+        shift_ = 64 - log2n;
     }
 
     /** Is a miss for this line already outstanding? */
     bool
     pending(LineAddr line_number) const
     {
-        return entries_.find(line_number) != entries_.end();
+        return findSlot(line_number) != kNoSlot;
     }
 
     /** Can a new request for this (pending) line merge? */
     bool
     canMerge(LineAddr line_number) const
     {
-        auto it = entries_.find(line_number);
-        SIM_CHECK(it != entries_.end(), ctx_,
+        const std::size_t i = findSlot(line_number);
+        SIM_CHECK(i != kNoSlot, ctx_,
                   "canMerge on line " << line_number
                                       << " with no outstanding miss");
-        return static_cast<int>(it->second.size()) < max_merge_;
+        return static_cast<int>(slots_[i].targets.size()) < max_merge_;
     }
 
     /** Is there room for a brand-new entry? */
-    bool hasFree() const
-    {
-        return static_cast<int>(entries_.size()) < capacity_;
-    }
+    bool hasFree() const { return size_ < capacity_; }
 
     /** Allocate a new entry for @p line_number with one target. */
     void
@@ -71,11 +95,19 @@ class MshrTable
         SIM_CHECK(hasFree(), ctx_,
                   "MSHR allocate with table full ("
                       << capacity_ << " entries)");
-        SIM_CHECK(!pending(line_number), ctx_,
-                  "duplicate MSHR allocation for line "
-                      << line_number);
-        entries_.emplace(line_number,
-                         std::vector<Target>{std::move(target)});
+        std::size_t i = homeOf(line_number);
+        while (slots_[i].used) {
+            SIM_CHECK(slots_[i].line != line_number, ctx_,
+                      "duplicate MSHR allocation for line "
+                          << line_number);
+            i = (i + 1) & mask_;
+        }
+        Slot &s = slots_[i];
+        s.line = line_number;
+        s.used = true;
+        s.targets.clear(); // retains merge-list capacity
+        s.targets.push_back(std::move(target));
+        ++size_;
         ++allocated_;
     }
 
@@ -83,15 +115,34 @@ class MshrTable
     void
     merge(LineAddr line_number, Target target)
     {
-        auto it = entries_.find(line_number);
-        SIM_CHECK(it != entries_.end(), ctx_,
+        const std::size_t i = findSlot(line_number);
+        SIM_CHECK(i != kNoSlot, ctx_,
                   "merge into line " << line_number
                                      << " with no outstanding miss");
-        SIM_CHECK(static_cast<int>(it->second.size()) < max_merge_,
+        SIM_CHECK(static_cast<int>(slots_[i].targets.size()) <
+                      max_merge_,
                   ctx_,
                   "merge list overflow on line "
                       << line_number << " (max " << max_merge_ << ")");
-        it->second.push_back(std::move(target));
+        slots_[i].targets.push_back(std::move(target));
+    }
+
+    /**
+     * Single-probe pending/canMerge/merge: append @p target to the
+     * outstanding miss for @p line_number if one exists and has merge
+     * room. The hot L1/L2 access paths use this instead of three
+     * separate lookups.
+     */
+    MergeResult
+    tryMerge(LineAddr line_number, Target target)
+    {
+        const std::size_t i = findSlot(line_number);
+        if (i == kNoSlot)
+            return MergeResult::NoEntry;
+        if (static_cast<int>(slots_[i].targets.size()) >= max_merge_)
+            return MergeResult::Full;
+        slots_[i].targets.push_back(std::move(target));
+        return MergeResult::Merged;
     }
 
     /**
@@ -101,21 +152,62 @@ class MshrTable
     std::vector<Target>
     release(LineAddr line_number)
     {
-        auto it = entries_.find(line_number);
-        SIM_CHECK(it != entries_.end(), ctx_,
-                  "fill for line " << line_number
-                                   << " with no outstanding miss "
-                                      "(dropped or duplicated fill)");
-        std::vector<Target> out = std::move(it->second);
-        entries_.erase(it);
-        ++released_;
+        std::vector<Target> out;
+        releaseInto(line_number, out);
         return out;
     }
 
-    int size() const { return static_cast<int>(entries_.size()); }
+    /**
+     * Allocation-free release: copy the merged targets into @p out
+     * (cleared first) and retire the entry. The entry's merge list
+     * keeps its capacity for the next allocation in its slot.
+     */
+    void
+    releaseInto(LineAddr line_number, std::vector<Target> &out)
+    {
+        const std::size_t i = findSlot(line_number);
+        SIM_CHECK(i != kNoSlot, ctx_,
+                  "fill for line " << line_number
+                                   << " with no outstanding miss "
+                                      "(dropped or duplicated fill)");
+        out.clear();
+        for (Target &t : slots_[i].targets)
+            out.push_back(std::move(t));
+        slots_[i].targets.clear();
+        eraseSlot(i);
+        --size_;
+        ++released_;
+    }
+
+    /**
+     * First merged target of the outstanding miss for @p line_number
+     * — the allocating request's bookkeeping (allocate() always
+     * seeds the merge list with it). @pre an entry exists.
+     */
+    const Target &
+    firstTarget(LineAddr line_number) const
+    {
+        const std::size_t i = findSlot(line_number);
+        SIM_CHECK(i != kNoSlot, ctx_,
+                  "firstTarget on line " << line_number
+                                         << " with no outstanding miss");
+        return slots_[i].targets.front();
+    }
+
+    /** Visit every outstanding entry (unspecified order). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &s : slots_)
+            if (s.used)
+                fn(s.line, s.targets);
+    }
+
+    int size() const { return size_; }
     int capacity() const { return capacity_; }
     int maxMerge() const { return max_merge_; }
-    bool empty() const { return entries_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     // ---- integrity layer ------------------------------------------------
     /** Attach failure context (owner's SM/module identity). */
@@ -134,22 +226,21 @@ class MshrTable
                                        << " exceeds allocated "
                                        << allocated_);
         SIM_INVARIANT(allocated_ - released_ ==
-                          static_cast<std::uint64_t>(entries_.size()),
+                          static_cast<std::uint64_t>(size_),
                       ctx,
                       "MSHR ledger imbalance: allocated="
                           << allocated_ << " released=" << released_
-                          << " outstanding=" << entries_.size());
-        SIM_INVARIANT(static_cast<int>(entries_.size()) <= capacity_,
-                      ctx,
-                      "MSHR occupancy " << entries_.size()
+                          << " outstanding=" << size_);
+        SIM_INVARIANT(size_ <= capacity_, ctx,
+                      "MSHR occupancy " << size_
                                         << " exceeds capacity "
                                         << capacity_);
     }
 
     // ---- checkpointing --------------------------------------------------
     /**
-     * Serialize outstanding entries in sorted key order (the map's
-     * iteration order is host-dependent and must never reach the
+     * Serialize outstanding entries in sorted key order (slot order
+     * depends on insertion history and must never reach the
      * payload). @p write_target emits one Target: (writer, target).
      */
     template <typename WriteTarget>
@@ -158,14 +249,16 @@ class MshrTable
     {
         w.section("mshr");
         std::vector<LineAddr> keys;
-        keys.reserve(entries_.size());
-        for (const auto &kv : entries_)
-            keys.push_back(kv.first);
+        keys.reserve(static_cast<std::size_t>(size_));
+        for (const Slot &s : slots_)
+            if (s.used)
+                keys.push_back(s.line);
         std::sort(keys.begin(), keys.end());
         w.u64(keys.size());
         for (LineAddr key : keys) {
+            const std::size_t i = findSlot(key);
+            const std::vector<Target> &targets = slots_[i].targets;
             w.unit(key);
-            const std::vector<Target> &targets = entries_.at(key);
             w.u64(targets.size());
             for (const Target &t : targets)
                 write_target(w, t);
@@ -179,8 +272,12 @@ class MshrTable
     void
     restore(SnapshotReader &r, const ReadTarget &read_target)
     {
+        for (Slot &s : slots_) {
+            s.used = false;
+            s.targets.clear();
+        }
+        size_ = 0;
         r.section("mshr");
-        entries_.clear();
         const std::uint64_t n = r.u64();
         SIM_CHECK(n <= static_cast<std::uint64_t>(capacity_), ctx_,
                   "snapshot holds " << n << " MSHR entries, capacity "
@@ -188,23 +285,87 @@ class MshrTable
         for (std::uint64_t i = 0; i < n; ++i) {
             const LineAddr key = r.unit<LineAddr>();
             const std::uint64_t m = r.u64();
-            std::vector<Target> targets;
-            targets.reserve(static_cast<std::size_t>(m));
-            for (std::uint64_t j = 0; j < m; ++j)
-                targets.push_back(read_target(r));
-            entries_.emplace(key, std::move(targets));
+            SIM_CHECK(m >= 1, ctx_,
+                      "snapshot MSHR entry for line "
+                          << key << " has no targets");
+            Target first = read_target(r);
+            allocate(key, std::move(first));
+            --allocated_; // allocate() ledger bump; totals restored below
+            for (std::uint64_t j = 1; j < m; ++j)
+                merge(key, read_target(r));
         }
         allocated_ = r.u64();
         released_ = r.u64();
     }
 
   private:
-    int capacity_;      // SNAPSHOT-SKIP(fixed at construction)
-    int max_merge_;     // SNAPSHOT-SKIP(fixed at construction)
-    std::unordered_map<LineAddr, std::vector<Target>> entries_;
+    struct Slot
+    {
+        LineAddr line{};
+        std::vector<Target> targets;
+        bool used = false;
+    };
+
+    static constexpr std::size_t kNoSlot = ~std::size_t{0};
+
+    /** Deterministic multiply-shift hash: host-independent. */
+    std::size_t
+    homeOf(LineAddr line) const
+    {
+        const std::uint64_t h =
+            static_cast<std::uint64_t>(line.get()) *
+            0x9E3779B97F4A7C15ULL;
+        return static_cast<std::size_t>(h >> shift_);
+    }
+
+    std::size_t
+    findSlot(LineAddr line) const
+    {
+        std::size_t i = homeOf(line);
+        while (slots_[i].used) {
+            if (slots_[i].line == line)
+                return i;
+            i = (i + 1) & mask_;
+        }
+        return kNoSlot;
+    }
+
+    /**
+     * Backward-shift deletion: close the hole at @p hole by sliding
+     * back any later chain member that hashes at or before it, so
+     * lookups never need tombstones.
+     */
+    void
+    eraseSlot(std::size_t hole)
+    {
+        std::size_t j = hole;
+        while (true) {
+            j = (j + 1) & mask_;
+            if (!slots_[j].used)
+                break;
+            const std::size_t home = homeOf(slots_[j].line);
+            if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+                slots_[hole].line = slots_[j].line;
+                // Swap keeps both merge lists' capacity alive.
+                std::swap(slots_[hole].targets, slots_[j].targets);
+                slots_[hole].used = true;
+                slots_[j].targets.clear();
+                hole = j;
+            }
+        }
+        slots_[hole].used = false;
+        slots_[hole].targets.clear();
+    }
+
+    int capacity_;  // SNAPSHOT-SKIP(fixed at construction)
+    int max_merge_; // SNAPSHOT-SKIP(fixed at construction)
+    std::vector<Slot> slots_; ///< open-addressing flat table
+    std::size_t mask_ = 0;    // SNAPSHOT-SKIP(fixed at construction)
+    int shift_ = 0;           // SNAPSHOT-SKIP(fixed at construction)
+    int size_ = 0;            ///< outstanding entries
     std::uint64_t allocated_ = 0;
     std::uint64_t released_ = 0;
-    SimCtx ctx_;        // SNAPSHOT-SKIP(diagnostic context, rebound by owner)
+    SimCtx ctx_; // SNAPSHOT-SKIP(diagnostic context, rebound by owner)
 };
 
 } // namespace ckesim

@@ -6,7 +6,8 @@
 namespace ckesim {
 
 Lsu::Lsu(int queue_depth, int hit_latency, SmId sm_id)
-    : depth_(queue_depth), hit_latency_(hit_latency), sm_id_(sm_id)
+    : depth_(queue_depth), hit_latency_(hit_latency), sm_id_(sm_id),
+      queue_(queue_depth)
 {
 }
 
@@ -42,8 +43,11 @@ Lsu::tick(Cycle now, L1Dcache &l1d, LsuHost &host)
     target.warp_slot = e.warp_slot;
     target.kernel = e.kernel;
 
-    const L1Outcome out =
-        l1d.access(line, e.kernel, e.is_store, target, now);
+    L1Outcome out;
+    {
+        ProfScope prof_l1d(prof_, ProfComp::L1d);
+        out = l1d.access(line, e.kernel, e.is_store, target, now);
+    }
 
     if (!out.serviced()) {
         host.lsuReservationFailure(e.kernel, out.fail);
@@ -71,16 +75,15 @@ void
 Lsu::snapshot(SnapshotWriter &w) const
 {
     w.section("lsu");
-    w.u64(queue_.size());
-    for (const Entry &e : queue_) {
-        w.id(e.warp_slot);
-        w.id(e.kernel);
-        w.boolean(e.is_store);
-        w.u64(e.lines.size());
+    queue_.snapshot(w, [](SnapshotWriter &sw, const Entry &e) {
+        sw.id(e.warp_slot);
+        sw.id(e.kernel);
+        sw.boolean(e.is_store);
+        sw.u64(e.lines.size());
         for (const LineAddr line : e.lines)
-            w.unit(line);
-        w.u64(e.next);
-    }
+            sw.unit(line);
+        sw.u64(e.next);
+    });
 }
 
 void
@@ -90,26 +93,21 @@ Lsu::restore(SnapshotReader &r)
     SimCtx ctx;
     ctx.sm_id = sm_id_;
     ctx.module = "lsu";
-    const std::uint64_t n = r.u64();
-    SIM_CHECK(n <= static_cast<std::uint64_t>(depth_), ctx,
-              "snapshot holds " << n << " LSU entries, queue depth is "
-                                << depth_);
-    queue_.clear();
-    for (std::uint64_t i = 0; i < n; ++i) {
+    queue_.restore(r, [&ctx](SnapshotReader &sr) {
         Entry e;
-        e.warp_slot = r.id<WarpSlot>();
-        e.kernel = r.id<KernelId>();
-        e.is_store = r.boolean();
-        const std::uint64_t lines = r.u64();
+        e.warp_slot = sr.id<WarpSlot>();
+        e.kernel = sr.id<KernelId>();
+        e.is_store = sr.boolean();
+        const std::uint64_t lines = sr.u64();
         e.lines.reserve(static_cast<std::size_t>(lines));
         for (std::uint64_t j = 0; j < lines; ++j)
-            e.lines.push_back(r.unit<LineAddr>());
-        e.next = static_cast<std::size_t>(r.u64());
+            e.lines.push_back(sr.unit<LineAddr>());
+        e.next = static_cast<std::size_t>(sr.u64());
         SIM_CHECK(e.next <= e.lines.size(), ctx,
                   "LSU entry cursor " << e.next << " past line count "
                                       << e.lines.size());
-        queue_.push_back(std::move(e));
-    }
+        return e;
+    });
 }
 
 } // namespace ckesim

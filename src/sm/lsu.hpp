@@ -13,10 +13,11 @@
 #ifndef CKESIM_SM_LSU_HPP
 #define CKESIM_SM_LSU_HPP
 
-#include <deque>
 #include <vector>
 
 #include "mem/l1d.hpp"
+#include "sim/profiler.hpp"
+#include "sim/ringbuf.hpp"
 #include "sim/types.hpp"
 
 namespace ckesim {
@@ -81,6 +82,9 @@ class Lsu
         return queue_.empty() ? kInvalidKernel : queue_.front().kernel;
     }
 
+    /** Attach a cycle-cost profiler (nullptr detaches). */
+    void setProfiler(Profiler *prof) { prof_ = prof; }
+
     /** Serialize the queue (entries, line lists, progress cursors). */
     void snapshot(SnapshotWriter &w) const;
 
@@ -100,7 +104,8 @@ class Lsu
     int depth_;       // SNAPSHOT-SKIP(fixed at construction)
     int hit_latency_; // SNAPSHOT-SKIP(fixed at construction)
     SmId sm_id_;      // SNAPSHOT-SKIP(fixed at construction)
-    std::deque<Entry> queue_;
+    Profiler *prof_ = nullptr; // SNAPSHOT-SKIP(observer; rebound by the Sm)
+    RingBuf<Entry> queue_; ///< flat hot queue (DESIGN.md §14)
 };
 
 } // namespace ckesim

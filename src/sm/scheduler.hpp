@@ -29,13 +29,15 @@ class WarpScheduler
      * Pick the warp slot to issue from this cycle, or
      * kInvalidWarpSlot.
      *
-     * @param warps the SM's warp table
+     * @param warps the SM's warp table, or any table whose
+     *        operator[] yields a record with an `age` member (the
+     *        SM passes its dense scan-age mirror, DESIGN.md §14)
      * @param can_issue predicate: slot is ready *and* passes every
      *        structural/CKE gate for its next instruction
      */
-    template <typename CanIssue>
+    template <typename WarpTable, typename CanIssue>
     WarpSlot
-    pick(const std::vector<Warp> &warps, const CanIssue &can_issue)
+    pick(const WarpTable &warps, const CanIssue &can_issue)
     {
         if (policy_ == SchedPolicy::GTO) {
             // Greedy: stick to the last-issued warp while it can go.

@@ -1,5 +1,6 @@
 #include "sm/sm.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "mem/coalescer.hpp"
@@ -31,6 +32,8 @@ Sm::Sm(const GpuConfig &cfg, SmId sm_id, MemorySystem &mem,
       l1d_(cfg.l1d, sm_id),
       lsu_(cfg.sm.lsu_queue_depth, cfg.l1d.hit_latency, sm_id),
       warps_(static_cast<std::size_t>(cfg.sm.max_warps)),
+      scan_meta_(warps_.size()), scan_ready_(warps_.size()),
+      scan_age_(warps_.size()),
       tbs_(static_cast<std::size_t>(cfg.sm.max_tbs))
 {
     SIM_CHECK(!kernels.empty() &&
@@ -51,6 +54,18 @@ Sm::Sm(const GpuConfig &cfg, SmId sm_id, MemorySystem &mem,
     scratch_thread_addrs_.reserve(
         static_cast<std::size_t>(cfg.sm.simd_width));
     scratch_lines_.reserve(static_cast<std::size_t>(cfg.sm.simd_width));
+
+    // Due-wheel span: the longest dependent-issue latency plus slack
+    // (mem/store issues re-arm at now+1), rounded up to a power of
+    // two so the bucket index is a mask.
+    const int max_latency =
+        std::max({cfg.sm.alu_latency, cfg.sm.sfu_latency,
+                  cfg.sm.smem_latency, 1});
+    std::size_t span = 1;
+    while (span < static_cast<std::size_t>(max_latency) + 2)
+        span <<= 1;
+    due_wheel_.resize(span);
+    due_mask_ = span - 1;
 }
 
 void
@@ -70,8 +85,16 @@ Sm::resetStats()
 void
 Sm::drainFills(Cycle now)
 {
-    for (const MemRequest &fill : mem_.drainRepliesForSm(sm_id_, now)) {
-        for (const L1Target &t : l1d_.fill(fill.line_addr))
+    {
+        ProfScope prof_noc(prof_, ProfComp::Noc);
+        mem_.drainRepliesForSm(sm_id_, now, scratch_fills_);
+    }
+    if (scratch_fills_.empty())
+        return;
+    ProfScope prof_l1d(prof_, ProfComp::L1d);
+    for (const MemRequest &fill : scratch_fills_) {
+        l1d_.fill(fill.line_addr, scratch_targets_);
+        for (const L1Target &t : scratch_targets_)
             requestReturned(t.warp_slot, now);
     }
 }
@@ -108,12 +131,13 @@ Sm::requestReturned(WarpSlot warp_slot, Cycle now)
     const KernelProfile &prof = *ctx_[w.kernel.idx()].prof;
     if (w.outstanding_loads >= prof.mlp)
         return;
-    if (w.stream.done()) {
+    if (w.stream_done) {
         if (w.outstanding_loads == 0)
             retireWarp(warp_slot);
         return;
     }
     w.state = WarpState::Ready;
+    syncScan(warp_slot.idx());
 }
 
 void
@@ -121,6 +145,7 @@ Sm::retireWarp(WarpSlot slot)
 {
     Warp &w = warps_[slot.idx()];
     w.state = WarpState::Done;
+    syncScan(slot.idx());
     ThreadBlock &tb = tbs_[static_cast<std::size_t>(w.tb_index)];
     SIM_INVARIANT(tb.active && tb.warps_left > 0,
                   smCtx(sm_id_, now_, w.kernel),
@@ -137,6 +162,7 @@ Sm::retireWarp(WarpSlot slot)
             o.tb_index == w.tb_index) {
             o.state = WarpState::Invalid;
             o.tb_index = -1;
+            syncScan(s);
         }
     }
     KernelCtx &c = ctx_[tb.kernel.idx()];
@@ -154,23 +180,41 @@ Sm::retireWarp(WarpSlot slot)
 void
 Sm::preScan(Cycle now, std::array<bool, kMaxKernelsPerSm> &mem_demand)
 {
-    mem_demand.fill(false);
-    for (std::size_t s = 0; s < warps_.size(); ++s) {
-        Warp &w = warps_[s];
-        if (w.state == WarpState::Busy && w.ready_at <= now) {
-            if (w.stream.done()) {
-                if (w.outstanding_loads == 0)
-                    retireWarp(WarpSlot{s});
-                else
+    // Due warps were filed at issue time; only they can transition
+    // this cycle, so the full-table scan is gone.
+    std::vector<WarpSlot> &due =
+        due_wheel_[static_cast<std::size_t>(now.get()) & due_mask_];
+    if (!due.empty()) {
+        // Ascending slot order: identical transition order to the
+        // full scan this replaces.
+        std::sort(due.begin(), due.end());
+        for (const WarpSlot slot : due) {
+            Warp &w = warps_[slot.idx()];
+            SIM_INVARIANT(w.state == WarpState::Busy &&
+                              w.ready_at <= now,
+                          smCtx(sm_id_, now, w.kernel),
+                          "due-wheel entry for warp slot "
+                              << slot << " in state "
+                              << static_cast<int>(w.state)
+                              << " (ready_at " << w.ready_at << ")");
+            if (w.stream_done) {
+                if (w.outstanding_loads == 0) {
+                    retireWarp(slot);
+                } else {
                     w.state = WarpState::WaitMem;
+                    syncScan(slot.idx());
+                }
                 continue;
             }
             w.state = WarpState::Ready;
+            syncScan(slot.idx());
         }
-        if (w.state == WarpState::Ready &&
-            isGlobalMem(w.stream.peek()))
-            mem_demand[w.kernel.idx()] = true;
+        due.clear();
     }
+    // mem_demand falls out of the incrementally maintained counters.
+    for (int k = 0; k < kMaxKernelsPerSm; ++k)
+        mem_demand[static_cast<std::size_t>(k)] =
+            ready_mem_[static_cast<std::size_t>(k)] > 0;
 }
 
 bool
@@ -239,8 +283,10 @@ Sm::launchTb(KernelId k)
             cfg_.seed ^ (tb_seq * std::uint64_t{1000003}) ^
             static_cast<std::uint64_t>(i);
         w.stream.reset(prof, seed);
+        w.refreshStreamCache();
         initAddrGen(w.addr, prof, k, tb_seq, i, warps_needed,
                     cfg_.seed, cfg_.l1d.line_bytes);
+        syncScan(static_cast<std::size_t>(slots[i]));
     }
 
     used_.regs += prof.regsPerTb();
@@ -275,15 +321,17 @@ Sm::tryDispatch(Cycle now)
 bool
 Sm::canIssueWarp(WarpSlot slot) const
 {
-    const Warp &w = warps_[slot.idx()];
-    if (w.state != WarpState::Ready)
+    const std::uint8_t meta = scan_meta_[slot.idx()];
+    if ((meta & kScanStateMask) !=
+        static_cast<std::uint8_t>(WarpState::Ready))
         return false;
-    if (!controller_.admitAnyIssue(w.kernel))
+    const KernelId k{meta >> kScanKernelShift};
+    if (!controller_.admitAnyIssue(k))
         return false;
-    if (isGlobalMem(w.stream.peek())) {
+    if ((meta & kScanMemBit) != 0) {
         if (!lsu_.hasRoom())
             return false;
-        if (!controller_.admitMemIssue(w.kernel))
+        if (!controller_.admitMemIssue(k))
             return false;
     }
     return true;
@@ -295,6 +343,7 @@ Sm::issueFrom(WarpSlot slot, Cycle now)
     Warp &w = warps_[slot.idx()];
     KernelCtx &c = ctx_[w.kernel.idx()];
     const InstrKind kind = w.stream.advance();
+    w.refreshStreamCache();
 
     ++c.stats.issued_instructions;
     ++sm_stats_.issue_slots_used;
@@ -351,11 +400,15 @@ Sm::issueFrom(WarpSlot slot, Cycle now)
         break;
       }
     }
+    if (w.state == WarpState::Busy)
+        fileDue(slot, w.ready_at);
+    syncScan(slot.idx());
 }
 
 void
 Sm::tick(Cycle now)
 {
+    ProfScope prof_sm(prof_, ProfComp::SmIssue);
     now_ = now;
     drainFills(now);
     processWakes(now);
@@ -366,9 +419,20 @@ Sm::tick(Cycle now)
 
     tryDispatch(now);
 
+    // GTO reads ages through the dense mirror, not the Warp records.
+    struct AgeView
+    {
+        const std::uint64_t *ages;
+        struct Ref
+        {
+            std::uint64_t age;
+        };
+        Ref operator[](std::size_t i) const { return {ages[i]}; }
+    };
+    const AgeView ages{scan_age_.data()};
     for (WarpScheduler &sched : schedulers_) {
         const WarpSlot slot = sched.pick(
-            warps_, [&](WarpSlot s) { return canIssueWarp(s); });
+            ages, [&](WarpSlot s) { return canIssueWarp(s); });
         if (!slot.valid())
             continue;
         issueFrom(slot, now);
@@ -380,12 +444,15 @@ Sm::tick(Cycle now)
     if (faults_ && !lsu_.empty() && faults_->forceRsFail(sm_id_, now)) {
         lsuReservationFailure(lsu_.headKernel(), RsFailReason::Mshr);
         ++sm_stats_.lsu_stall_cycles;
-    } else if (lsu_.tick(now, l1d_, *this)) {
-        ++sm_stats_.lsu_stall_cycles;
+    } else {
+        ProfScope prof_lsu(prof_, ProfComp::Lsu);
+        if (lsu_.tick(now, l1d_, *this))
+            ++sm_stats_.lsu_stall_cycles;
     }
 
     // Drain at most one miss-queue entry into the interconnect.
     if (const MemRequest *head = l1d_.peekMissQueue()) {
+        ProfScope prof_noc(prof_, ProfComp::Noc);
         if (mem_.injectFromSm(*head, now))
             l1d_.popMissQueue();
     }
@@ -423,21 +490,22 @@ Sm::nextEventCycle(Cycle now) const
 
     Cycle horizon = kNeverCycle;
     std::array<bool, kMaxKernelsPerSm> demand{};
-    for (std::size_t s = 0; s < warps_.size(); ++s) {
-        const Warp &w = warps_[s];
-        if (w.state == WarpState::Busy) {
+    for (std::size_t s = 0; s < scan_meta_.size(); ++s) {
+        const std::uint8_t meta = scan_meta_[s];
+        const std::uint8_t st = meta & kScanStateMask;
+        if (st == static_cast<std::uint8_t>(WarpState::Busy)) {
             // A due warp transitions in preScan this very cycle.
-            if (w.ready_at <= now)
+            if (scan_ready_[s] <= now)
                 return now;
-            horizon = earliestEvent(horizon, w.ready_at);
-        } else if (w.state == WarpState::Ready) {
+            horizon = earliestEvent(horizon, scan_ready_[s]);
+        } else if (st == static_cast<std::uint8_t>(WarpState::Ready)) {
             if (canIssueWarp(WarpSlot{s}))
                 return now;
             // Issue-blocked (MIL-frozen / BMI-deprioritized) warps
             // are passive: every unblocking cause is an event some
             // other horizon reports. They still register demand.
-            if (isGlobalMem(w.stream.peek()))
-                demand[w.kernel.idx()] = true;
+            if ((meta & kScanMemBit) != 0)
+                demand[meta >> kScanKernelShift] = true;
         }
     }
     // beginCycle latches the demand vector (snapshotted state): with
@@ -650,6 +718,8 @@ restoreWarp(SnapshotReader &r, Warp &warp, const KernelProfile *prof)
         n = static_cast<int>(r.i64());
     warp.load_head = static_cast<int>(r.i64());
     warp.outstanding_loads = static_cast<int>(r.i64());
+    // Derived fields: not in the snapshot, recomputed here.
+    warp.refreshStreamCache();
 }
 
 } // namespace
@@ -743,6 +813,14 @@ Sm::restore(SnapshotReader &r)
         if (warp.kernel.valid())
             warp.stream.rebindProfile(ctx_[warp.kernel.idx()].prof);
     }
+    // Rebuild the dense scan mirrors and demand counters (derived;
+    // not serialized). Clearing first makes syncScan's incremental
+    // counter maintenance start from a blank slate.
+    std::fill(scan_meta_.begin(), scan_meta_.end(),
+              static_cast<std::uint8_t>(0));
+    ready_mem_.fill(0);
+    for (std::size_t s = 0; s < warps_.size(); ++s)
+        syncScan(s);
 
     const std::uint64_t nt = r.u64();
     SIM_CHECK(nt == tbs_.size(), ctx,
@@ -776,6 +854,20 @@ Sm::restore(SnapshotReader &r)
 
     lifetime_issued_ = r.u64();
     lifetime_returns_ = r.u64();
+
+    // Refile every Busy warp in the due-wheel (derived; needs the
+    // restored now_). A warp already due — possible only in exotic
+    // snapshots — files at the next tick, matching the old full
+    // scan's pickup time.
+    for (std::vector<WarpSlot> &bucket : due_wheel_)
+        bucket.clear();
+    for (std::size_t s = 0; s < warps_.size(); ++s) {
+        const Warp &warp = warps_[s];
+        if (warp.state != WarpState::Busy)
+            continue;
+        fileDue(WarpSlot{s},
+                warp.ready_at > now_ ? warp.ready_at : now_ + 1);
+    }
 }
 
 // ---- LsuHost ------------------------------------------------------------

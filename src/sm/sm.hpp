@@ -21,6 +21,7 @@
 #include "mem/l1d.hpp"
 #include "mem/memsys.hpp"
 #include "sim/config.hpp"
+#include "sim/profiler.hpp"
 #include "sim/stats.hpp"
 #include "sim/time_series.hpp"
 #include "sm/lsu.hpp"
@@ -105,6 +106,14 @@ class Sm : public LsuHost
     // ---- integrity layer ------------------------------------------------
     /** Attach a fault injector (nullptr = fault-free operation). */
     void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
+    /** Attach a cycle-cost profiler (nullptr detaches). */
+    void
+    setProfiler(Profiler *prof)
+    {
+        prof_ = prof;
+        lsu_.setProfiler(prof);
+    }
 
     /** Lifetime progress events: instructions issued + load requests
      *  returned. Monotonic (never reset); the watchdog's signal. */
@@ -197,6 +206,59 @@ class Sm : public LsuHost
     void requestReturned(WarpSlot warp_slot, Cycle now);
     void retireWarp(WarpSlot slot);
 
+    // ---- dense scan block (DESIGN.md §14) ---------------------------
+    // The per-cycle scans (preScan, scheduler picks, nextEventCycle)
+    // walk every warp slot; reading the ~176-byte Warp records costs
+    // one cache line per slot per scan. These L1-resident mirrors
+    // pack the only fields those scans need. Derived from warps_ —
+    // resynced by syncScan() on every transition, rebuilt on restore,
+    // never serialized.
+    static constexpr std::uint8_t kScanStateMask = 0x07;
+    static constexpr std::uint8_t kScanMemBit = 0x08;
+    static constexpr int kScanKernelShift = 4;
+    static constexpr std::uint8_t kScanReadyMem =
+        static_cast<std::uint8_t>(WarpState::Ready) | kScanMemBit;
+
+    static std::uint8_t
+    packScanMeta(const Warp &w)
+    {
+        const unsigned kern =
+            w.kernel.valid() ? static_cast<unsigned>(w.kernel.idx())
+                             : 0u;
+        return static_cast<std::uint8_t>(
+            static_cast<unsigned>(w.state) |
+            (w.next_is_mem ? kScanMemBit : 0u) |
+            (kern << kScanKernelShift));
+    }
+
+    /** Mirror slot @p s of warps_ into the scan block, keeping the
+     *  per-kernel Ready-with-mem counters (incremental mem_demand)
+     *  in step. */
+    void
+    syncScan(std::size_t s)
+    {
+        const Warp &w = warps_[s];
+        const std::uint8_t old = scan_meta_[s];
+        const std::uint8_t neu = packScanMeta(w);
+        constexpr std::uint8_t probe = kScanStateMask | kScanMemBit;
+        if ((old & probe) == kScanReadyMem)
+            --ready_mem_[old >> kScanKernelShift];
+        if ((neu & probe) == kScanReadyMem)
+            ++ready_mem_[neu >> kScanKernelShift];
+        scan_meta_[s] = neu;
+        scan_ready_[s] = w.ready_at;
+        scan_age_[s] = w.age;
+    }
+
+    /** File a newly Busy warp under its due cycle (see due_wheel_). */
+    void
+    fileDue(WarpSlot slot, Cycle ready_at)
+    {
+        due_wheel_[static_cast<std::size_t>(ready_at.get()) &
+                   due_mask_]
+            .push_back(slot);
+    }
+
     GpuConfig cfg_;     // SNAPSHOT-SKIP(fixed at construction)
     SmId sm_id_;        // SNAPSHOT-SKIP(fixed at construction)
     MemorySystem &mem_; // SNAPSHOT-SKIP(reference; snapshotted by the Gpu)
@@ -206,6 +268,23 @@ class Sm : public LsuHost
     Lsu lsu_;
     std::vector<WarpScheduler> schedulers_;
     std::vector<Warp> warps_;
+    // Dense scan mirrors, all SNAPSHOT-SKIP(derived; rebuilt from
+    // warps_ on restore):
+    std::vector<std::uint8_t> scan_meta_; // SNAPSHOT-SKIP(derived) state|mem|kernel
+    std::vector<Cycle> scan_ready_;       // SNAPSHOT-SKIP(derived) ready_at mirror
+    std::vector<std::uint64_t> scan_age_; // SNAPSHOT-SKIP(derived) age mirror (GTO)
+    /** Due-wheel: Busy warps are filed under their ready_at bucket at
+     *  issue, so preScan visits only the warps due this cycle instead
+     *  of scanning every slot. No bucket aliasing: the wheel spans
+     *  more cycles than the longest issue latency, a Busy warp never
+     *  changes ready_at, and the strict loop ticks every due cycle
+     *  (the fast path cannot skip past a Busy horizon).
+     *  SNAPSHOT-SKIP(derived; rebuilt from warps_ on restore) */
+    std::vector<std::vector<WarpSlot>> due_wheel_;
+    std::size_t due_mask_ = 0; // SNAPSHOT-SKIP(fixed at construction)
+    /** Ready warps whose next instruction is global-mem, per kernel.
+     *  SNAPSHOT-SKIP(derived; rebuilt from warps_ on restore) */
+    std::array<int, kMaxKernelsPerSm> ready_mem_{};
     std::vector<ThreadBlock> tbs_;
     Resources used_;
     SmStats sm_stats_;
@@ -223,10 +302,15 @@ class Sm : public LsuHost
     std::vector<Addr> scratch_thread_addrs_; // SNAPSHOT-SKIP(scratch; dead between instructions)
     std::vector<LineAddr> scratch_lines_;    // SNAPSHOT-SKIP(scratch; dead between instructions)
 
+    // Scratch buffers reused every drainFills cycle.
+    std::vector<MemRequest> scratch_fills_;  // SNAPSHOT-SKIP(scratch; dead between cycles)
+    std::vector<L1Target> scratch_targets_;  // SNAPSHOT-SKIP(scratch; dead between cycles)
+
     AccessObserver access_observer_ = nullptr; // SNAPSHOT-SKIP(rebound by the experiment on restore)
     void *access_observer_opaque_ = nullptr;   // SNAPSHOT-SKIP(rebound by the experiment on restore)
 
     FaultInjector *faults_ = nullptr; // SNAPSHOT-SKIP(rebound by the Gpu; injector state snapshotted there)
+    Profiler *prof_ = nullptr; // SNAPSHOT-SKIP(observer; rebound by the Gpu)
     std::uint64_t lifetime_issued_ = 0;
     std::uint64_t lifetime_returns_ = 0;
 };

@@ -36,6 +36,12 @@ struct Warp
     Cycle ready_at{};        ///< valid when Busy
     int pending_requests = 0;///< outstanding load line requests
     std::uint64_t age = 0;   ///< TB dispatch order (GTO "oldest")
+    /** Cached stream facts (DESIGN.md §14): the per-cycle scheduler
+     *  scans read these instead of touching the InstrStream's cache
+     *  lines. Derived from `stream` — refreshed on reset/advance and
+     *  recomputed on restore, never serialized. */
+    bool stream_done = false; ///< == stream.done()
+    bool next_is_mem = false; ///< == isGlobalMem(stream.peek())
     InstrStream stream;
     AddrGenState addr;
 
@@ -64,6 +70,14 @@ struct Warp
         load_head = (load_head + 1) % kMaxMlp;
         --outstanding_loads;
         return true;
+    }
+
+    /** Re-derive the cached stream facts after a stream mutation. */
+    void
+    refreshStreamCache()
+    {
+        stream_done = stream.done();
+        next_is_mem = !stream_done && isGlobalMem(stream.peek());
     }
 
     /** Ready to issue at @p now (Busy warps auto-promote)? */

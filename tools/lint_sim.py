@@ -40,6 +40,15 @@ Enforces repo rules that clang-tidy cannot express:
                   body. A ticked component invisible to the fast
                   path's skip decision silently breaks strict-vs-fast
                   bit-identity.
+  hotpath         No std::deque/std::map/std::unordered_map in the
+                  per-cycle simulation paths (src/mem/, src/sm/,
+                  src/gpu.*). The strict path walks these structures
+                  every cycle; node-based containers cost a cache miss
+                  per element (DESIGN.md §14). Use RingBuf
+                  (sim/ringbuf.hpp), MshrTable's flat table, or a
+                  sorted vector. Waive cold-path uses with a
+                  `// HOTPATH-ALLOW(reason)` on the same or preceding
+                  line.
 
 Any rule can be waived on a specific line with
 `// LINT-ALLOW(<rule>): <reason>`; the reason is mandatory
@@ -126,6 +135,20 @@ MEMBER_DECL = re.compile(
     r"([A-Za-z]\w*_)\s*(?:\[[^\]]*\]\s*)?(?:;|=|\{)")
 SNAPSHOT_SKIP = re.compile(r"SNAPSHOT-SKIP\([^)]*\S[^)]*\)")
 
+# ---- hotpath rule ----------------------------------------------------
+# Per-cycle simulation paths where node-based containers are banned.
+HOTPATH_DIRS = (
+    os.path.join("src", "mem") + os.sep,
+    os.path.join("src", "sm") + os.sep,
+)
+HOTPATH_FILES = {
+    os.path.join("src", "gpu.hpp"),
+    os.path.join("src", "gpu.cpp"),
+}
+HOTPATH_CONTAINER = re.compile(
+    r"\bstd::(?:deque|map|unordered_map)\b")
+HOTPATH_ALLOW = re.compile(r"HOTPATH-ALLOW\([^)]*\S[^)]*\)")
+
 # ---- fastpath-coverage rule ------------------------------------------
 CLASS_OPEN = re.compile(r"\b(?:class|struct)\s+(\w+)[^;{)]*\{")
 TICK_DECL = re.compile(r"\btick\s*\(\s*Cycle\b")
@@ -185,6 +208,8 @@ class Linter:
         is_header = rel.endswith(".hpp")
         file_allows_stdio = any(
             allows(l, "stdio") for l in lines[:40])
+        is_hotpath = (rel in HOTPATH_FILES
+                      or rel.startswith(HOTPATH_DIRS))
 
         for i, raw in enumerate(lines, 1):
             code = strip_code_noise(raw)
@@ -223,6 +248,20 @@ class Linter:
                                 "for files with a file-level "
                                 "`// LINT-ALLOW(stdio): reason` "
                                 "marker")
+
+            if is_hotpath:
+                m = HOTPATH_CONTAINER.search(code)
+                if m and not (HOTPATH_ALLOW.search(raw)
+                              or (i >= 2
+                                  and HOTPATH_ALLOW.search(
+                                      lines[i - 2]))):
+                    self.report(
+                        rel, i, "hotpath",
+                        f"{m.group(0)} in a per-cycle simulation "
+                        "path — use RingBuf (sim/ringbuf.hpp) or a "
+                        "flat table (DESIGN.md §14), or waive a "
+                        "cold-path use with `// HOTPATH-ALLOW"
+                        "(reason)`")
 
             if NOLINT.search(raw) and not NOLINT_OK.search(raw):
                 self.report(
