@@ -203,8 +203,11 @@ CampaignEngine::Run::loadJournals()
     for (const std::string &path : paths) {
         ResultJournal journal;
         journal.open(path);
-        for (const auto &[key, indices] : by_key_) {
-            (void)indices;
+        // Probe in submission order (jobs_), not by_key_ bucket
+        // order: `found` insertion order feeds recovery accounting,
+        // and hash-order probing made that machine-dependent.
+        for (const SimJob &job : jobs_) {
+            const std::uint64_t key = job.key();
             if (found.count(key) != 0)
                 continue;
             SimResult r;
@@ -219,9 +222,20 @@ void
 CampaignEngine::Run::resolveFromRecovered(
     const std::unordered_map<std::uint64_t, SimResult> &found)
 {
-    for (const auto &[key, result] : found)
-        resolveKeyCompleted(key, result, 0, /*from_journal=*/true,
-                            /*shard_slot=*/-1);
+    // Resolve in submission order: resolveKeyCompleted appends to
+    // journals and outcome records, so walking the unordered_map
+    // here would bake hash-bucket order into merged output.
+    std::unordered_set<std::uint64_t> done;
+    for (const SimJob &job : jobs_) {
+        const std::uint64_t key = job.key();
+        if (!done.insert(key).second)
+            continue;
+        const auto it = found.find(key);
+        if (it != found.end())
+            resolveKeyCompleted(key, it->second, 0,
+                                /*from_journal=*/true,
+                                /*shard_slot=*/-1);
+    }
 }
 
 void
@@ -353,7 +367,7 @@ CampaignEngine::Run::spawnWorker(int slot, bool respawn)
     ws.pid = pid;
     ws.fd = sv[0];
     ws.alive = true;
-    ws.last_beat = Clock::now(); // LINT-ALLOW(determinism): fleet liveness timing
+    ws.last_beat = Clock::now(); // fleet liveness timing
     if (respawn)
         ++outcome_.report.workers_respawned;
     return true;
@@ -409,7 +423,7 @@ CampaignEngine::Run::reclaimJob(std::uint32_t index, int attempt,
     RetryPolicy policy;
     policy.backoff_ms = opts_.backoff_base_ms;
     policy.jitter_pct = opts_.backoff_jitter_pct;
-    pd.ready = Clock::now() + // LINT-ALLOW(determinism): re-dispatch backoff gate
+    pd.ready = Clock::now() + // re-dispatch backoff gate
                Millis(retryBackoffMs(policy, key, attempt));
     pending_.push_back(pd);
     ++outcome_.report.redispatched;
@@ -452,7 +466,7 @@ CampaignEngine::Run::dispatchReady()
 {
     if (drainRequested())
         return;
-    const auto now = Clock::now(); // LINT-ALLOW(determinism): backoff gate comparison
+    const auto now = Clock::now(); // backoff gate comparison
     for (std::size_t s = 0; s < slots_.size(); ++s) {
         WorkerSlot &ws = slots_[s];
         if (!ws.alive || ws.running)
@@ -506,10 +520,10 @@ CampaignEngine::Run::handleFrame(int slot, const Frame &frame)
             workerLost(slot, /*hang=*/true);
             return;
         }
-        ws.last_beat = Clock::now(); // LINT-ALLOW(determinism): fleet liveness timing
+        ws.last_beat = Clock::now(); // fleet liveness timing
         break;
       case FrameType::Heartbeat:
-        ws.last_beat = Clock::now(); // LINT-ALLOW(determinism): fleet liveness timing
+        ws.last_beat = Clock::now(); // fleet liveness timing
         ++outcome_.report.heartbeats;
         break;
       case FrameType::Result: {
@@ -528,7 +542,7 @@ CampaignEngine::Run::handleFrame(int slot, const Frame &frame)
             return;
         }
         ws.running = false;
-        ws.last_beat = Clock::now(); // LINT-ALLOW(determinism): fleet liveness timing
+        ws.last_beat = Clock::now(); // fleet liveness timing
         resolveKeyCompleted(frame.key, result, ws.attempt + 1,
                             /*from_journal=*/false, slot);
         break;
@@ -551,7 +565,7 @@ CampaignEngine::Run::handleFrame(int slot, const Frame &frame)
         }
         out.attempts = ws.attempt + 1;
         ws.running = false;
-        ws.last_beat = Clock::now(); // LINT-ALLOW(determinism): fleet liveness timing
+        ws.last_beat = Clock::now(); // fleet liveness timing
         resolve(ws.job_index, std::move(out));
         break;
       }
@@ -602,7 +616,7 @@ CampaignEngine::Run::handleReadable(int slot)
 void
 CampaignEngine::Run::checkLiveness()
 {
-    const auto now = Clock::now(); // LINT-ALLOW(determinism): fleet liveness timing
+    const auto now = Clock::now(); // fleet liveness timing
     for (std::size_t s = 0; s < slots_.size(); ++s) {
         WorkerSlot &ws = slots_[s];
         if (!ws.alive || !ws.running)
@@ -695,7 +709,7 @@ CampaignEngine::Run::shutdownFleet()
         (void)writeFrame(ws.fd, shutdown);
     }
     // Grace period, then force.
-    const auto deadline = Clock::now() + Millis(2000); // LINT-ALLOW(determinism): shutdown grace period
+    const auto deadline = Clock::now() + Millis(2000); // shutdown grace period
     for (std::size_t s = 0; s < slots_.size(); ++s) {
         WorkerSlot &ws = slots_[s];
         if (!ws.alive)
@@ -705,7 +719,7 @@ CampaignEngine::Run::shutdownFleet()
             const pid_t got = ::waitpid(ws.pid, &status, WNOHANG);
             if (got == ws.pid || got < 0)
                 break;
-            if (Clock::now() >= deadline) { // LINT-ALLOW(determinism): shutdown grace period
+            if (Clock::now() >= deadline) { // shutdown grace period
                 ::kill(ws.pid, SIGKILL);
                 (void)::waitpid(ws.pid, &status, 0);
                 break;
@@ -815,7 +829,7 @@ CampaignEngine::Run::execute()
                 runInProcess();
             } else {
                 pending_.reserve(jobs_.size());
-                const auto now = Clock::now(); // LINT-ALLOW(determinism): initial dispatch gate
+                const auto now = Clock::now(); // initial dispatch gate
                 for (std::size_t i = 0; i < jobs_.size(); ++i) {
                     if (resolved_[i])
                         continue;

@@ -54,7 +54,7 @@ onWorkerPoll(WorkerState &st)
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(50));
     }
-    const auto now = SteadyClock::now(); // LINT-ALLOW(determinism): heartbeat pacing only
+    const auto now = SteadyClock::now(); // heartbeat pacing only
     if (now - st.last_beat <
         std::chrono::milliseconds(st.heartbeat_ms))
         return;
@@ -108,7 +108,7 @@ runCampaignWorker(const WorkerConfig &cfg,
 
         st.job_index = frame.job_index;
         st.attempt = frame.aux;
-        st.last_beat = SteadyClock::now(); // LINT-ALLOW(determinism): heartbeat pacing only
+        st.last_beat = SteadyClock::now(); // heartbeat pacing only
 
         Frame reply;
         reply.job_index = frame.job_index;

@@ -6,6 +6,7 @@
 #include <array>
 #include <cerrno>
 #include <cstring>
+#include <set>
 
 #include "sim/check.hpp"
 #include "sim/snapshot.hpp"
@@ -286,7 +287,10 @@ fsckJournal(const std::string &path)
     ::close(fd);
     report.file_bytes = data.size();
 
-    std::unordered_map<std::uint64_t, bool> keys;
+    // Key-sorted on purpose: fsck accounting must not depend on
+    // hash-bucket order, and a future "dump distinct keys" walk
+    // inherits a deterministic order for free.
+    std::set<std::uint64_t> keys;
     std::size_t pos = 0;
     while (pos < data.size()) {
         JournalFsckRecord rec;
@@ -363,7 +367,7 @@ fsckJournal(const std::string &path)
         }
         rec.status = JournalRecordStatus::Ok;
         ++report.ok_records;
-        keys[rec.key] = true;
+        keys.insert(rec.key);
         pos += kHeaderBytes + rec.payload_len;
         report.records.push_back(std::move(rec));
     }

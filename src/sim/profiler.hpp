@@ -27,7 +27,7 @@
 #define CKESIM_SIM_PROFILER_HPP
 
 #include <array>
-#include <chrono> // LINT-ALLOW(determinism): profiling observes wall time; never feeds sim state
+#include <chrono> // wall-clock use lives behind steady_clock lines below: profiling observes wall time; never feeds sim state
 #include <cstdint>
 #include <cstdlib>
 #include <iomanip>

@@ -176,13 +176,13 @@ class Sm : public LsuHost
   private:
     struct KernelCtx
     {
-        const KernelProfile *prof = nullptr; // SNAPSHOT-SKIP(fixed at construction)
+        const KernelProfile *prof = nullptr; // not snapshot state (fixed at construction)
         int quota = 0;
         int resident = 0;
         std::uint64_t tb_seq = 0;
         KernelStats stats;
-        TimeSeries *issue_series = nullptr; // SNAPSHOT-SKIP(owned and snapshotted by the experiment)
-        TimeSeries *l1d_series = nullptr;   // SNAPSHOT-SKIP(owned and snapshotted by the experiment)
+        TimeSeries *issue_series = nullptr; // not snapshot state (owned and snapshotted by the experiment)
+        TimeSeries *l1d_series = nullptr;   // not snapshot state (owned and snapshotted by the experiment)
     };
 
     struct Resources

@@ -1,0 +1,27 @@
+// simcheck golden fixture: clockable-contract.
+// Pump ticks with no horizon at all; Valve has a horizon whose
+// signature the detection trait has_next_event_cycle_v would
+// silently reject (missing const) — the regex rule in lint_sim.py
+// accepts it, the AST rule must not.
+using Cycle = unsigned long long;
+
+class Pump
+{
+  public:
+    void tick(Cycle now); // EXPECT[clockable-contract]
+};
+
+class Valve
+{
+  public:
+    void tick(Cycle now);
+    Cycle nextEventCycle(Cycle now); // EXPECT[clockable-contract]
+};
+
+// Correct contract: no finding.
+class Turbine
+{
+  public:
+    void tick(Cycle now);
+    Cycle nextEventCycle(Cycle now) const;
+};

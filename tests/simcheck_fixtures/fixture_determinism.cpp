@@ -1,0 +1,51 @@
+// simcheck golden fixture: determinism-hazard.
+// Never compiled — parsed by tools/simcheck only. Each EXPECT[...]
+// comment marks a line where exactly one finding must anchor; the
+// runner (run_fixture_tests.py) fails on any extra or missing
+// finding.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+class Journal
+{
+  public:
+    void u64(unsigned long long v);
+};
+
+struct Widget
+{
+    int id = 0;
+};
+
+class Tracker
+{
+  public:
+    void dump(Journal &j) const
+    {
+        for (const auto &kv : stats_) // EXPECT[determinism-hazard]
+            j.u64(kv.second);
+    }
+
+    // Key-sorted walk of an ordered, value-keyed container: fine.
+    void dumpSorted(Journal &j) const
+    {
+        for (const auto &kv : sorted_)
+            j.u64(kv.second);
+    }
+
+  private:
+    std::unordered_map<int, unsigned long long> stats_;
+    std::map<int, unsigned long long> sorted_;
+    std::map<Widget *, int> owners_; // EXPECT[determinism-hazard]
+};
+
+inline unsigned long long hashWidget(Widget *p)
+{
+    return std::hash<Widget *>{}(p); // EXPECT[determinism-hazard]
+}
+
+inline bool older(Widget *a, Widget *b)
+{
+    return a < b; // EXPECT[determinism-hazard]
+}

@@ -1,0 +1,22 @@
+// simcheck golden fixture: simerror-discipline.
+// A raw throw bypasses the SimError context plumbing (cycle, SM,
+// module) that makes simulator failures diagnosable; a bare rethrow
+// inside a catch block is the one allowed form.
+#include <stdexcept>
+
+void
+explode(int x)
+{
+    if (x < 0)
+        throw std::runtime_error("negative"); // EXPECT[simerror-discipline]
+}
+
+void
+forward(int x)
+{
+    try {
+        explode(x);
+    } catch (...) {
+        throw; // bare rethrow: allowed
+    }
+}

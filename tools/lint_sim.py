@@ -50,6 +50,18 @@ Enforces repo rules that clang-tidy cannot express:
                   `// HOTPATH-ALLOW(reason)` on the same or preceding
                   line.
 
+  unused-waiver   A waiver that suppresses nothing is rot: it either
+                  outlived the code it excused or never matched in the
+                  first place, and it trains readers to ignore
+                  markers. LINT-ALLOW and HOTPATH-ALLOW must have
+                  actually suppressed a finding this run.
+                  SNAPSHOT-SKIP must sit on (or within three lines
+                  above) a data-member declaration in a header that
+                  declares the snapshot pair; FASTPATH-SKIP must sit
+                  in the body of a class that declares tick(Cycle ...)
+                  and lacks nextEventCycle(). The literal placeholder
+                  spelling `(reason)` is documentation, not a waiver.
+
 Any rule can be waived on a specific line with
 `// LINT-ALLOW(<rule>): <reason>`; the reason is mandatory
 (snapshot-coverage uses `// SNAPSHOT-SKIP(reason)` instead, so the
@@ -192,13 +204,49 @@ def guard_name(rel):
     return "CKESIM_" + re.sub(r"[^A-Za-z0-9]", "_", inner).upper()
 
 
+WAIVER_KINDS = (
+    ("HOTPATH-ALLOW", HOTPATH_ALLOW),
+    ("SNAPSHOT-SKIP", SNAPSHOT_SKIP),
+    ("FASTPATH-SKIP", FASTPATH_SKIP),
+)
+
+
 class Linter:
     def __init__(self, root):
         self.root = root
         self.findings = []
+        # (rel, line, kind) -> {"rule": str|None, "used": bool}
+        self.waivers = {}
 
     def report(self, rel, lineno, rule, msg):
         self.findings.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    def register_waivers(self, rel, lines):
+        for i, raw in enumerate(lines, 1):
+            m = LINT_ALLOW.search(raw)
+            if m:
+                self.waivers[(rel, i, "LINT-ALLOW")] = {
+                    "rule": m.group("rule"), "used": False}
+            for kind, pat in WAIVER_KINDS:
+                mm = pat.search(raw)
+                # `(reason)` is the placeholder spelling used when a
+                # comment talks ABOUT the marker; never a real waiver.
+                if mm and "(reason)" not in mm.group(0):
+                    self.waivers[(rel, i, kind)] = {
+                        "rule": None, "used": False}
+
+    def use_waiver(self, rel, line, kind, rule=None):
+        w = self.waivers.get((rel, line, kind))
+        if w is not None and (kind != "LINT-ALLOW"
+                              or w["rule"] == rule):
+            w["used"] = True
+
+    def allows_line(self, rel, i, raw, rule):
+        """Line-level LINT-ALLOW check that records the use."""
+        if allows(raw, rule):
+            self.use_waiver(rel, i, "LINT-ALLOW", rule)
+            return True
+        return False
 
     def lint_file(self, rel):
         path = os.path.join(self.root, rel)
@@ -206,62 +254,80 @@ class Linter:
             lines = f.read().splitlines()
 
         is_header = rel.endswith(".hpp")
-        file_allows_stdio = any(
-            allows(l, "stdio") for l in lines[:40])
+        self.register_waivers(rel, lines)
+        stdio_file_line = next(
+            (j for j, l in enumerate(lines[:40], 1)
+             if allows(l, "stdio")), None)
         is_hotpath = (rel in HOTPATH_FILES
                       or rel.startswith(HOTPATH_DIRS))
 
         for i, raw in enumerate(lines, 1):
             code = strip_code_noise(raw)
 
-            if rel not in RNG_FILES and not allows(raw, "determinism"):
+            if rel not in RNG_FILES:
                 for pat, what in DETERMINISM_PATTERNS:
-                    if pat.search(code):
-                        self.report(
-                            rel, i, "determinism",
-                            f"{what} — route all randomness through "
-                            "src/sim/rng.hpp and never read the "
-                            "wall clock in simulation code")
+                    if not pat.search(code):
+                        continue
+                    if self.allows_line(rel, i, raw, "determinism"):
+                        continue
+                    self.report(
+                        rel, i, "determinism",
+                        f"{what} — route all randomness through "
+                        "src/sim/rng.hpp and never read the "
+                        "wall clock in simulation code")
 
-            if not allows(raw, "bare-assert"):
-                for pat, what in ASSERT_PATTERNS:
-                    if pat.search(code):
-                        self.report(
-                            rel, i, "bare-assert",
-                            f"{what} — use SIM_CHECK/SIM_INVARIANT "
-                            "from sim/check.hpp")
+            for pat, what in ASSERT_PATTERNS:
+                if not pat.search(code):
+                    continue
+                if self.allows_line(rel, i, raw, "bare-assert"):
+                    continue
+                self.report(
+                    rel, i, "bare-assert",
+                    f"{what} — use SIM_CHECK/SIM_INVARIANT "
+                    "from sim/check.hpp")
 
-            if not allows(raw, "stdio"):
-                for pat, what in STDIO_ALWAYS:
-                    if pat.search(code):
-                        self.report(
-                            rel, i, "stdio",
-                            f"{what} — simulator code must not write "
-                            "to standard streams; reporting goes "
-                            "through the metrics layer")
-                if not file_allows_stdio:
-                    for pat, what in STDOUT_PRINTF:
-                        if pat.search(code):
-                            self.report(
-                                rel, i, "stdio",
-                                f"{what} — stdout output is reserved "
-                                "for files with a file-level "
-                                "`// LINT-ALLOW(stdio): reason` "
-                                "marker")
+            for pat, what in STDIO_ALWAYS:
+                if not pat.search(code):
+                    continue
+                if self.allows_line(rel, i, raw, "stdio"):
+                    continue
+                self.report(
+                    rel, i, "stdio",
+                    f"{what} — simulator code must not write "
+                    "to standard streams; reporting goes "
+                    "through the metrics layer")
+            for pat, what in STDOUT_PRINTF:
+                if not pat.search(code):
+                    continue
+                if self.allows_line(rel, i, raw, "stdio"):
+                    continue
+                if stdio_file_line is not None:
+                    self.use_waiver(rel, stdio_file_line,
+                                    "LINT-ALLOW", "stdio")
+                    continue
+                self.report(
+                    rel, i, "stdio",
+                    f"{what} — stdout output is reserved "
+                    "for files with a file-level "
+                    "`// LINT-ALLOW(stdio): reason` "
+                    "marker")
 
             if is_hotpath:
                 m = HOTPATH_CONTAINER.search(code)
-                if m and not (HOTPATH_ALLOW.search(raw)
-                              or (i >= 2
-                                  and HOTPATH_ALLOW.search(
-                                      lines[i - 2]))):
-                    self.report(
-                        rel, i, "hotpath",
-                        f"{m.group(0)} in a per-cycle simulation "
-                        "path — use RingBuf (sim/ringbuf.hpp) or a "
-                        "flat table (DESIGN.md §14), or waive a "
-                        "cold-path use with `// HOTPATH-ALLOW"
-                        "(reason)`")
+                if m:
+                    if HOTPATH_ALLOW.search(raw):
+                        self.use_waiver(rel, i, "HOTPATH-ALLOW")
+                    elif i >= 2 and HOTPATH_ALLOW.search(
+                            lines[i - 2]):
+                        self.use_waiver(rel, i - 1, "HOTPATH-ALLOW")
+                    else:
+                        self.report(
+                            rel, i, "hotpath",
+                            f"{m.group(0)} in a per-cycle simulation "
+                            "path — use RingBuf (sim/ringbuf.hpp) "
+                            "or a flat table (DESIGN.md §14), or "
+                            "waive a cold-path use with "
+                            "`// HOTPATH-ALLOW(reason)`")
 
             if NOLINT.search(raw) and not NOLINT_OK.search(raw):
                 self.report(
@@ -269,9 +335,10 @@ class Linter:
                     "bare NOLINT — write "
                     "`NOLINT(check-name): reason`")
 
-            if is_header and not allows(raw, "int-id-param"):
+            if is_header:
                 m = ID_PARAM.search(code)
-                if m:
+                if m and not self.allows_line(
+                        rel, i, raw, "int-id-param"):
                     self.report(
                         rel, i, "int-id-param",
                         f"integer parameter '{m.group(1)}' — use the "
@@ -303,7 +370,11 @@ class Linter:
                 continue
             if NEXT_EVENT_DECL.search(body):
                 continue
-            if FASTPATH_SKIP.search(body):
+            skip = FASTPATH_SKIP.search(body)
+            if skip:
+                skip_line = text.count(
+                    "\n", 0, m.end() + skip.start()) + 1
+                self.use_waiver(rel, skip_line, "FASTPATH-SKIP")
                 continue
             lineno = text.count("\n", 0, m.end() + tick.start()) + 1
             self.report(
@@ -327,6 +398,14 @@ class Linter:
         bodies = extract_snapshot_bodies(combined)
         for i, raw in enumerate(lines, 1):
             if SNAPSHOT_SKIP.search(raw):
+                # The marker is live when it annotates a data member:
+                # on its own declaration line, or a comment within
+                # the three lines above one (doc-block style).
+                for j in range(i, min(i + 3, len(lines)) + 1):
+                    if MEMBER_DECL.search(
+                            strip_code_noise(lines[j - 1])):
+                        self.use_waiver(rel, i, "SNAPSHOT-SKIP")
+                        break
                 continue
             m = MEMBER_DECL.search(strip_code_noise(raw))
             if not m:
@@ -360,6 +439,16 @@ class Linter:
                 rel = os.path.relpath(
                     os.path.join(dirpath, name), self.root)
                 self.lint_file(rel)
+        for (rel, line, kind), w in sorted(self.waivers.items()):
+            if w["used"]:
+                continue
+            what = (f"LINT-ALLOW({w['rule']})"
+                    if kind == "LINT-ALLOW" else kind)
+            self.report(
+                rel, line, "unused-waiver",
+                f"{what} marker no longer suppresses any finding — "
+                "the code it excused is gone (or never matched); "
+                "delete the marker so waivers cannot rot")
         return self.findings
 
 

@@ -1,0 +1,14 @@
+import os
+import sys
+
+# Support `python3 tools/simcheck` (directory execution): put tools/
+# on the path so the package imports resolve.
+if __package__ in (None, ""):
+    sys.path.insert(
+        0, os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    from simcheck.cli import main
+else:
+    from .cli import main
+
+sys.exit(main())

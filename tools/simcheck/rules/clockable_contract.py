@@ -1,0 +1,109 @@
+"""clockable-contract: every ticked component reports a fast-path
+horizon, with the exact signature the Gpu run loop calls.
+
+A class declaring `tick(Cycle ...)` must declare (or inherit)
+
+    Cycle nextEventCycle(Cycle now) const;
+
+or carry a FASTPATH-SKIP(reason) waiver in its class body (or
+SIMCHECK-ALLOW(clockable-contract): reason). Checked on the parsed
+AST, so a macro-generated or template tick cannot slip past the
+regex in tools/lint_sim.py — and unlike the regex, a *wrong*
+signature (non-Cycle return, extra params, missing const) is a
+finding too: the detection trait has_next_event_cycle_v
+(sim/clockable.hpp) would silently evaluate false and the component
+would be invisible to the skip decision.
+"""
+
+NAME = "clockable-contract"
+CONTRACT = (
+    "a component exposing tick(Cycle ...) also exposes "
+    "`Cycle nextEventCycle(Cycle) const` so Gpu::run's fast path can "
+    "skip dead cycles without breaking strict-vs-fast bit-identity "
+    "(sim/clockable.hpp, DESIGN.md section 13)"
+)
+
+
+def _mentions_cycle(type_sp):
+    t = type_sp.replace("const", " ").replace("&", " ")
+    return t.strip().rsplit("::", 1)[-1].strip() == "Cycle"
+
+
+def _has_cycle_tick(cls):
+    for m in cls.method("tick"):
+        if m.params and _mentions_cycle(m.params[0].type_spelling):
+            return m
+    return None
+
+
+def _find_next_event(cls, classes, depth=0):
+    for m in cls.method("nextEventCycle"):
+        return m, cls
+    if depth > 4:
+        return None, None
+    for base_name in cls.bases:
+        base = classes.get(base_name)
+        if base is not None:
+            m, owner = _find_next_event(base, classes, depth + 1)
+            if m is not None:
+                return m, owner
+    return None, None
+
+
+def run(ctx):
+    classes = ctx.model.classes_by_name()
+    for fm, cls in ctx.model.all_classes():
+        if not ctx.in_scope(fm.path):
+            continue
+        tick = _has_cycle_tick(cls)
+        if tick is None:
+            continue
+
+        nec, owner = _find_next_event(cls, classes)
+        if nec is None:
+            last = cls.end_line if cls.end_line else cls.line + 200
+            if ctx.waivers.suppresses_in_span(
+                fm.path, cls.line, last, NAME
+            ):
+                continue
+            ctx.emit_unwaivable(
+                fm.path,
+                tick.line,
+                NAME,
+                f"class '{cls.name}' declares tick(Cycle ...) but "
+                "neither declares nor inherits nextEventCycle() — "
+                "the fast path cannot see this component's events; "
+                "implement the Clockable horizon "
+                "(sim/clockable.hpp) or waive with "
+                "`// FASTPATH-SKIP(reason)` in the class body",
+                CONTRACT,
+            )
+            continue
+
+        problems = []
+        if not _mentions_cycle(nec.return_type or ""):
+            problems.append(
+                f"returns '{nec.return_type or '?'}' instead of "
+                "Cycle"
+            )
+        if len(nec.params) != 1 or not _mentions_cycle(
+            nec.params[0].type_spelling
+        ):
+            problems.append(
+                "does not take exactly one Cycle parameter"
+            )
+        if not nec.is_const:
+            problems.append("is not const")
+        if problems:
+            ctx.emit(
+                nec.file,
+                nec.line,
+                NAME,
+                f"'{(owner or cls).name}::nextEventCycle' "
+                + "; ".join(problems)
+                + " — has_next_event_cycle_v<T> "
+                "(sim/clockable.hpp) evaluates false for this "
+                "signature, so the fast path silently treats the "
+                "component as horizon-less",
+                CONTRACT,
+            )

@@ -1,0 +1,237 @@
+"""determinism-hazard: constructs whose observable order depends on
+hash-table layout or pointer values.
+
+Four hazards, all of which have reproduced as replay divergence in
+simulators of this class:
+
+  1. Iteration over std::unordered_map/unordered_set. Bucket order is
+     implementation- and ASLR-dependent; any effect of the loop that
+     is not provably commutative (a write to simulator state, metrics
+     output, a journal/wire append) makes run output
+     machine-dependent. The sink classifier names what the loop body
+     touches; a loop with no recognizable sink still flags, because
+     un-classifiable flow is exactly the dangerous kind. Provably
+     order-independent walks are waived with
+     SIMCHECK-ALLOW(determinism-hazard): reason.
+  2. Ordered containers keyed by pointers (std::map<T*,..>,
+     std::set<T*>): iteration order is allocation order.
+  3. std::hash<T*> instantiations: hashes differ across runs.
+  4. `<`/`>` between two pointer-typed variables outside a container
+     comparator: ordering by address.
+"""
+
+NAME = "determinism-hazard"
+CONTRACT = (
+    "simulator results must be a pure function of (config, workload, "
+    "seed): no observable effect may depend on hash-bucket order or "
+    "pointer values (DESIGN.md section 15)"
+)
+
+UNORDERED = (
+    "unordered_map",
+    "unordered_set",
+    "unordered_multimap",
+    "unordered_multiset",
+)
+
+ORDERED_KEYED = ("map", "set", "multimap", "multiset")
+
+# Method/function names whose call inside an unordered walk is an
+# order-sensitive sink (state mutation, output, journal/wire writes).
+SINK_CALLS = frozenset(
+    """push_back emplace_back append insert emplace write writeFrame
+    u8 u16 u32 u64 i64 f64 str vecU64 section unit resolve record
+    emit add log print flush send post enqueue""".split()
+)
+
+
+def _first_template_arg(type_spelling):
+    """'std::map<Foo *, Bar>' -> 'Foo *'; '' when not templated."""
+    i = type_spelling.find("<")
+    if i < 0:
+        return ""
+    depth = 0
+    start = i + 1
+    for j in range(i, len(type_spelling)):
+        c = type_spelling[j]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return type_spelling[start:j].strip()
+        elif c == "," and depth == 1:
+            return type_spelling[start:j].strip()
+    return ""
+
+
+def _container_head(type_spelling):
+    s = type_spelling.replace("const ", " ")
+    s = s.split("<", 1)[0]
+    return s.rsplit("::", 1)[-1].strip(" &*")
+
+
+def _is_pointer(type_arg):
+    return type_arg.rstrip().endswith("*")
+
+
+def _classify_sink(body):
+    """Name the first order-sensitive effect in a loop body, or ''."""
+    n = len(body)
+    for i, t in enumerate(body):
+        s = t.spelling
+        if s == "<<":
+            return "streams output ('<<')"
+        if t.kind == "ident" and i + 1 < n and (
+            body[i + 1].spelling == "("
+        ):
+            if s in SINK_CALLS:
+                return f"calls '{s}(...)'"
+        if s == "=" and i > 0:
+            prev = body[i - 1]
+            if prev.kind == "ident" and prev.spelling.endswith("_"):
+                return f"writes member '{prev.spelling}'"
+            if prev.spelling == "]":
+                return "writes through an indexed lvalue"
+        if s in ("+=", "-=", "|=", "&=", "^="):
+            # Commutative reductions into a scalar are order-safe for
+            # integers but NOT for floats; report only float-ish or
+            # member targets.
+            if i > 0 and body[i - 1].kind == "ident" and (
+                body[i - 1].spelling.endswith("_")
+            ):
+                return (
+                    f"accumulates into member "
+                    f"'{body[i - 1].spelling}'"
+                )
+    return ""
+
+
+def run(ctx):
+    model = ctx.model
+
+    # 1. unordered-container iteration.
+    for fm, lp in model.all_loops():
+        if not ctx.in_scope(fm.path):
+            continue
+        head = _container_head(lp.range_type)
+        if head not in UNORDERED:
+            continue
+        sink = _classify_sink(lp.body)
+        effect = (
+            sink
+            if sink
+            else "order-dependent effects could not be ruled out"
+        )
+        ctx.emit(
+            fm.path,
+            lp.line,
+            NAME,
+            f"iteration over '{lp.range_spelling}' "
+            f"(std::{head}) — bucket order is not deterministic "
+            f"across hosts/runs and the loop {effect}; iterate a "
+            "key-sorted copy, iterate the submission-order job "
+            "list instead, or waive a provably order-independent "
+            "walk",
+            CONTRACT,
+        )
+
+    for rel, fm in sorted(model.files.items()):
+        if not ctx.in_scope(rel):
+            continue
+
+        # 2. pointer-keyed ordered containers (fields, locals,
+        # params, aliases).
+        decls = [
+            (f.line, f.type_spelling, f.name)
+            for c in fm.classes
+            for f in c.fields
+        ]
+        decls += [
+            (d.line, d.type_spelling, d.name) for d in fm.var_decls
+        ]
+        decls += [(0, target, name)
+                  for name, target in fm.aliases.items()]
+        for line, type_sp, name in decls:
+            head = _container_head(type_sp)
+            if head in ORDERED_KEYED:
+                key = _first_template_arg(type_sp)
+                if _is_pointer(key):
+                    ctx.emit(
+                        rel,
+                        line,
+                        NAME,
+                        f"'{name}' is a std::{head} keyed by "
+                        f"'{key}' — iteration order is allocation "
+                        "order, which varies run to run; key by a "
+                        "stable id (KernelId, SmId, content hash) "
+                        "instead",
+                        CONTRACT,
+                    )
+
+        # 3. std::hash<T*>.
+        toks = fm.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "ident" or t.spelling != "hash":
+                continue
+            if i + 1 >= len(toks) or toks[i + 1].spelling != "<":
+                continue
+            if i >= 1 and toks[i - 1].spelling not in ("::",):
+                continue
+            depth = 0
+            arg = []
+            for j in range(i + 1, min(i + 40, len(toks))):
+                s = toks[j].spelling
+                if s == "<":
+                    depth += 1
+                    if depth == 1:
+                        continue
+                elif s == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                arg.append(s)
+            arg_sp = " ".join(arg)
+            if _is_pointer(arg_sp):
+                ctx.emit(
+                    rel,
+                    t.line,
+                    NAME,
+                    f"std::hash<{arg_sp}> — pointer hashes differ "
+                    "across runs (ASLR); hash a stable id or the "
+                    "content key instead",
+                    CONTRACT,
+                )
+
+        # 4. pointer '<'/'>' comparisons between known pointer vars.
+        ptr_names = set()
+        for c in fm.classes:
+            for f in c.fields:
+                if _is_pointer(f.type_spelling):
+                    ptr_names.add(f.name)
+        for d in fm.var_decls:
+            if _is_pointer(d.type_spelling):
+                ptr_names.add(d.name)
+        for i in range(1, len(toks) - 1):
+            t = toks[i]
+            if t.kind != "punct" or t.spelling not in ("<", ">"):
+                continue
+            a, b = toks[i - 1], toks[i + 1]
+            if (
+                a.kind == "ident"
+                and b.kind == "ident"
+                and a.spelling in ptr_names
+                and b.spelling in ptr_names
+                # `x < y (` would be a template instantiation of a
+                # function pointer — not with two variables.
+            ):
+                ctx.emit(
+                    rel,
+                    t.line,
+                    NAME,
+                    f"pointer comparison '{a.spelling} "
+                    f"{t.spelling} {b.spelling}' orders by "
+                    "address, which varies run to run; compare "
+                    "stable ids instead",
+                    CONTRACT,
+                )
