@@ -140,6 +140,23 @@ struct CampaignOutcome
     bool allCompleted() const;
 };
 
+/** Stable 32-bit fingerprint of a result (CRC of its canonical
+ *  encoding — the same bytes the journal stores). */
+std::uint32_t resultFingerprint(const SimResult &result);
+
+/**
+ * The diff-stable campaign result table: header (name, cycles, job
+ * count, campaign fingerprint) plus one line per job with its content
+ * key, terminal state and result fingerprint (or error kind). One
+ * formatter shared by ckesim-campaignd and ckesim-campaign-client so
+ * "byte-identical tables" is a property of the data, not of two
+ * printf copies staying in sync.
+ */
+std::string formatCampaignTable(
+    const std::string &name, std::uint64_t cycles,
+    const std::vector<SimJob> &jobs,
+    const std::vector<CampaignJobOutcome> &outcomes);
+
 /** Orchestrates one campaign at a time over a forked worker fleet. */
 class CampaignEngine
 {

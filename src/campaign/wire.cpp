@@ -51,7 +51,7 @@ bool
 validFrameType(std::uint8_t t)
 {
     return t >= static_cast<std::uint8_t>(FrameType::Hello) &&
-           t <= static_cast<std::uint8_t>(FrameType::Shutdown);
+           t <= static_cast<std::uint8_t>(FrameType::Pong);
 }
 
 /** Largest payload either side may legitimately send; anything above
@@ -111,36 +111,66 @@ encodeFrame(const Frame &frame)
 }
 
 bool
-writeAll(int fd, const std::vector<std::uint8_t> &bytes)
+writeFully(int fd, const std::uint8_t *bytes, std::size_t n)
 {
     std::size_t off = 0;
-    while (off < bytes.size()) {
+    while (off < n) {
         // MSG_NOSIGNAL: a dead peer must surface as EPIPE, never as
         // a process-killing SIGPIPE.
-        const ssize_t n =
-            ::send(fd, bytes.data() + off, bytes.size() - off,
-                   MSG_NOSIGNAL);
-        if (n < 0) {
+        const ssize_t got =
+            ::send(fd, bytes + off, n - off, MSG_NOSIGNAL);
+        if (got < 0) {
             if (errno == EINTR)
                 continue;
             if (errno == EAGAIN || errno == EWOULDBLOCK) {
-                // Non-blocking sender (the orchestrator): wait
-                // briefly for the peer to drain its buffer. A peer
-                // that stays jammed past the grace window is treated
-                // as gone — the caller's recovery path handles it.
+                // Non-blocking sender (the orchestrator/service):
+                // wait briefly for the peer to drain its buffer. A
+                // peer that stays jammed past the grace window is
+                // treated as gone — the caller's recovery path
+                // handles it.
                 struct pollfd pfd;
                 pfd.fd = fd;
                 pfd.events = POLLOUT;
                 pfd.revents = 0;
-                if (::poll(&pfd, 1, 1000) <= 0)
+                const int r = ::poll(&pfd, 1, 1000);
+                if (r < 0 && errno == EINTR)
+                    continue;
+                if (r <= 0)
                     return false;
                 continue;
             }
             return false;
         }
-        off += static_cast<std::size_t>(n);
+        off += static_cast<std::size_t>(got);
     }
     return true;
+}
+
+IoStatus
+readFully(int fd, std::uint8_t *out, std::size_t n)
+{
+    std::size_t off = 0;
+    // Bounded EINTR budget: a signal storm must surface as an error,
+    // not livelock the read loop forever.
+    int eintr_left = 1024;
+    while (off < n) {
+        const ssize_t got = ::read(fd, out + off, n - off);
+        if (got < 0) {
+            if (errno == EINTR && --eintr_left > 0)
+                continue;
+            return IoStatus::Error;
+        }
+        if (got == 0)
+            return IoStatus::Eof;
+        off += static_cast<std::size_t>(got);
+    }
+    return IoStatus::Ok;
+}
+
+bool
+writeAll(int fd, const std::vector<std::uint8_t> &bytes)
+{
+    return writeFully(fd, bytes.data(), bytes.size());
 }
 
 bool
@@ -149,42 +179,23 @@ writeFrame(int fd, const Frame &frame)
     return writeAll(fd, encodeFrame(frame));
 }
 
-namespace {
-
-/** Blocking read of exactly @p n bytes. 0 = EOF mid-way, -1 error. */
-int
-readExact(int fd, std::uint8_t *out, std::size_t n)
-{
-    std::size_t off = 0;
-    while (off < n) {
-        const ssize_t got = ::read(fd, out + off, n - off);
-        if (got < 0) {
-            if (errno == EINTR)
-                continue;
-            return -1;
-        }
-        if (got == 0)
-            return 0;
-        off += static_cast<std::size_t>(got);
-    }
-    return 1;
-}
-
-} // namespace
-
 WireStatus
 readFrameBlocking(int fd, Frame &out)
 {
+    // The first byte is read alone so an orderly close *between*
+    // frames surfaces as Eof; a close anywhere inside a frame is a
+    // torn stream and therefore Corrupt.
     std::uint8_t header[kFrameHeaderBytes];
-    const ssize_t first = ::read(fd, header, 1);
-    if (first == 0)
+    switch (readFully(fd, header, 1)) {
+      case IoStatus::Ok:
+        break;
+      case IoStatus::Eof:
         return WireStatus::Eof;
-    if (first < 0)
-        return errno == EINTR ? readFrameBlocking(fd, out)
-                              : WireStatus::Corrupt;
-    const int rest =
-        readExact(fd, header + 1, kFrameHeaderBytes - 1);
-    if (rest <= 0)
+      case IoStatus::Error:
+        return WireStatus::Corrupt;
+    }
+    if (readFully(fd, header + 1, kFrameHeaderBytes - 1) !=
+        IoStatus::Ok)
         return WireStatus::Corrupt;
     if (!checkHeader(header).empty())
         return WireStatus::Corrupt;
@@ -192,7 +203,8 @@ readFrameBlocking(int fd, Frame &out)
     const std::uint32_t len = getU32(header + 22);
     const std::uint32_t crc = getU32(header + 26);
     out.payload.assign(len, 0);
-    if (len > 0 && readExact(fd, out.payload.data(), len) <= 0)
+    if (len > 0 &&
+        readFully(fd, out.payload.data(), len) != IoStatus::Ok)
         return WireStatus::Corrupt;
     if (crc32(out.payload.data(), out.payload.size()) != crc)
         return WireStatus::Corrupt;
@@ -272,6 +284,60 @@ decodeJobError(const std::vector<std::uint8_t> &bytes,
         raiseSimError("Snapshot", ctx,
                       "trailing bytes after JobError payload");
     }
+}
+
+std::vector<std::uint8_t>
+encodeCampaignRef(const CampaignRef &ref)
+{
+    SnapshotWriter w;
+    w.section("campaign_ref");
+    w.str(ref.name);
+    w.u64(ref.cycles);
+    return w.take();
+}
+
+CampaignRef
+decodeCampaignRef(const std::vector<std::uint8_t> &bytes)
+{
+    SnapshotReader r(bytes);
+    r.section("campaign_ref");
+    CampaignRef ref;
+    ref.name = r.str();
+    ref.cycles = r.u64();
+    if (!r.atEnd()) {
+        SimCtx ctx;
+        ctx.module = "campaign.wire";
+        raiseSimError("Snapshot", ctx,
+                      "trailing bytes after CampaignRef payload");
+    }
+    return ref;
+}
+
+std::vector<std::uint8_t>
+encodeReject(const RejectInfo &info)
+{
+    SnapshotWriter w;
+    w.section("reject");
+    w.str(info.reason);
+    w.u64(info.retry_after_ms);
+    return w.take();
+}
+
+RejectInfo
+decodeReject(const std::vector<std::uint8_t> &bytes)
+{
+    SnapshotReader r(bytes);
+    r.section("reject");
+    RejectInfo info;
+    info.reason = r.str();
+    info.retry_after_ms = r.u64();
+    if (!r.atEnd()) {
+        SimCtx ctx;
+        ctx.module = "campaign.wire";
+        raiseSimError("Snapshot", ctx,
+                      "trailing bytes after Reject payload");
+    }
+    return info;
 }
 
 } // namespace ckesim

@@ -37,12 +37,16 @@ namespace ckesim {
 inline constexpr std::uint32_t kWireMagic = 0x46434b43u; // "CKCF"
 inline constexpr std::uint8_t kWireVersion = 1;
 
-/** Frame discriminator. */
+/** Frame discriminator. Types 1-6 are the orchestrator<->worker
+ *  protocol (PR 5); types 7-14 are the client<->service submission
+ *  protocol layered on the same framing (DESIGN.md section 16). */
 enum class FrameType : std::uint8_t {
     /** worker -> orchestrator at startup; key = campaign fingerprint
      *  (refuses a worker built from a different job list). */
     Hello = 1,
-    /** orchestrator -> worker: run jobs[job_index]; aux = attempt. */
+    /** orchestrator -> worker: run jobs[job_index]; aux = attempt.
+     *  Service fleets attach an encodeCampaignRef payload naming the
+     *  campaign the index belongs to (the worker rebuilds the list). */
     Dispatch = 2,
     /** worker -> orchestrator: payload = encodeSimResult bytes. */
     Result = 3,
@@ -53,6 +57,34 @@ enum class FrameType : std::uint8_t {
     Heartbeat = 5,
     /** orchestrator -> worker: drain and exit cleanly. */
     Shutdown = 6,
+
+    /** client -> service: payload = encodeCampaignRef (named-campaign
+     *  ref + cycles); asks the service to run that campaign. */
+    SubmitCampaign = 7,
+    /** service -> client: submission admitted. key = campaign
+     *  fingerprint (the client verifies it against its own build of
+     *  the ref), aux = job count. */
+    SubmitAck = 8,
+    /** service -> client: one completed job. job_index = index in the
+     *  submitted campaign, key = job content hash, aux bit 0 = served
+     *  from the journal, payload = encodeSimResult bytes. */
+    JobResult = 9,
+    /** service -> client: one terminally failed job. payload =
+     *  encodeJobError (kind "Drained"/"Poisoned"/"Exhausted"/sim
+     *  error kind + detail). */
+    JobFailed = 10,
+    /** service -> client: every job of the submission reached a
+     *  terminal state; aux = number of completed jobs. */
+    CampaignDone = 11,
+    /** service -> client: submission refused (overload, per-client
+     *  cap, drain, unknown campaign). payload = encodeReject with a
+     *  reason and a retry-after hint. */
+    Reject = 12,
+    /** client -> service: liveness probe / idle-timeout refresh; the
+     *  service echoes job_index/aux/key back in a Pong. */
+    Ping = 13,
+    /** service -> client: Ping echo. */
+    Pong = 14,
 };
 
 /** One decoded frame. */
@@ -72,8 +104,31 @@ inline constexpr std::size_t kFrameHeaderBytes =
 /** Serialize @p frame (header + payload) for the wire. */
 std::vector<std::uint8_t> encodeFrame(const Frame &frame);
 
-/** Write all of @p bytes to @p fd (EINTR-safe, SIGPIPE-free).
- *  Returns false when the peer is gone or the write fails. */
+// ---- shared low-level I/O (every socket loop routes through these) ------
+
+/** What a full-buffer read produced. */
+enum class IoStatus {
+    Ok,    ///< the whole buffer was transferred
+    Eof,   ///< orderly close before the buffer completed
+    Error, ///< unrecoverable errno (peer gone, bad fd, ...)
+};
+
+/**
+ * Write exactly @p n bytes to @p fd. EINTR is retried, SIGPIPE is
+ * suppressed (MSG_NOSIGNAL), and EAGAIN on a non-blocking fd waits up
+ * to ~1s per stall for the peer to drain before declaring it gone.
+ * Returns false when the peer is unreachable or jammed past the grace
+ * window — the caller's recovery path must treat it as lost.
+ */
+bool writeFully(int fd, const std::uint8_t *bytes, std::size_t n);
+
+/**
+ * Blocking read of exactly @p n bytes into @p out. EINTR is retried
+ * with a bounded budget so a signal storm cannot livelock the caller.
+ */
+IoStatus readFully(int fd, std::uint8_t *out, std::size_t n);
+
+/** writeFully over a whole vector. */
 bool writeAll(int fd, const std::vector<std::uint8_t> &bytes);
 
 /** encodeFrame + writeAll. */
@@ -125,6 +180,42 @@ std::vector<std::uint8_t> encodeJobError(const std::string &kind,
  *  malformed payload. */
 void decodeJobError(const std::vector<std::uint8_t> &bytes,
                     std::string &kind, std::string &detail);
+
+// ---- submission-protocol payloads ---------------------------------------
+
+/**
+ * A named-campaign reference: everything a peer needs to rebuild the
+ * exact job list locally (buildNamedCampaign(name, cycles)), so a
+ * submission or a service-fleet dispatch never serializes SimJobs —
+ * content hashes verify that both sides built the same thing.
+ */
+struct CampaignRef
+{
+    std::string name;          ///< buildNamedCampaign() name
+    std::uint64_t cycles = 0;  ///< measurement cycles
+};
+
+/** Encode a CampaignRef for a SubmitCampaign / Dispatch payload. */
+std::vector<std::uint8_t> encodeCampaignRef(const CampaignRef &ref);
+
+/** Inverse of encodeCampaignRef; throws SimError kind "Snapshot" on
+ *  a malformed payload. */
+CampaignRef decodeCampaignRef(const std::vector<std::uint8_t> &bytes);
+
+/** Why a submission was refused, plus when to try again. */
+struct RejectInfo
+{
+    std::string reason;              ///< human-readable refusal story
+    std::uint64_t retry_after_ms = 0; ///< backoff hint; 0 = never
+                                      ///< (e.g. unknown campaign)
+};
+
+/** Encode a RejectInfo for a Reject frame payload. */
+std::vector<std::uint8_t> encodeReject(const RejectInfo &info);
+
+/** Inverse of encodeReject; throws SimError kind "Snapshot" on a
+ *  malformed payload. */
+RejectInfo decodeReject(const std::vector<std::uint8_t> &bytes);
 
 } // namespace ckesim
 

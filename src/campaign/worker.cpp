@@ -6,6 +6,7 @@
 #include <chrono>
 #include <thread>
 
+#include "campaign/campaign_spec.hpp"
 #include "campaign/wire.hpp"
 #include "metrics/journal.hpp"
 #include "metrics/sweep_engine.hpp"
@@ -14,6 +15,43 @@
 namespace ckesim {
 
 namespace {
+
+/**
+ * Job lists a service worker has rebuilt from Dispatch campaign-ref
+ * payloads, keyed by (name, cycles). Bounded: a service can field
+ * many distinct refs over its lifetime, and an unbounded cache would
+ * leak in a long-lived worker.
+ */
+class RefJobCache
+{
+  public:
+    /** Build (or fetch) the job list of @p ref. Throws SimError for
+     *  an unknown campaign name. */
+    const std::vector<SimJob> &get(const CampaignRef &ref)
+    {
+        const std::string key =
+            ref.name + ":" + std::to_string(ref.cycles);
+        for (Entry &e : entries_)
+            if (e.key == key)
+                return e.jobs;
+        if (entries_.size() >= kMaxEntries)
+            entries_.erase(entries_.begin());
+        Entry e;
+        e.key = key;
+        e.jobs = buildNamedCampaign(ref.name, Cycle{ref.cycles});
+        entries_.push_back(std::move(e));
+        return entries_.back().jobs;
+    }
+
+  private:
+    static constexpr std::size_t kMaxEntries = 8;
+    struct Entry
+    {
+        std::string key;
+        std::vector<SimJob> jobs;
+    };
+    std::vector<Entry> entries_; ///< oldest first
+};
 
 using SteadyClock = std::chrono::steady_clock; // LINT-ALLOW(determinism): worker heartbeat pacing, never simulated state
 
@@ -94,6 +132,7 @@ runCampaignWorker(const WorkerConfig &cfg,
     if (!writeFrame(cfg.fd, hello))
         return 1;
 
+    RefJobCache ref_jobs;
     for (;;) {
         Frame frame;
         const WireStatus status = readFrameBlocking(cfg.fd, frame);
@@ -113,22 +152,42 @@ runCampaignWorker(const WorkerConfig &cfg,
         Frame reply;
         reply.job_index = frame.job_index;
         reply.aux = frame.aux;
-        if (frame.job_index >= jobs.size() ||
-            jobs[frame.job_index].key() != frame.key) {
+        reply.key = frame.key;
+
+        // A Dispatch with a campaign-ref payload names the job list
+        // it indexes into (service fleets, where no list was
+        // inherited at fork); an empty payload means the inherited
+        // list (batch campaigns). Either way the content hash must
+        // match or the dispatch is refused.
+        const std::vector<SimJob> *list = &jobs;
+        std::string ref_error;
+        if (!frame.payload.empty()) {
+            try {
+                list = &ref_jobs.get(decodeCampaignRef(frame.payload));
+            } catch (const SimError &e) {
+                list = nullptr;
+                ref_error = std::string("[") + e.kind() + "] " +
+                            e.what();
+            }
+        }
+        if (list == nullptr || frame.job_index >= list->size() ||
+            (*list)[frame.job_index].key() != frame.key) {
             reply.type = FrameType::JobError;
-            reply.key = frame.key;
             reply.payload = encodeJobError(
                 "Dispatch",
-                "dispatch does not match this worker's job list "
-                "(index " +
-                    std::to_string(frame.job_index) + ")");
+                list == nullptr
+                    ? "dispatch names a campaign ref this worker "
+                      "cannot build: " +
+                          ref_error
+                    : "dispatch does not match this worker's job "
+                      "list (index " +
+                          std::to_string(frame.job_index) + ")");
             if (!writeFrame(cfg.fd, reply))
                 return 1;
             continue;
         }
 
-        const SimJob &job = jobs[frame.job_index];
-        reply.key = frame.key;
+        const SimJob &job = (*list)[frame.job_index];
         try {
             const SimResult result = engine.run(job);
             reply.type = FrameType::Result;

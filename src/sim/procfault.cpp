@@ -22,6 +22,10 @@ procFaultKindName(ProcFaultKind kind)
         return "drop-result";
       case ProcFaultKind::FailSpawn:
         return "fail-spawn";
+      case ProcFaultKind::DropClientMidStream:
+        return "drop-client-mid-stream";
+      case ProcFaultKind::CorruptClientFrame:
+        return "corrupt-client-frame";
     }
     return "unknown";
 }

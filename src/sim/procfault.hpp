@@ -51,9 +51,19 @@ enum class ProcFaultKind : std::uint8_t {
      *  attempt. With an unlimited spec the campaign must degrade to
      *  in-process execution instead of failing. */
     FailSpawn,
+    /** Client-side (campaign service chaos): abruptly close the
+     *  submission socket after receiving N streamed results
+     *  (job_index filters on the received-result count). The service
+     *  must finish the orphaned jobs into its journal so an
+     *  idempotent resubmission replays instead of re-running. */
+    DropClientMidStream,
+    /** Client-side: flip a byte in the next frame the client sends.
+     *  The service must declare that client's stream corrupt and
+     *  drop that client only — other clients keep streaming. */
+    CorruptClientFrame,
 };
 
-inline constexpr int kNumProcFaultKinds = 6;
+inline constexpr int kNumProcFaultKinds = 8;
 
 /** Short display name, e.g. "kill-worker-mid-job". */
 const char *procFaultKindName(ProcFaultKind kind);

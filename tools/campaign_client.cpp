@@ -1,0 +1,202 @@
+/**
+ * @file
+ * ckesim-campaign-client: submit a named campaign to a running
+ * `ckesim-campaignd --serve` daemon and stream the results back.
+ *
+ * Output contract: stdout carries ONLY the diff-stable result table
+ * (the shared formatCampaignTable — byte-identical to the table
+ * ckesim-campaignd prints for the same campaign, whether the jobs
+ * ran here, on another client's submission, or were replayed from
+ * the service journal). Client accounting goes to stderr.
+ *
+ * Usage:
+ *   ckesim-campaign-client --socket PATH [--campaign smoke]
+ *                          [--cycles N] [--timeout-ms N]
+ *                          [--retries N] [--backoff-ms N]
+ *                          [--chaos-drop-after N]
+ *                          [--chaos-corrupt-submit]
+ *
+ *   --chaos-drop-after N    abruptly close the socket after N
+ *                           streamed results (client-death chaos)
+ *   --chaos-corrupt-submit  flip a byte in the submission frame
+ *                           (the service must drop this client only)
+ *
+ * Exit codes: 0 = campaign completed, 1 = job failures, 2 = usage
+ * error, 3 = rejected (retries exhausted or permanent), 4 =
+ * connection lost / protocol error.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "campaign/client.hpp"
+#include "sim/check.hpp"
+
+namespace {
+
+using namespace ckesim;
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ckesim-campaign-client --socket PATH "
+        "[--campaign smoke|pairs] [--cycles N]\n"
+        "                              [--timeout-ms N] "
+        "[--retries N] [--backoff-ms N]\n"
+        "                              [--chaos-drop-after N] "
+        "[--chaos-corrupt-submit]\n");
+}
+
+bool
+parseLong(const char *s, long long &out)
+{
+    char *end = nullptr;
+    out = std::strtoll(s, &end, 10);
+    return end != nullptr && *end == '\0' && end != s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ClientOptions opts;
+    opts.ref.name = "smoke";
+    opts.ref.cycles = 20000;
+    std::vector<ProcFaultSpec> chaos;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--socket" && has_value) {
+            opts.socket_path = argv[++i];
+        } else if (arg == "--campaign" && has_value) {
+            opts.ref.name = argv[++i];
+        } else if (arg == "--cycles" && has_value) {
+            long long v = 0;
+            if (!parseLong(argv[++i], v) || v <= 0) {
+                std::fprintf(stderr,
+                             "--cycles wants a positive count\n");
+                usage();
+                return 2;
+            }
+            opts.ref.cycles = static_cast<std::uint64_t>(v);
+        } else if (arg == "--timeout-ms" && has_value) {
+            long long v = 0;
+            if (!parseLong(argv[++i], v) || v < 1) {
+                std::fprintf(stderr,
+                             "--timeout-ms wants a positive count\n");
+                usage();
+                return 2;
+            }
+            opts.timeout_ms = static_cast<std::uint64_t>(v);
+        } else if (arg == "--retries" && has_value) {
+            long long v = 0;
+            if (!parseLong(argv[++i], v) || v < 0) {
+                std::fprintf(stderr,
+                             "--retries wants a count >= 0\n");
+                usage();
+                return 2;
+            }
+            opts.retries = static_cast<int>(v);
+        } else if (arg == "--backoff-ms" && has_value) {
+            long long v = 0;
+            if (!parseLong(argv[++i], v) || v < 0) {
+                std::fprintf(stderr,
+                             "--backoff-ms wants a count >= 0\n");
+                usage();
+                return 2;
+            }
+            opts.backoff_ms = static_cast<std::uint64_t>(v);
+        } else if (arg == "--chaos-drop-after" && has_value) {
+            long long v = 0;
+            if (!parseLong(argv[++i], v) || v < 1) {
+                std::fprintf(
+                    stderr,
+                    "--chaos-drop-after wants a result count\n");
+                usage();
+                return 2;
+            }
+            ProcFaultSpec spec;
+            spec.kind = ProcFaultKind::DropClientMidStream;
+            spec.job_index = static_cast<int>(v);
+            spec.budget = 1;
+            chaos.push_back(spec);
+        } else if (arg == "--chaos-corrupt-submit") {
+            ProcFaultSpec spec;
+            spec.kind = ProcFaultKind::CorruptClientFrame;
+            spec.budget = 1;
+            chaos.push_back(spec);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--socket" || arg == "--campaign" ||
+                   arg == "--cycles" || arg == "--timeout-ms" ||
+                   arg == "--retries" || arg == "--backoff-ms" ||
+                   arg == "--chaos-drop-after") {
+            std::fprintf(stderr, "missing value for %s\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+    if (opts.socket_path.empty()) {
+        std::fprintf(stderr, "--socket is required\n");
+        usage();
+        return 2;
+    }
+    if (!chaos.empty())
+        opts.faults = ProcFaultPlan(chaos);
+
+    try {
+        const ClientOutcome outcome = runCampaignClient(opts);
+
+        // ---- diff-stable table (stdout) ----------------------------
+        // Printed for every terminal status so a partial stream (a
+        // chaos drop) is still inspectable; only a completed
+        // campaign's table is byte-comparable.
+        std::fputs(formatCampaignTable(opts.ref.name,
+                                       opts.ref.cycles, outcome.jobs,
+                                       outcome.outcomes)
+                       .c_str(),
+                   stdout);
+
+        // ---- client accounting (stderr) ----------------------------
+        const ClientReport &r = outcome.report;
+        std::fprintf(stderr,
+                     "status=%s attempts=%d results=%" PRIu64
+                     " replayed=%" PRIu64 " failures=%" PRIu64
+                     " rejects=%" PRIu64 "%s%s\n",
+                     clientStatusName(outcome.status), r.attempts,
+                     r.results, r.replayed, r.failures, r.rejects,
+                     r.error.empty() ? "" : " error=",
+                     r.error.c_str());
+
+        switch (outcome.status) {
+          case ClientStatus::Completed:
+            return 0;
+          case ClientStatus::JobFailures:
+            return 1;
+          case ClientStatus::Rejected:
+            return 3;
+          case ClientStatus::ConnectionLost:
+          case ClientStatus::ProtocolError:
+            return 4;
+        }
+        return 4;
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "campaign-client: [%s] %s\n",
+                     e.kind().c_str(), e.what());
+        return 2;
+    }
+}

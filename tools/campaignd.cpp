@@ -1,17 +1,22 @@
 /**
  * @file
  * ckesim-campaignd: command-line front end of the fault-tolerant
- * campaign orchestrator. Builds a named campaign, runs it over a
- * forked worker fleet (or in-process), and prints a diff-stable
- * result table.
+ * campaign orchestrator. Two modes:
  *
- * Output contract: stdout carries ONLY the table — campaign header
- * (name, cycles, fingerprint) plus one line per job with its content
- * key, terminal state and result fingerprint — and is byte-identical
- * for any worker count, chaos plan or crash/redispatch history that
- * reaches the same terminal states. Fleet accounting (dispatches,
- * deaths, respawns, heartbeats) goes to stderr. The CI kill-soak
- * leans on this: `campaignd ... > table.txt` then diff.
+ *  - batch (default): build a named campaign, run it over a forked
+ *    worker fleet (or in-process), print a diff-stable result table;
+ *  - service (--serve SOCKET): listen on an AF_UNIX socket as a
+ *    long-lived daemon, accept concurrent ckesim-campaign-client
+ *    submissions, dedupe jobs across campaigns by content hash, and
+ *    stream results back (DESIGN.md section 16).
+ *
+ * Output contract (batch): stdout carries ONLY the table — the
+ * shared formatCampaignTable, byte-identical for any worker count,
+ * chaos plan or crash/redispatch history that reaches the same
+ * terminal states, and byte-identical to the table a service client
+ * prints for the same campaign. Fleet accounting goes to stderr.
+ * The CI kill-soak leans on this: `campaignd ... > table.txt` then
+ * diff.
  *
  * Usage:
  *   ckesim-campaignd [--campaign smoke] [--cycles N] [--workers N]
@@ -19,17 +24,27 @@
  *                    [--chaos kill-worker] [--heartbeat-ms N]
  *                    [--liveness-ms N] [--max-attempts N]
  *                    [--poison-deaths N]
+ *   ckesim-campaignd --serve SOCKET [--workers N] [--journal BASE]
+ *                    [--resume] [--max-pending-jobs N]
+ *                    [--max-client-campaigns N] [--idle-timeout-ms N]
+ *                    [--heartbeat-ms N] [--liveness-ms N]
+ *                    [--max-attempts N]
  *
- *   --journal BASE   durable shard/merged journals at BASE.*
- *   --resume         keep existing journals (default wipes them)
+ *   --journal BASE   durable shard journals at BASE.shard<N>
+ *   --resume         keep existing journals (default wipes them);
+ *                    in service mode this is the SIGKILL-recovery
+ *                    path — completed results replay instead of
+ *                    re-running
  *   --chaos MODE     inject fleet faults; kill-worker = SIGKILL the
  *                    worker on every job's first dispatch attempt
  *
- * SIGTERM/SIGINT drain the campaign: in-flight jobs finish, pending
- * jobs are marked drained, workers shut down cleanly.
+ * SIGTERM/SIGINT drain either mode: in-flight jobs finish, pending
+ * jobs are marked drained, workers shut down cleanly; the service
+ * additionally refuses new submissions while draining.
  *
- * Exit codes: 0 = all jobs completed, 1 = failures (failed, poisoned
- * or exhausted jobs), 2 = usage/config error, 3 = drained.
+ * Exit codes: 0 = all jobs completed (batch) / clean drain (serve),
+ * 1 = failures (failed, poisoned or exhausted jobs), 2 =
+ * usage/config error, 3 = drained (batch, with unstarted jobs).
  */
 
 #include <signal.h>
@@ -44,6 +59,7 @@
 
 #include "campaign/campaign_engine.hpp"
 #include "campaign/campaign_spec.hpp"
+#include "campaign/service.hpp"
 #include "metrics/journal.hpp"
 #include "sim/check.hpp"
 
@@ -52,12 +68,16 @@ namespace {
 using namespace ckesim;
 
 CampaignEngine *g_engine = nullptr;
+CampaignService *g_service = nullptr;
 
 void
 onDrainSignal(int)
 {
+    // Both are atomic stores: signal-safe.
     if (g_engine != nullptr)
-        g_engine->requestDrain(); // atomic store: signal-safe
+        g_engine->requestDrain();
+    if (g_service != nullptr)
+        g_service->requestDrain();
 }
 
 void
@@ -72,16 +92,14 @@ usage()
         "                        [--chaos kill-worker] "
         "[--heartbeat-ms N] [--liveness-ms N]\n"
         "                        [--max-attempts N] "
-        "[--poison-deaths N]\n");
-}
-
-/** Stable 32-bit fingerprint of a result (CRC of its canonical
- *  encoding — the same bytes the journal stores). */
-std::uint32_t
-resultFingerprint(const SimResult &result)
-{
-    const std::vector<std::uint8_t> bytes = encodeSimResult(result);
-    return crc32(bytes.data(), bytes.size());
+        "[--poison-deaths N]\n"
+        "       ckesim-campaignd --serve SOCKET [--workers N] "
+        "[--journal BASE] [--resume]\n"
+        "                        [--max-pending-jobs N] "
+        "[--max-client-campaigns N]\n"
+        "                        [--idle-timeout-ms N] "
+        "[--heartbeat-ms N] [--liveness-ms N]\n"
+        "                        [--max-attempts N]\n");
 }
 
 bool
@@ -92,6 +110,62 @@ parseLong(const char *s, long long &out)
     return end != nullptr && *end == '\0' && end != s;
 }
 
+/** Validate a campaign name up front so a typo is a usage error
+ *  with the accepted names listed, not a late SimError. */
+bool
+knownCampaign(const std::string &name)
+{
+    for (const std::string &known : namedCampaigns())
+        if (known == name)
+            return true;
+    std::fprintf(stderr, "unknown campaign '%s' (known:",
+                 name.c_str());
+    for (const std::string &known : namedCampaigns())
+        std::fprintf(stderr, " %s", known.c_str());
+    std::fprintf(stderr, ")\n");
+    return false;
+}
+
+int
+runService(const ServiceOptions &opts)
+{
+    try {
+        CampaignService service(opts);
+        g_service = &service;
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof sa);
+        sa.sa_handler = onDrainSignal;
+        ::sigaction(SIGTERM, &sa, nullptr);
+        ::sigaction(SIGINT, &sa, nullptr);
+
+        const ServiceReport r = service.serve();
+        g_service = nullptr;
+
+        std::fprintf(
+            stderr,
+            "connections=%" PRIu64 " submissions=%" PRIu64
+            " rejected=%" PRIu64 " campaigns_done=%" PRIu64 "\n"
+            "jobs_completed=%" PRIu64 " jobs_failed=%" PRIu64
+            " journal_hits=%" PRIu64 " dedupe_hits=%" PRIu64
+            " dispatched=%" PRIu64 " redispatched=%" PRIu64 "\n"
+            "client_corrupt=%" PRIu64 " client_disconnects=%" PRIu64
+            " worker_deaths=%" PRIu64 " respawned=%" PRIu64
+            " hung_killed=%" PRIu64 " pings=%" PRIu64 "%s\n",
+            r.connections, r.submissions, r.rejected,
+            r.campaigns_done, r.jobs_completed, r.jobs_failed,
+            r.journal_hits, r.dedupe_hits, r.dispatched,
+            r.redispatched, r.client_corrupt, r.client_disconnects,
+            r.worker_deaths, r.workers_respawned,
+            r.hung_workers_killed, r.pings,
+            r.drain_requested ? " drain_requested" : "");
+        return 0;
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "campaignd: [%s] %s\n",
+                     e.kind().c_str(), e.what());
+        return 2;
+    }
+}
+
 } // namespace
 
 int
@@ -99,8 +173,11 @@ main(int argc, char **argv)
 {
     std::string campaign = "smoke";
     std::string chaos;
+    std::string serve_socket;
+    bool serve = false;
     long long cycles = 20000;
     CampaignOptions opts;
+    ServiceOptions sopts;
 
     bool resume = false;
     for (int i = 1; i < argc; ++i) {
@@ -108,22 +185,33 @@ main(int argc, char **argv)
         const bool has_value = i + 1 < argc;
         if (arg == "--campaign" && has_value) {
             campaign = argv[++i];
+        } else if (arg == "--serve" && has_value) {
+            serve = true;
+            serve_socket = argv[++i];
         } else if (arg == "--cycles" && has_value) {
             if (!parseLong(argv[++i], cycles) || cycles <= 0) {
+                std::fprintf(stderr,
+                             "--cycles wants a positive count\n");
                 usage();
                 return 2;
             }
         } else if (arg == "--workers" && has_value) {
             long long v = 0;
             if (!parseLong(argv[++i], v) || v < 1 || v > 256) {
+                std::fprintf(
+                    stderr,
+                    "--workers wants a count in [1, 256]\n");
                 usage();
                 return 2;
             }
             opts.workers = static_cast<int>(v);
+            sopts.workers = static_cast<int>(v);
         } else if (arg == "--journal" && has_value) {
             opts.journal_base = argv[++i];
+            sopts.journal_base = opts.journal_base;
         } else if (arg == "--resume") {
             resume = true;
+            sopts.resume = true;
         } else if (arg == "--in-process") {
             opts.force_in_process = true;
         } else if (arg == "--chaos" && has_value) {
@@ -131,35 +219,95 @@ main(int argc, char **argv)
         } else if (arg == "--heartbeat-ms" && has_value) {
             long long v = 0;
             if (!parseLong(argv[++i], v) || v < 1) {
+                std::fprintf(
+                    stderr,
+                    "--heartbeat-ms wants a positive count\n");
                 usage();
                 return 2;
             }
             opts.heartbeat_ms = static_cast<std::uint64_t>(v);
+            sopts.heartbeat_ms = opts.heartbeat_ms;
         } else if (arg == "--liveness-ms" && has_value) {
             long long v = 0;
             if (!parseLong(argv[++i], v) || v < 1) {
+                std::fprintf(
+                    stderr,
+                    "--liveness-ms wants a positive count\n");
                 usage();
                 return 2;
             }
             opts.liveness_deadline_ms =
                 static_cast<std::uint64_t>(v);
+            sopts.liveness_deadline_ms = opts.liveness_deadline_ms;
         } else if (arg == "--max-attempts" && has_value) {
             long long v = 0;
             if (!parseLong(argv[++i], v) || v < 1) {
+                std::fprintf(
+                    stderr,
+                    "--max-attempts wants a positive count\n");
                 usage();
                 return 2;
             }
             opts.max_dispatch_attempts = static_cast<int>(v);
+            sopts.max_dispatch_attempts = static_cast<int>(v);
         } else if (arg == "--poison-deaths" && has_value) {
             long long v = 0;
             if (!parseLong(argv[++i], v) || v < 1) {
+                std::fprintf(
+                    stderr,
+                    "--poison-deaths wants a positive count\n");
                 usage();
                 return 2;
             }
             opts.poison_worker_deaths = static_cast<int>(v);
+        } else if (arg == "--max-pending-jobs" && has_value) {
+            long long v = 0;
+            if (!parseLong(argv[++i], v) || v < 1) {
+                std::fprintf(
+                    stderr,
+                    "--max-pending-jobs wants a positive count\n");
+                usage();
+                return 2;
+            }
+            sopts.max_pending_jobs = static_cast<std::size_t>(v);
+        } else if (arg == "--max-client-campaigns" && has_value) {
+            long long v = 0;
+            if (!parseLong(argv[++i], v) || v < 1) {
+                std::fprintf(stderr,
+                             "--max-client-campaigns wants a "
+                             "positive count\n");
+                usage();
+                return 2;
+            }
+            sopts.max_client_campaigns =
+                static_cast<std::size_t>(v);
+        } else if (arg == "--idle-timeout-ms" && has_value) {
+            long long v = 0;
+            if (!parseLong(argv[++i], v) || v < 0) {
+                std::fprintf(stderr,
+                             "--idle-timeout-ms wants a count >= 0 "
+                             "(0 disables)\n");
+                usage();
+                return 2;
+            }
+            sopts.idle_timeout_ms = static_cast<std::uint64_t>(v);
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
+        } else if (arg == "--campaign" || arg == "--serve" ||
+                   arg == "--cycles" || arg == "--workers" ||
+                   arg == "--journal" || arg == "--chaos" ||
+                   arg == "--heartbeat-ms" ||
+                   arg == "--liveness-ms" ||
+                   arg == "--max-attempts" ||
+                   arg == "--poison-deaths" ||
+                   arg == "--max-pending-jobs" ||
+                   arg == "--max-client-campaigns" ||
+                   arg == "--idle-timeout-ms") {
+            std::fprintf(stderr, "missing value for %s\n",
+                         arg.c_str());
+            usage();
+            return 2;
         } else {
             std::fprintf(stderr, "unknown argument '%s'\n",
                          arg.c_str());
@@ -169,6 +317,13 @@ main(int argc, char **argv)
     }
 
     if (!chaos.empty()) {
+        if (serve) {
+            std::fprintf(stderr,
+                         "--chaos applies to batch mode only "
+                         "(service chaos is client-driven)\n");
+            usage();
+            return 2;
+        }
         if (chaos == "kill-worker") {
             // SIGKILL the worker on every job's FIRST dispatch
             // attempt; re-dispatches (attempt >= 1) run clean. The
@@ -185,6 +340,16 @@ main(int argc, char **argv)
                          chaos.c_str());
             return 2;
         }
+    }
+
+    if (serve) {
+        sopts.socket_path = serve_socket;
+        return runService(sopts);
+    }
+
+    if (!knownCampaign(campaign)) {
+        usage();
+        return 2;
     }
 
     if (!resume && !opts.journal_base.empty()) {
@@ -218,26 +383,12 @@ main(int argc, char **argv)
         g_engine = nullptr;
 
         // ---- diff-stable table (stdout) ----------------------------
-        std::printf("campaign %s cycles=%lld jobs=%zu "
-                    "fingerprint=%016" PRIx64 "\n",
-                    campaign.c_str(), cycles, jobs.size(),
-                    campaignFingerprint(jobs));
-        for (std::size_t i = 0; i < jobs.size(); ++i) {
-            const CampaignJobOutcome &out = outcome.jobs[i];
-            if (out.ok())
-                std::printf("%4zu %016" PRIx64 " %-10s %08" PRIx32
-                            " %s\n",
-                            i, jobs[i].key(),
-                            campaignJobStateName(out.state),
-                            resultFingerprint(out.result),
-                            jobs[i].describe().c_str());
-            else
-                std::printf("%4zu %016" PRIx64 " %-10s %-8s %s\n",
-                            i, jobs[i].key(),
-                            campaignJobStateName(out.state),
-                            out.error_kind.c_str(),
-                            jobs[i].describe().c_str());
-        }
+        std::fputs(
+            formatCampaignTable(campaign,
+                                static_cast<std::uint64_t>(cycles),
+                                jobs, outcome.jobs)
+                .c_str(),
+            stdout);
 
         // ---- fleet accounting (stderr) -----------------------------
         const CampaignReport &r = outcome.report;
